@@ -1,0 +1,52 @@
+//! Criterion: maximal bisimulation refinement and summarization cost
+//! versus graph size (the index-construction inner loop).
+
+use bgi_bisim::{maximal_bisimulation, summarize, BisimDirection};
+use bgi_datasets::DatasetSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_maximal_bisimulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_bisimulation");
+    for scale in [1_000usize, 4_000, 16_000] {
+        let ds = DatasetSpec::yago_like(scale).generate();
+        group.bench_with_input(BenchmarkId::new("yago-like", scale), &ds, |b, ds| {
+            b.iter(|| maximal_bisimulation(&ds.graph, BisimDirection::Forward))
+        });
+    }
+    group.finish();
+}
+
+fn bench_summarize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summarize");
+    for scale in [1_000usize, 4_000, 16_000] {
+        let ds = DatasetSpec::yago_like(scale).generate();
+        let part = maximal_bisimulation(&ds.graph, BisimDirection::Forward);
+        group.bench_with_input(
+            BenchmarkId::new("yago-like", scale),
+            &(&ds, &part),
+            |b, (ds, part)| b.iter(|| summarize(&ds.graph, part)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_directions(c: &mut Criterion) {
+    let ds = DatasetSpec::yago_like(4_000).generate();
+    let mut group = c.benchmark_group("bisim_direction");
+    for (name, dir) in [
+        ("forward", BisimDirection::Forward),
+        ("backward", BisimDirection::Backward),
+        ("both", BisimDirection::Both),
+    ] {
+        group.bench_function(name, |b| b.iter(|| maximal_bisimulation(&ds.graph, dir)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maximal_bisimulation,
+    bench_summarize,
+    bench_directions
+);
+criterion_main!(benches);

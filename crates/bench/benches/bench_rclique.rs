@@ -1,0 +1,46 @@
+//! Criterion: r-clique query times with and without BiG-index
+//! (the microbenchmark behind Figs. 13–14) plus neighbor-index build.
+
+use bgi_bench::setup::Workbench;
+use bgi_datasets::DatasetSpec;
+use bgi_search::rclique::NeighborIndex;
+use bgi_search::RClique;
+use big_index::{boost_dkws, EvalOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_rclique_queries(c: &mut Criterion) {
+    let wb = Workbench::prepare(&DatasetSpec::yago_like(4_000), 5, 4);
+    let rc = RClique {
+        radius: 4,
+        max_index_bytes: None,
+    };
+    let boosted = boost_dkws(&wb.index, rc, EvalOptions::default());
+
+    let mut group = c.benchmark_group("rclique_yago_like");
+    group.sample_size(20);
+    for q in wb.queries.iter().take(4) {
+        let query = q.to_query();
+        group.bench_function(format!("{}_baseline", q.id), |b| {
+            b.iter(|| boosted.baseline(&query, 10))
+        });
+        group.bench_function(format!("{}_boosted", q.id), |b| {
+            b.iter(|| boosted.query(&query, 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_index_build");
+    group.sample_size(10);
+    for scale in [1_000usize, 3_000] {
+        let ds = DatasetSpec::yago_like(scale).generate();
+        group.bench_function(format!("yago-like/{scale}/r4"), |b| {
+            b.iter(|| NeighborIndex::build(&ds.graph, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rclique_queries, bench_neighbor_index);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! `bgi` — command-line front end for the BiG-index reproduction.
+//!
+//! ```text
+//! bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>   generate + save a dataset
+//! bgi stats <dir>                                  dataset statistics
+//! bgi build <dir> [layers]                         build the index, print layer sizes
+//! bgi workload <dir>                               print the Q1-Q8 workload
+//! bgi query <dir> <kw1,kw2,...> [dmax] [k]         run a boosted BLINKS query
+//! ```
+
+use bgi_datasets::{benchmark_queries, persist, Dataset, DatasetSpec};
+use bgi_search::blinks::{Blinks, BlinksParams};
+use bgi_search::KeywordQuery;
+use big_index::{Boosted, EvalOptions};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: bgi <gen|stats|build|workload|query> ...\n\
+                 \n\
+                 bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>\n\
+                 bgi stats <dir>\n\
+                 bgi build <dir> [layers]\n\
+                 bgi workload <dir>\n\
+                 bgi query <dir> <kw1,kw2,...> [dmax] [k]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let [kind, scale, dir] = args else {
+        return Err("usage: bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>".into());
+    };
+    let scale: usize = scale.parse()?;
+    let spec = match kind.as_str() {
+        "yago" => DatasetSpec::yago_like(scale),
+        "dbpedia" => DatasetSpec::dbpedia_like(scale),
+        "imdb" => DatasetSpec::imdb_like(scale),
+        "synt" => DatasetSpec::synt(scale),
+        other => return Err(format!("unknown dataset kind '{other}'").into()),
+    };
+    let ds = spec.generate();
+    persist::save(&ds, Path::new(dir))?;
+    println!(
+        "wrote {} (|V| = {}, |E| = {}, {} ontology labels) to {dir}",
+        ds.name,
+        ds.num_vertices(),
+        ds.num_edges(),
+        ds.ontology.num_labels()
+    );
+    Ok(())
+}
+
+fn load(dir: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
+    Ok(persist::load(Path::new(dir))?)
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let [dir] = args else {
+        return Err("usage: bgi stats <dir>".into());
+    };
+    let ds = load(dir)?;
+    let deg = bgi_graph::stats::degree_stats(&ds.graph);
+    println!("dataset:    {}", ds.name);
+    println!("|V|:        {}", ds.num_vertices());
+    println!("|E|:        {}", ds.num_edges());
+    println!("labels:     {}", ds.labels.len());
+    println!("ontology:   {} labels, {} edges, height {}",
+        ds.ontology.num_labels(), ds.ontology.num_edges(), ds.ontology.height());
+    println!("mean deg:   {:.2}", deg.mean_out);
+    println!("max out/in: {} / {}", deg.max_out, deg.max_in);
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> CliResult {
+    let (dir, layers) = match args {
+        [dir] => (dir, 7usize),
+        [dir, layers] => (dir, layers.parse()?),
+        _ => return Err("usage: bgi build <dir> [layers]".into()),
+    };
+    let ds = load(dir)?;
+    let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+    println!("built {} layers in {:?}", index.num_layers(), took);
+    for (m, size) in index.layer_sizes().iter().enumerate() {
+        println!("  L{m}: |G| = {size} (ratio {:.4})", index.size_ratio(m));
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> CliResult {
+    let [dir] = args else {
+        return Err("usage: bgi workload <dir>".into());
+    };
+    let ds = load(dir)?;
+    let min_count = (ds.num_vertices() / 100).max(3) as u32;
+    for q in benchmark_queries(&ds, 5, min_count, 0xC0FFEE) {
+        let names: Vec<&str> = q.keywords.iter().map(|&l| ds.labels.name(l)).collect();
+        println!("{}: {} (counts {:?})", q.id, names.join(","), q.counts);
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let (dir, kws, dmax, k) = match args {
+        [dir, kws] => (dir, kws, 5u32, 10usize),
+        [dir, kws, dmax] => (dir, kws, dmax.parse()?, 10usize),
+        [dir, kws, dmax, k] => (dir, kws, dmax.parse()?, k.parse()?),
+        _ => return Err("usage: bgi query <dir> <kw1,kw2,...> [dmax] [k]".into()),
+    };
+    let ds = load(dir)?;
+    let keywords: Result<Vec<_>, _> = kws
+        .split(',')
+        .map(|name| {
+            ds.labels
+                .get(name.trim())
+                .ok_or_else(|| format!("unknown keyword '{name}'"))
+        })
+        .collect();
+    let query = KeywordQuery::new(keywords?, dmax);
+
+    let (index, _) = bgi_bench::setup::default_index(&ds, 7);
+    let blinks = Blinks::new(BlinksParams {
+        block_size: 1000,
+        prune_dist: dmax.max(5),
+    });
+    let boosted = Boosted::new(&index, blinks, EvalOptions::default());
+
+    let t = std::time::Instant::now();
+    let result = boosted.query(&query, k);
+    let took = t.elapsed();
+    println!(
+        "layer {} ({}), {} answer(s) in {:?}:",
+        result.layer,
+        if result.fell_back { "fell back" } else { "chosen" },
+        result.answers.len(),
+        took
+    );
+    for (i, a) in result.answers.iter().enumerate() {
+        let verts: Vec<String> = a
+            .vertices
+            .iter()
+            .map(|&v| format!("{}({})", v.0, ds.labels.name(ds.graph.label(v))))
+            .collect();
+        println!("  #{i} score={} root={:?}: {}", a.score, a.root, verts.join(" "));
+    }
+    Ok(())
+}

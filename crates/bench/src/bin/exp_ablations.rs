@@ -1,0 +1,5 @@
+//! Regenerates the design-choice ablations (DESIGN.md §7).
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    println!("{}", bgi_bench::experiments::ablations::run(scale));
+}

@@ -1,0 +1,38 @@
+//! Runs the full experiment suite and prints the headline summary
+//! (paper: Blinks reduced by 50.5% on average, r-clique by 29.5%).
+use bgi_bench::experiments;
+
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    let print = |s: String| {
+        println!("{s}");
+        println!();
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+    };
+    print(experiments::datasets::run(scale));
+    print(experiments::index_sizes::run(scale));
+    let (blinks, blinks_reductions) = experiments::query_perf::run_blinks(scale);
+    print(blinks);
+    let (rclique, rclique_reductions) = experiments::query_perf::run_rclique(scale);
+    print(rclique);
+    print(experiments::scaling::run(scale));
+    print(experiments::cost_model::run(scale));
+    print(experiments::optimizations::run(scale));
+    print(experiments::layer_sweep::run(scale));
+    print(experiments::ablations::run(scale));
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    println!("==============================================================");
+    println!("HEADLINE (paper: Blinks -50.5%, r-clique -29.5% on average)");
+    println!(
+        "  Blinks mean reduction:   {:.1}% (over {} datasets)",
+        mean(&blinks_reductions),
+        blinks_reductions.len()
+    );
+    println!(
+        "  r-clique mean reduction: {:.1}% (over {} datasets)",
+        mean(&rclique_reductions),
+        rclique_reductions.len()
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 16 and the Exp-4 cost-model studies.
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    println!("{}", bgi_bench::experiments::cost_model::run(scale));
+}

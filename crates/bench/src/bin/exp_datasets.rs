@@ -1,0 +1,5 @@
+//! Regenerates Tab. 2 and Tab. 4.
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    println!("{}", bgi_bench::experiments::datasets::run(scale));
+}

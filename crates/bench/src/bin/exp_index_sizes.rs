@@ -1,0 +1,5 @@
+//! Regenerates Tab. 3, Fig. 9, and the Exp-3 construction times.
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    println!("{}", bgi_bench::experiments::index_sizes::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 19 and the Exp-6 comparison.
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    println!("{}", bgi_bench::experiments::layer_sweep::run(scale));
+}

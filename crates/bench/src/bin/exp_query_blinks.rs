@@ -1,0 +1,6 @@
+//! Regenerates Figs. 10-12 (Blinks with and without BiG-index).
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    let (report, _) = bgi_bench::experiments::query_perf::run_blinks(scale);
+    println!("{report}");
+}

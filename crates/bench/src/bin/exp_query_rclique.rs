@@ -1,0 +1,6 @@
+//! Regenerates Figs. 13-14 (r-clique with and without BiG-index).
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    let (report, _) = bgi_bench::experiments::query_perf::run_rclique(scale);
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15.
+fn main() {
+    let scale = bgi_bench::scale_from_env(20_000);
+    println!("{}", bgi_bench::experiments::scaling::run(scale));
+}

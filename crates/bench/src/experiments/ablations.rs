@@ -1,0 +1,213 @@
+//! Ablations of BiG-index's design choices (beyond the paper's own
+//! Exp-5): estimation vs. exact compression, the summarization
+//! formalism, and the bisimulation direction.
+
+use crate::harness::{fmt_duration, TableWriter};
+use crate::setup::full_step_config;
+use bgi_bisim::BisimDirection;
+use bgi_datasets::DatasetSpec;
+use bgi_graph::sampling::SamplingParams;
+use big_index::compress::{exact_compress, CompressEstimator};
+use big_index::{BiGIndex, Summarizer};
+
+use std::time::Instant;
+
+/// Ablation A: sampled vs. exact compression estimation — the sampling
+/// estimator exists because exact evaluation of every Algo. 1 candidate
+/// would bisimulate the whole graph per candidate.
+pub fn sampling_vs_exact(scale: usize) -> String {
+    let ds = DatasetSpec::yago_like(scale).generate();
+    let config = full_step_config(&ds.graph, &ds.ontology);
+
+    let t = Instant::now();
+    let exact = exact_compress(&ds.graph, &config, BisimDirection::Forward);
+    let exact_time = t.elapsed();
+
+    let t = Instant::now();
+    let est = CompressEstimator::new(
+        &ds.graph,
+        &SamplingParams {
+            radius: 2,
+            num_samples: 400,
+            max_ball: 256,
+            seed: 5,
+        },
+        BisimDirection::Forward,
+    );
+    let setup_time = t.elapsed();
+    let t = Instant::now();
+    let estimate = est.estimate(&config);
+    let estimate_time = t.elapsed();
+
+    let mut t = TableWriter::new(&["method", "compress", "time"]);
+    t.row(&[
+        "exact (full χ)".into(),
+        format!("{exact:.4}"),
+        fmt_duration(exact_time),
+    ]);
+    t.row(&[
+        "sampled (n=400, r=2)".into(),
+        format!("{estimate:.4}"),
+        format!("{} (+{} sampling)", fmt_duration(estimate_time), fmt_duration(setup_time)),
+    ]);
+    format!(
+        "## Ablation A — sampled vs exact compression estimation (yago-like/{scale})\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation B: summarization formalism — maximal bisimulation (the
+/// paper's choice) vs. k-bounded bisimulation (its named future work).
+pub fn summarizer_ablation(scale: usize) -> String {
+    let ds = DatasetSpec::yago_like(scale).generate();
+    let config = full_step_config(&ds.graph, &ds.ontology);
+    let mut t = TableWriter::new(&["summarizer", "layer-1 size", "ratio", "build time"]);
+    for (name, s) in [
+        ("maximal", Summarizer::Maximal),
+        ("k-bisim k=4", Summarizer::KBounded(4)),
+        ("k-bisim k=2", Summarizer::KBounded(2)),
+        ("k-bisim k=1", Summarizer::KBounded(1)),
+    ] {
+        let start = Instant::now();
+        let index = BiGIndex::build_with_configs_summarizer(
+            ds.graph.clone(),
+            ds.ontology.clone(),
+            vec![config.clone()],
+            BisimDirection::Forward,
+            s,
+        );
+        let built = start.elapsed();
+        t.row(&[
+            name.into(),
+            index.graph_at(1).size().to_string(),
+            format!("{:.4}", index.size_ratio(1)),
+            fmt_duration(built),
+        ]);
+    }
+    format!(
+        "## Ablation B — summarization formalism (yago-like/{scale})\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation C: bisimulation direction — forward (the default, aligned
+/// with the traversal direction of the search semantics) vs. backward
+/// vs. both.
+pub fn direction_ablation(scale: usize) -> String {
+    let ds = DatasetSpec::yago_like(scale).generate();
+    let config = full_step_config(&ds.graph, &ds.ontology);
+    let mut t = TableWriter::new(&["direction", "layer-1 size", "ratio"]);
+    for (name, dir) in [
+        ("forward", BisimDirection::Forward),
+        ("backward", BisimDirection::Backward),
+        ("both", BisimDirection::Both),
+    ] {
+        let index = BiGIndex::build_with_configs(
+            ds.graph.clone(),
+            ds.ontology.clone(),
+            vec![config.clone()],
+            dir,
+        );
+        t.row(&[
+            name.into(),
+            index.graph_at(1).size().to_string(),
+            format!("{:.4}", index.size_ratio(1)),
+        ]);
+    }
+    format!(
+        "## Ablation C — bisimulation direction (yago-like/{scale})\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation D: Algo. 1 greedy configurations vs. the "default index"
+/// full-step configurations — the greedy search trades compression for
+/// lower semantic distortion per its cost model.
+pub fn greedy_vs_full_step(scale: usize) -> String {
+    use big_index::cost::CostParams;
+    use big_index::BuildParams;
+    let ds = DatasetSpec::yago_like(scale).generate();
+
+    let t = Instant::now();
+    let (full, _) = crate::setup::default_index(&ds, 3);
+    let full_time = t.elapsed();
+
+    let t = Instant::now();
+    let greedy = BiGIndex::build(
+        ds.graph.clone(),
+        ds.ontology.clone(),
+        &BuildParams {
+            cost: CostParams {
+                alpha: 0.5,
+                theta: 0.6,
+                pi: usize::MAX,
+            },
+            sampling: SamplingParams {
+                radius: 2,
+                num_samples: 200,
+                max_ball: 256,
+                seed: 3,
+            },
+            direction: BisimDirection::Forward,
+            max_layers: 3,
+            min_gain_ratio: 0.98,
+            summarizer: Summarizer::Maximal,
+        },
+    );
+    let greedy_time = t.elapsed();
+
+    let mut t = TableWriter::new(&[
+        "construction",
+        "layers",
+        "layer-1 ratio",
+        "|C¹|",
+        "build time",
+    ]);
+    t.row(&[
+        "full-step (default)".into(),
+        full.num_layers().to_string(),
+        format!("{:.4}", full.size_ratio(1)),
+        full.layer(1).config.len().to_string(),
+        fmt_duration(full_time),
+    ]);
+    if greedy.num_layers() >= 1 {
+        t.row(&[
+            "greedy (Algo. 1, θ=0.6)".into(),
+            greedy.num_layers().to_string(),
+            format!("{:.4}", greedy.size_ratio(1)),
+            greedy.layer(1).config.len().to_string(),
+            fmt_duration(greedy_time),
+        ]);
+    }
+    format!(
+        "## Ablation D — Algo. 1 greedy vs full-step configurations (yago-like/{scale})
+
+{}",
+        t.render()
+    )
+}
+
+/// All ablations.
+pub fn run(scale: usize) -> String {
+    let scale = scale.min(10_000);
+    let mut out = sampling_vs_exact(scale);
+    out.push('\n');
+    out.push_str(&summarizer_ablation(scale));
+    out.push('\n');
+    out.push_str(&direction_ablation(scale));
+    out.push('\n');
+    out.push_str(&greedy_vs_full_step(scale.min(5_000)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablations_render() {
+        let report = super::run(1500);
+        assert!(report.contains("Ablation A"));
+        assert!(report.contains("Ablation B"));
+        assert!(report.contains("Ablation C"));
+        assert!(report.contains("maximal"));
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper experiment; each returns its report as a string
+//! (also printed by its binary) plus structured data for `exp_all`'s
+//! summary and EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod cost_model;
+pub mod datasets;
+pub mod index_sizes;
+pub mod layer_sweep;
+pub mod optimizations;
+pub mod query_perf;
+pub mod scaling;

@@ -1,0 +1,202 @@
+//! Timing and table-formatting helpers shared by the experiments.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` `runs` times and returns the median wall-clock duration.
+/// The first (warm-up) run is not counted.
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(runs > 0);
+    let _warmup = f();
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Fixed-width text table writer for experiment reports.
+#[derive(Debug, Default)]
+pub struct TableWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TableWriter {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for i in 0..ncols {
+                line.push_str(&format!("{:width$}", cells[i], width = widths[i]));
+                line.push_str(" | ");
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Percentage reduction of `new` vs `old` (positive = faster).
+pub fn reduction_pct(old: Duration, new: Duration) -> f64 {
+    if old.is_zero() {
+        return 0.0;
+    }
+    100.0 * (1.0 - new.as_secs_f64() / old.as_secs_f64())
+}
+
+/// Spearman rank correlation between two equally long samples.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+        let mut r = vec![0.0; xs.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Average ranks for ties.
+            let mut j = i;
+            while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                r[k] = avg;
+            }
+            i = j + 1;
+        }
+        r
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableWriter::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_checked() {
+        let mut t = TableWriter::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn median_time_positive() {
+        let d = median_time(3, || std::thread::sleep(Duration::from_micros(50)));
+        assert!(d >= Duration::from_micros(40));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn reduction_math() {
+        let old = Duration::from_millis(100);
+        let new = Duration::from_millis(50);
+        assert!((reduction_pct(old, new) - 50.0).abs() < 1e-9);
+        assert!(reduction_pct(Duration::ZERO, new).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        let r = spearman(&a, &b);
+        assert!(r > 0.9);
+    }
+}

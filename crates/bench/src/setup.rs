@@ -1,0 +1,143 @@
+//! Shared experiment setup: datasets, default indexes, and workloads.
+
+use bgi_datasets::{benchmark_queries, BenchQuery, Dataset, DatasetSpec};
+use bgi_graph::{DiGraph, Ontology};
+use big_index::{BiGIndex, GenConfig};
+use std::time::{Duration, Instant};
+
+/// Reads the experiment scale from `BGI_SCALE` (vertices per dataset),
+/// defaulting to `default`.
+pub fn scale_from_env(default: usize) -> usize {
+    std::env::var("BGI_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's "default index" configuration for one step: every label
+/// present in `g` that has a supertype is generalized once (Sec. 6.1.2:
+/// large `θ` and `Π` so "the labels of the graphs were generalized once
+/// when a layer was constructed").
+pub fn full_step_config(g: &DiGraph, ontology: &Ontology) -> GenConfig {
+    let counts = g.label_counts();
+    let mappings: Vec<_> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .filter_map(|(i, _)| {
+            let l = bgi_graph::LabelId(i as u32);
+            if l.index() >= ontology.num_labels() {
+                return None;
+            }
+            ontology
+                .direct_supertypes(l)
+                .first()
+                .map(|&sup| (l, sup))
+        })
+        .collect();
+    GenConfig::new(mappings, ontology).expect("direct supertypes are valid")
+}
+
+/// Builds the paper's default BiG-index: up to `max_layers` layers, each
+/// generalizing every label one ontology step, summarized by forward
+/// maximal bisimulation. Returns the index and its construction time.
+pub fn default_index(ds: &Dataset, max_layers: usize) -> (BiGIndex, Duration) {
+    let t = Instant::now();
+    let mut configs = Vec::new();
+    let mut current = ds.graph.clone();
+    for _ in 0..max_layers {
+        let config = full_step_config(&current, &ds.ontology);
+        if config.is_empty() {
+            break;
+        }
+        // Apply one χ step to know the next layer's labels.
+        let probe = BiGIndex::build_with_configs(
+            current.clone(),
+            ds.ontology.clone(),
+            vec![config.clone()],
+            bgi_bisim::BisimDirection::Forward,
+        );
+        configs.push(config);
+        let next = probe.graph_at(1).clone();
+        if next.size() == current.size() {
+            break;
+        }
+        current = next;
+    }
+    let index = BiGIndex::build_with_configs(
+        ds.graph.clone(),
+        ds.ontology.clone(),
+        configs,
+        bgi_bisim::BisimDirection::Forward,
+    );
+    (index, t.elapsed())
+}
+
+/// A fully prepared experiment bench: dataset, default index, workload.
+pub struct Workbench {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// The default BiG-index.
+    pub index: BiGIndex,
+    /// Index construction time.
+    pub build_time: Duration,
+    /// The Q1–Q8 workload.
+    pub queries: Vec<BenchQuery>,
+}
+
+impl Workbench {
+    /// Prepares a workbench for `spec` with `max_layers` index layers
+    /// and a Tab. 4-style workload (`d_max`, minimum keyword count
+    /// scaled to the dataset size).
+    pub fn prepare(spec: &DatasetSpec, max_layers: usize, dmax: u32) -> Self {
+        let dataset = spec.generate();
+        let (index, build_time) = default_index(&dataset, max_layers);
+        let min_count = (dataset.num_vertices() / 100).max(3) as u32;
+        let queries = benchmark_queries(&dataset, dmax, min_count, 0xC0FFEE);
+        Workbench {
+            dataset,
+            index,
+            build_time,
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_step_config_generalizes_present_labels() {
+        let ds = DatasetSpec::yago_like(2000).generate();
+        let config = full_step_config(&ds.graph, &ds.ontology);
+        assert!(!config.is_empty());
+        // Every mapping's source occurs in the graph.
+        let counts = ds.graph.label_counts();
+        for &(from, to) in config.mappings() {
+            assert!(counts[from.index()] > 0);
+            assert!(ds.ontology.direct_supertypes(from).contains(&to));
+        }
+    }
+
+    #[test]
+    fn default_index_has_layers_and_shrinks() {
+        let ds = DatasetSpec::yago_like(3000).generate();
+        let (index, t) = default_index(&ds, 7);
+        assert!(index.num_layers() >= 2);
+        assert!(index.graph_at(1).size() < ds.graph.size());
+        assert!(t > Duration::ZERO);
+        let sizes = index.layer_sizes();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "sizes must be non-increasing: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn workbench_prepares_everything() {
+        let wb = Workbench::prepare(&DatasetSpec::yago_like(3000), 4, 4);
+        assert!(wb.index.num_layers() >= 1);
+        assert!(wb.queries.len() >= 4);
+    }
+
+}

@@ -1,0 +1,185 @@
+//! Incremental maintenance of a bisimulation partition under edge
+//! updates (Sec. 3.2, "Maintenance of BiG-index").
+//!
+//! Inserting or deleting an edge can *split* blocks (vertices that were
+//! equivalent no longer are) and, in principle, also *merge* them. Like
+//! the practical algorithm the paper adopts (Deng et al. [7]), we apply
+//! splits eagerly and defer merges: [`IncrementalBisim::apply`] refines
+//! the current partition until it is stable again. The result is a valid
+//! (stable) bisimulation — hence label- and path-preserving, so queries
+//! stay correct — but possibly finer than the maximal one; callers
+//! rebuild periodically to restore maximal compression, exactly as the
+//! paper prescribes ("BiG-index can be recomputed occasionally").
+
+use crate::partition::Partition;
+use crate::refine::{maximal_bisimulation, refine_round, BisimDirection};
+use bgi_graph::{DiGraph, GraphBuilder, VId};
+
+/// A graph/partition pair maintained under edge updates.
+#[derive(Debug, Clone)]
+pub struct IncrementalBisim {
+    graph: DiGraph,
+    partition: Partition,
+    dir: BisimDirection,
+    updates_since_rebuild: usize,
+}
+
+/// An edge-level update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update {
+    /// Insert edge `(u, v)`.
+    InsertEdge(VId, VId),
+    /// Delete edge `(u, v)` (no-op if absent).
+    DeleteEdge(VId, VId),
+}
+
+impl IncrementalBisim {
+    /// Starts from `g`'s maximal bisimulation.
+    pub fn new(g: DiGraph, dir: BisimDirection) -> Self {
+        let partition = maximal_bisimulation(&g, dir);
+        IncrementalBisim {
+            graph: g,
+            partition,
+            dir,
+            updates_since_rebuild: 0,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The current (stable, possibly non-maximal) partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of updates applied since the last full rebuild.
+    pub fn updates_since_rebuild(&self) -> usize {
+        self.updates_since_rebuild
+    }
+
+    /// Applies one update and restores stability by re-refining from the
+    /// current partition (splits only; merges deferred to [`Self::rebuild`]).
+    pub fn apply(&mut self, update: Update) {
+        let edges: Vec<(VId, VId)> = match update {
+            Update::InsertEdge(u, v) => {
+                let mut es: Vec<_> = self.graph.edges().collect();
+                es.push((u, v));
+                es
+            }
+            Update::DeleteEdge(u, v) => self
+                .graph
+                .edges()
+                .filter(|&e| e != (u, v))
+                .collect(),
+        };
+        self.graph = GraphBuilder::from_edges(self.graph.labels().to_vec(), edges);
+        // Re-stabilize starting from the current partition. Because
+        // refinement only splits, the fixpoint refines the old partition
+        // and is a valid bisimulation of the updated graph.
+        loop {
+            let next = refine_round(&self.graph, &self.partition, self.dir);
+            if next.num_blocks() == self.partition.num_blocks() {
+                self.partition = next;
+                break;
+            }
+            self.partition = next;
+        }
+        self.updates_since_rebuild += 1;
+    }
+
+    /// Recomputes the maximal bisimulation from scratch, restoring
+    /// maximal compression after a batch of updates.
+    pub fn rebuild(&mut self) {
+        self.partition = maximal_bisimulation(&self.graph, self.dir);
+        self.updates_since_rebuild = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_stable;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    fn fan(n: usize) -> DiGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(LabelId(1));
+        for _ in 0..n {
+            let p = b.add_vertex(LabelId(0));
+            b.add_edge(p, hub);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn insert_splits_affected_block() {
+        // 10 bisimilar persons; give one of them an extra edge to a new
+        // target — it must split off.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(LabelId(1));
+        let other = b.add_vertex(LabelId(2));
+        let mut persons = vec![];
+        for _ in 0..10 {
+            let p = b.add_vertex(LabelId(0));
+            b.add_edge(p, hub);
+            persons.push(p);
+        }
+        let g = b.build();
+        let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
+        assert_eq!(inc.partition().num_blocks(), 3);
+
+        inc.apply(Update::InsertEdge(persons[0], other));
+        assert_eq!(inc.partition().num_blocks(), 4);
+        assert!(!inc.partition().equivalent(persons[0], persons[1]));
+        assert!(is_stable(inc.graph(), inc.partition(), BisimDirection::Forward));
+    }
+
+    #[test]
+    fn delete_keeps_partition_stable() {
+        let g = fan(5);
+        let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
+        inc.apply(Update::DeleteEdge(VId(1), VId(0)));
+        assert!(is_stable(inc.graph(), inc.partition(), BisimDirection::Forward));
+        // The person who lost its edge is no longer like the others.
+        assert!(!inc.partition().equivalent(VId(1), VId(2)));
+    }
+
+    #[test]
+    fn rebuild_recovers_maximal_compression() {
+        let g = fan(6);
+        let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
+        // Delete and reinsert the same edge: the graph is back to the
+        // original, but the incremental partition stays split.
+        inc.apply(Update::DeleteEdge(VId(1), VId(0)));
+        inc.apply(Update::InsertEdge(VId(1), VId(0)));
+        assert!(inc.partition().num_blocks() > 2);
+        assert_eq!(inc.updates_since_rebuild(), 2);
+        inc.rebuild();
+        assert_eq!(inc.partition().num_blocks(), 2);
+        assert_eq!(inc.updates_since_rebuild(), 0);
+    }
+
+    #[test]
+    fn incremental_refines_maximal() {
+        // After any update sequence the incremental partition must refine
+        // the true maximal bisimulation of the current graph.
+        let g = fan(8);
+        let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
+        inc.apply(Update::InsertEdge(VId(2), VId(3)));
+        inc.apply(Update::DeleteEdge(VId(4), VId(0)));
+        let maximal = maximal_bisimulation(inc.graph(), BisimDirection::Forward);
+        assert!(maximal.is_refined_by(inc.partition()));
+    }
+
+    #[test]
+    fn delete_missing_edge_is_noop_on_graph() {
+        let g = fan(3);
+        let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
+        let edges_before = inc.graph().num_edges();
+        inc.apply(Update::DeleteEdge(VId(0), VId(1)));
+        assert_eq!(inc.graph().num_edges(), edges_before);
+    }
+}

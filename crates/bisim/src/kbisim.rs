@@ -1,0 +1,94 @@
+//! Bounded (k-) bisimulation.
+//!
+//! Stopping signature refinement after `k` rounds yields *k-bisimulation*:
+//! vertices are equivalent iff their neighborhoods agree up to depth `k`.
+//! It is coarser than the maximal bisimulation (so compresses more) while
+//! still being label- and path-preserving — enough for keyword search
+//! semantics whose traversals are bounded by `k` hops. The paper lists
+//! alternative summarization formalisms as future work (Sec. 8); this is
+//! the most natural one.
+
+use crate::partition::Partition;
+use crate::refine::{refine_round, BisimDirection};
+use bgi_graph::DiGraph;
+
+/// Computes the k-bisimulation partition of `g`: the label partition
+/// refined `k` times. `k = 0` is the plain label partition; large `k`
+/// converges to the maximal bisimulation.
+pub fn k_bisimulation(g: &DiGraph, dir: BisimDirection, k: u32) -> Partition {
+    let mut part = Partition::from_labels(g.labels());
+    for _ in 0..k {
+        let next = refine_round(g, &part, dir);
+        if next.num_blocks() == part.num_blocks() {
+            return next; // already at fixpoint
+        }
+        part = next;
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::maximal_bisimulation;
+    use bgi_graph::{GraphBuilder, LabelId, VId};
+
+    /// Chain of equal labels: 0 -> 1 -> 2 -> 3.
+    fn chain4() -> DiGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_vertex(LabelId(0));
+        }
+        b.add_edge(VId(0), VId(1));
+        b.add_edge(VId(1), VId(2));
+        b.add_edge(VId(2), VId(3));
+        b.build()
+    }
+
+    #[test]
+    fn k0_is_label_partition() {
+        let g = chain4();
+        let p = k_bisimulation(&g, BisimDirection::Forward, 0);
+        assert_eq!(p.num_blocks(), 1);
+    }
+
+    #[test]
+    fn k_increases_block_count_monotonically() {
+        let g = chain4();
+        let mut prev = 0;
+        for k in 0..5 {
+            let p = k_bisimulation(&g, BisimDirection::Forward, k);
+            assert!(p.num_blocks() >= prev);
+            prev = p.num_blocks();
+        }
+    }
+
+    #[test]
+    fn k1_distinguishes_sink_from_others() {
+        let g = chain4();
+        let p = k_bisimulation(&g, BisimDirection::Forward, 1);
+        // Sink (3) has no successors; 0,1,2 each have a same-block successor.
+        assert_eq!(p.num_blocks(), 2);
+        assert!(p.equivalent(VId(0), VId(2)));
+        assert!(!p.equivalent(VId(2), VId(3)));
+    }
+
+    #[test]
+    fn large_k_matches_maximal() {
+        let g = bgi_graph::generate::uniform_random(100, 250, 3, 21);
+        let pk = k_bisimulation(&g, BisimDirection::Forward, 1_000);
+        let pm = maximal_bisimulation(&g, BisimDirection::Forward);
+        assert_eq!(pk.num_blocks(), pm.num_blocks());
+        assert!(pk.is_refined_by(&pm) && pm.is_refined_by(&pk));
+    }
+
+    #[test]
+    fn each_k_refines_previous() {
+        let g = bgi_graph::generate::uniform_random(80, 200, 2, 8);
+        for k in 0..4 {
+            let coarse = k_bisimulation(&g, BisimDirection::Forward, k);
+            let fine = k_bisimulation(&g, BisimDirection::Forward, k + 1);
+            assert!(coarse.is_refined_by(&fine), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! `eval_Ont` (Algo. 2): hierarchical query processing.
+//!
+//! 1. generalize the query to the chosen layer `m`;
+//! 2. evaluate the plugged-in algorithm `f` on `Gᵐ`;
+//! 3. specialize each generalized answer down the hierarchy with
+//!    candidate filtering ([`crate::spec`]);
+//! 4. materialize final answers at layer 0 — structurally (Algo. 3 or
+//!    Algo. 4) for tree semantics, or by re-verifying pairwise distances
+//!    for the r-clique semantics;
+//! 5. rank and truncate to `k`.
+//!
+//! Every step is timed separately so the query-performance breakdown of
+//! Figs. 10–14 (summary-graph exploration vs. pruning vs. answer
+//! generation) can be reproduced.
+//!
+//! ## Correctness contract
+//!
+//! Final answers are always *sound*: they satisfy the original query
+//! semantics on `G⁰` (realized edges exist; keyword labels match
+//! exactly). They are *complete* (Thm. 4.2, `eval_Ont = eval`) whenever
+//! the query keywords generalize injectively at the chosen layer — i.e.
+//! no *other* label shares a keyword's generalized image — which is
+//! exactly the situation the distortion term of the cost model steers
+//! construction toward. With distorted keywords the pipeline can prune
+//! roots whose only realizations end at wrong-label nodes, as the
+//! paper's candidate filtering does; the integration tests pin down both
+//! regimes.
+
+use crate::ans_gen::{vertex_answer_generation, GenStats};
+use crate::index::BiGIndex;
+use crate::path_gen::path_answer_generation;
+use crate::query_gen::{generalize_query, optimal_layer};
+use crate::spec::{specialize_answer, SpecializedAnswer};
+use bgi_graph::{DiGraph, VId};
+use bgi_search::answer::rank_and_truncate;
+use bgi_search::{AnswerGraph, KeywordQuery, KeywordSearch};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// How final answers are materialized from specialized candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RealizerKind {
+    /// Algo. 3: vertex-at-a-time structural realization.
+    VertexAtATime,
+    /// Algo. 4: path-based structural realization (the default; the
+    /// Sec. 4.3.3 optimization).
+    #[default]
+    PathBased,
+    /// Keyword-nodes-only specialization with pairwise bounded-distance
+    /// verification on `G⁰` — for distance semantics (r-clique).
+    DistanceVerify,
+    /// Structural realization first; when a generalized answer realizes
+    /// to nothing structurally (clique witness paths are often not
+    /// edge-realizable even though the keyword nodes qualify), fall back
+    /// to distance verification for that answer. The boost-dkws default.
+    StructuralThenDistance,
+}
+
+/// Tuning knobs for `eval_Ont`.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// `β` of the query-generalization cost model (Formula 4).
+    pub beta: f64,
+    /// Materialization strategy.
+    pub realizer: RealizerKind,
+    /// Use the specialization-order optimization (Sec. 4.3.2).
+    pub use_spec_order: bool,
+    /// Use early keyword specialization / `isKey` pruning (Sec. 4.3.1).
+    pub early_keyword_spec: bool,
+    /// When fewer than `k` final answers survive pruning, refetch
+    /// `overfetch ×` more generalized answers and retry (doubling until
+    /// the generalized answer stream is exhausted).
+    pub overfetch: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            beta: 0.4,
+            realizer: RealizerKind::PathBased,
+            use_spec_order: true,
+            early_keyword_spec: true,
+            overfetch: 4,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one `eval_Ont` run (Figs. 10–14).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// Evaluating `f` on the summary graph.
+    pub search: Duration,
+    /// Specializing and pruning candidates down the hierarchy.
+    pub spec_prune: Duration,
+    /// Final answer generation at the data-graph layer.
+    pub answer_gen: Duration,
+}
+
+impl StepTimings {
+    /// Total time across all steps.
+    pub fn total(&self) -> Duration {
+        self.search + self.spec_prune + self.answer_gen
+    }
+
+    /// Accumulates another run's times (used when a failed summary-layer
+    /// attempt falls back to the data graph: the wasted work is charged
+    /// to the final result).
+    pub fn absorb(&mut self, other: &StepTimings) {
+        self.search += other.search;
+        self.spec_prune += other.spec_prune;
+        self.answer_gen += other.answer_gen;
+    }
+}
+
+/// Counters from one `eval_Ont` run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Generalized answers returned by `f` at layer `m`.
+    pub generalized_answers: usize,
+    /// Generalized answers discarded entirely during specialization.
+    pub answers_pruned: usize,
+    /// Candidate vertices pruned by Prop. 4.1 filtering.
+    pub vertices_pruned: usize,
+    /// Partial answers created during generation.
+    pub partials_created: usize,
+}
+
+/// The outcome of one `eval_Ont` run.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Final answers, ranked best-first.
+    pub answers: Vec<AnswerGraph>,
+    /// The layer the query was evaluated at.
+    pub layer: usize,
+    /// Per-step wall-clock times.
+    pub timings: StepTimings,
+    /// Candidate/pruning counters.
+    pub stats: EvalStats,
+    /// True if a summary-layer attempt produced nothing and the query
+    /// was re-evaluated on the data graph (see `Boosted::query`).
+    pub fell_back: bool,
+}
+
+/// Runs `eval_Ont` at an explicit layer `m` (Algo. 2 with `m` given).
+pub fn eval_at_layer<F: KeywordSearch>(
+    index: &BiGIndex,
+    algo: &F,
+    layer_index: &F::Index,
+    query: &KeywordQuery,
+    k: usize,
+    m: usize,
+    opts: &EvalOptions,
+) -> EvalResult {
+    let mut timings = StepTimings::default();
+    let mut stats = EvalStats::default();
+
+    // Step 1: evaluate f on the summary graph with the generalized query.
+    let gq = generalize_query(index, query, m);
+    // Def. 4.1 condition 1: a layer where two keywords generalize to one
+    // label cannot evaluate the query without modifying f; the layer
+    // chooser never selects such a layer, and calling this directly with
+    // one is a contract violation.
+    assert!(
+        gq.len() == query.len(),
+        "query keywords merge at layer {m}; pick a layer where \
+         |Gen^m(Q)| = |Q| (Def. 4.1) or use Boosted::query"
+    );
+
+    if m == 0 {
+        // Evaluating on the data graph *is* the baseline; no translation
+        // and no overfetch.
+        let t = Instant::now();
+        let answers = algo.search(index.graph_at(0), layer_index, &gq, k);
+        timings.search = t.elapsed();
+        stats.generalized_answers = answers.len();
+        return EvalResult {
+            answers: rank_and_truncate(answers, k),
+            layer: 0,
+            timings,
+            stats,
+            fell_back: false,
+        };
+    }
+
+    // Fetch k generalized answers first; if pruning leaves fewer than k
+    // final answers, refetch a growing multiple (the paper's Sec. 4.3.4
+    // specializes one generalized answer at a time until k finals — the
+    // refetch loop is the batched equivalent for a top-k `f`).
+    let mut fetch = k;
+    let mut rounds = 0usize;
+    let mut finals: Vec<AnswerGraph> = Vec::new();
+    // Distance cache for the DistanceVerify realizer: bounded undirected
+    // BFS balls on G⁰, shared across every generalized answer (and
+    // refetch round) of this evaluation — hub balls are expensive and
+    // heavily reused.
+    let mut dist_cache: DistCache = FxHashMap::default();
+    loop {
+        rounds += 1;
+        let t = Instant::now();
+        let generalized = algo.search(index.graph_at(m), layer_index, &gq, fetch);
+        timings.search += t.elapsed();
+        stats.generalized_answers = generalized.len();
+        let exhausted = generalized.len() < fetch;
+
+        // Steps 2-5: specialize in rank order, realize, stop at k answers.
+        finals.clear();
+        stats.answers_pruned = 0;
+        stats.vertices_pruned = 0;
+        stats.partials_created = 0;
+        for ga in &generalized {
+            let t = Instant::now();
+            let spec = specialize_answer(index, query, ga, m, opts.early_keyword_spec);
+            timings.spec_prune += t.elapsed();
+            let Some(spec) = spec else {
+                stats.answers_pruned += 1;
+                continue;
+            };
+            stats.vertices_pruned += spec.pruned;
+
+            let remaining = k.saturating_sub(finals.len()).max(1);
+            let t = Instant::now();
+            let (realized, gen_stats): (Vec<AnswerGraph>, GenStats) = match opts.realizer {
+                RealizerKind::VertexAtATime => vertex_answer_generation(
+                    index.base(),
+                    ga,
+                    &spec,
+                    opts.use_spec_order,
+                    remaining,
+                ),
+                RealizerKind::PathBased => {
+                    path_answer_generation(index.base(), ga, &spec, remaining)
+                }
+                RealizerKind::DistanceVerify => {
+                    distance_verify(index.base(), query, ga, &spec, remaining, &mut dist_cache)
+                }
+                RealizerKind::StructuralThenDistance => {
+                    let (structural, st) =
+                        path_answer_generation(index.base(), ga, &spec, remaining);
+                    if structural.is_empty() {
+                        let (verified, vt) = distance_verify(
+                            index.base(),
+                            query,
+                            ga,
+                            &spec,
+                            remaining,
+                            &mut dist_cache,
+                        );
+                        (
+                            verified,
+                            GenStats {
+                                partials_created: st.partials_created + vt.partials_created,
+                                answers: vt.answers,
+                            },
+                        )
+                    } else {
+                        (structural, st)
+                    }
+                }
+            };
+            timings.answer_gen += t.elapsed();
+            stats.partials_created += gen_stats.partials_created;
+            finals.extend(realized);
+            if finals.len() >= k {
+                break;
+            }
+        }
+        // Cap the refetch rounds: re-running f is the batched stand-in
+        // for the paper's one-at-a-time specialization, and unbounded
+        // growth on heavily distorted layers would dwarf the baseline.
+        if finals.len() >= k || exhausted || rounds >= 3 {
+            break;
+        }
+        fetch = fetch.saturating_mul(opts.overfetch.max(2));
+    }
+
+    EvalResult {
+        answers: rank_and_truncate(finals, k),
+        layer: m,
+        timings,
+        stats,
+        fell_back: false,
+    }
+}
+
+/// Runs `eval_Ont` at the cost-optimal layer (Def. 4.1).
+pub fn eval_ont<F: KeywordSearch>(
+    index: &BiGIndex,
+    algo: &F,
+    layer_indexes: &[F::Index],
+    query: &KeywordQuery,
+    k: usize,
+    opts: &EvalOptions,
+) -> EvalResult {
+    let m = optimal_layer(index, query, opts.beta);
+    eval_at_layer(index, algo, &layer_indexes[m], query, k, m, opts)
+}
+
+/// Memoized bounded undirected BFS balls, keyed by source vertex.
+type DistCache = FxHashMap<VId, FxHashMap<VId, u32>>;
+
+/// The distance realizer for clique semantics: specialize keyword nodes
+/// only, then verify all pairwise *undirected* distances on `G⁰` within
+/// `d_max`, scoring by the sum of pairwise distances (boost-dkws,
+/// Sec. 5.2).
+fn distance_verify(
+    base: &DiGraph,
+    query: &KeywordQuery,
+    _answer: &AnswerGraph,
+    spec: &SpecializedAnswer,
+    limit: usize,
+    cache: &mut DistCache,
+) -> (Vec<AnswerGraph>, GenStats) {
+    let mut stats = GenStats::default();
+    let n = query.len();
+    // Candidate sets per keyword: union over the generalized answer's
+    // keyword vertices.
+    let mut cands: Vec<Vec<VId>> = vec![Vec::new(); n];
+    for (i, key) in spec.key_of.iter().enumerate() {
+        if let Some(kw) = key {
+            cands[*kw].extend_from_slice(&spec.candidates[i]);
+        }
+    }
+    if cands.iter().any(Vec::is_empty) {
+        return (Vec::new(), stats);
+    }
+    for c in &mut cands {
+        c.sort_unstable();
+        c.dedup();
+    }
+
+    // Memoized bounded undirected BFS distances (cache shared by the
+    // caller across generalized answers).
+    let mut dist = |g: &DiGraph, u: VId, v: VId, bound: u32| -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        cache.entry(u).or_insert_with(|| {
+            let mut d: FxHashMap<VId, u32> = FxHashMap::default();
+            let mut q = VecDeque::new();
+            d.insert(u, 0);
+            q.push_back(u);
+            while let Some(x) = q.pop_front() {
+                let dx = d[&x];
+                if dx >= bound {
+                    continue;
+                }
+                for &y in g.out_neighbors(x).iter().chain(g.in_neighbors(x)) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = d.entry(y) {
+                        e.insert(dx + 1);
+                        q.push_back(y);
+                    }
+                }
+            }
+            d
+        });
+        cache[&u].get(&v).copied().filter(|&d| d <= bound)
+    };
+
+    // Enumerate combinations depth-first with pairwise pruning.
+    let mut picked: Vec<VId> = Vec::with_capacity(n);
+    let mut results: Vec<AnswerGraph> = Vec::new();
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        base: &DiGraph,
+        query: &KeywordQuery,
+        cands: &[Vec<VId>],
+        picked: &mut Vec<VId>,
+        dist: &mut dyn FnMut(&DiGraph, VId, VId, u32) -> Option<u32>,
+        results: &mut Vec<AnswerGraph>,
+        stats: &mut GenStats,
+        limit: usize,
+    ) {
+        if results.len() >= limit {
+            return;
+        }
+        let depth = picked.len();
+        if depth == cands.len() {
+            // Weight: sum of pairwise distances (all verified ≤ d_max).
+            let mut weight = 0u64;
+            for i in 0..picked.len() {
+                for j in i + 1..picked.len() {
+                    weight +=
+                        dist(base, picked[i], picked[j], query.dmax).unwrap() as u64;
+                }
+            }
+            results.push(materialize_clique(base, query, picked, weight));
+            stats.answers += 1;
+            return;
+        }
+        for &v in &cands[depth] {
+            let ok = picked
+                .iter()
+                .all(|&u| dist(base, u, v, query.dmax).is_some());
+            if ok {
+                picked.push(v);
+                stats.partials_created += 1;
+                rec(base, query, cands, picked, dist, results, stats, limit);
+                picked.pop();
+                if results.len() >= limit {
+                    return;
+                }
+            }
+        }
+    }
+    rec(
+        base,
+        query,
+        &cands,
+        &mut picked,
+        &mut dist,
+        &mut results,
+        &mut stats,
+        limit,
+    );
+    (results, stats)
+}
+
+/// Materializes a verified clique answer with undirected witness paths
+/// from the first keyword node.
+fn materialize_clique(
+    base: &DiGraph,
+    query: &KeywordQuery,
+    picked: &[VId],
+    weight: u64,
+) -> AnswerGraph {
+    let hub = picked[0];
+    let mut parent: FxHashMap<VId, VId> = FxHashMap::default();
+    let mut d: FxHashMap<VId, u32> = FxHashMap::default();
+    let mut q = VecDeque::new();
+    d.insert(hub, 0);
+    q.push_back(hub);
+    while let Some(x) = q.pop_front() {
+        let dx = d[&x];
+        if dx >= query.dmax {
+            continue;
+        }
+        for &y in base.out_neighbors(x).iter().chain(base.in_neighbors(x)) {
+            if let std::collections::hash_map::Entry::Vacant(e) = d.entry(y) {
+                e.insert(dx + 1);
+                parent.insert(y, x);
+                q.push_back(y);
+            }
+        }
+    }
+    let mut vertices = vec![hub];
+    let mut edges = Vec::new();
+    for &t in &picked[1..] {
+        let mut cur = t;
+        vertices.push(cur);
+        while cur != hub {
+            let p = parent[&cur];
+            if base.has_edge(p, cur) {
+                edges.push((p, cur));
+            } else {
+                edges.push((cur, p));
+            }
+            vertices.push(p);
+            cur = p;
+        }
+    }
+    let keyword_matches = picked.iter().map(|&v| vec![v]).collect();
+    AnswerGraph::new(vertices, edges, keyword_matches, None, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use bgi_bisim::BisimDirection;
+    use bgi_graph::{GraphBuilder, LabelId, OntologyBuilder};
+    use bgi_search::{Banks, RClique};
+
+    /// Labels: 0=Person, 1=Prof, 2=Student, 3=Univ. Profs and Students
+    /// fan onto a Univ hub; ontology merges 1,2 -> 0.
+    fn indexed() -> BiGIndex {
+        let mut gb = GraphBuilder::new();
+        let hub = gb.add_vertex(LabelId(3));
+        for i in 0..12 {
+            let l = if i % 2 == 0 { LabelId(1) } else { LabelId(2) };
+            let v = gb.add_vertex(l);
+            gb.add_edge(v, hub);
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(4);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        ob.add_subtype(LabelId(0), LabelId(2));
+        let o = ob.build().unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
+            .unwrap();
+        BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
+    }
+
+    #[test]
+    fn boosted_banks_matches_baseline() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let baseline = Banks.search_fresh(idx.base(), &q, 1000);
+        let layer_index = Banks.build_index(idx.graph_at(1));
+        let result = eval_at_layer(
+            &idx,
+            &Banks,
+            &layer_index,
+            &q,
+            1000,
+            1,
+            &EvalOptions::default(),
+        );
+        let key = |a: &AnswerGraph| (a.root, a.score);
+        let mut b: Vec<_> = baseline.iter().map(key).collect();
+        let mut o: Vec<_> = result.answers.iter().map(key).collect();
+        b.sort_unstable();
+        o.sort_unstable();
+        assert_eq!(b, o);
+        assert!(result.answers.iter().all(|a| a.validate(idx.base(), &q.keywords)));
+    }
+
+    #[test]
+    fn both_realizers_agree() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(2), LabelId(3)], 2);
+        let layer_index = Banks.build_index(idx.graph_at(1));
+        let mut opts = EvalOptions {
+            realizer: RealizerKind::VertexAtATime,
+            ..EvalOptions::default()
+        };
+        let a = eval_at_layer(&idx, &Banks, &layer_index, &q, 1000, 1, &opts);
+        opts.realizer = RealizerKind::PathBased;
+        let b = eval_at_layer(&idx, &Banks, &layer_index, &q, 1000, 1, &opts);
+        let ids = |r: &EvalResult| {
+            let mut v: Vec<_> = r.answers.iter().map(|a| a.identity()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn top_k_early_termination() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let layer_index = Banks.build_index(idx.graph_at(1));
+        let r = eval_at_layer(&idx, &Banks, &layer_index, &q, 2, 1, &EvalOptions::default());
+        assert_eq!(r.answers.len(), 2);
+    }
+
+    #[test]
+    fn layer0_is_plain_baseline() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let base_index = Banks.build_index(idx.base());
+        let r = eval_at_layer(&idx, &Banks, &base_index, &q, 5, 0, &EvalOptions::default());
+        assert_eq!(r.layer, 0);
+        assert_eq!(r.answers.len(), 5);
+        assert!(r.timings.spec_prune.is_zero());
+    }
+
+    #[test]
+    fn distance_realizer_matches_rclique_baseline() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 4);
+        let rc = RClique::default();
+        let baseline = rc.search_fresh(idx.base(), &q, 1000);
+        let layer_index = rc.build_index(idx.graph_at(1));
+        let opts = EvalOptions {
+            realizer: RealizerKind::DistanceVerify,
+            ..EvalOptions::default()
+        };
+        let r = eval_at_layer(&idx, &rc, &layer_index, &q, 1000, 1, &opts);
+        // Same keyword-node sets and weights.
+        let key = |a: &AnswerGraph| {
+            let mut kw: Vec<VId> = a.keyword_matches.iter().map(|m| m[0]).collect();
+            kw.sort_unstable();
+            (kw, a.score)
+        };
+        let mut b: Vec<_> = baseline.iter().map(key).collect();
+        let mut o: Vec<_> = r.answers.iter().map(key).collect();
+        b.sort();
+        o.sort();
+        assert_eq!(b, o);
+    }
+
+    #[test]
+    fn eval_ont_picks_valid_layer() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let indexes = vec![
+            Banks.build_index(idx.graph_at(0)),
+            Banks.build_index(idx.graph_at(1)),
+        ];
+        let r = eval_ont(&idx, &Banks, &indexes, &q, 5, &EvalOptions::default());
+        assert!(r.layer <= idx.num_layers());
+        assert!(!r.answers.is_empty());
+    }
+
+    #[test]
+    fn pruning_stats_recorded() {
+        let idx = indexed();
+        // Query Prof: the Person supernode's Students get pruned.
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let layer_index = Banks.build_index(idx.graph_at(1));
+        let r = eval_at_layer(&idx, &Banks, &layer_index, &q, 1000, 1, &EvalOptions::default());
+        assert!(r.stats.generalized_answers > 0);
+        assert!(r.stats.vertices_pruned > 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Algo. 1: one-step greedy heuristic for a maximal configuration.
+//!
+//! Computing the cost-optimal configuration is NP-hard (Thm. 3.1, by
+//! reduction from maxSAT), so construction is greedy: estimate the cost
+//! of every single-mapping candidate `(ℓ → ℓ')` (for labels `ℓ` present
+//! in the graph with a direct supertype `ℓ'`), process candidates in
+//! ascending estimated cost, and accept each whose addition keeps the
+//! combined cost within the threshold `θ`, stopping at the budget `Π`.
+
+use crate::compress::CompressEstimator;
+use crate::config::GenConfig;
+use crate::cost::{construction_cost_capped, CostParams};
+use bgi_graph::stats::LabelSupport;
+use bgi_graph::{DiGraph, LabelId, Ontology};
+
+/// Samples used to rank singleton candidates (ordering only).
+const RANK_SAMPLES: usize = 64;
+/// Samples used for the acceptance checks of Algo. 1's loop.
+const ACCEPT_SAMPLES: usize = 64;
+
+/// Runs Algo. 1: returns the greedy configuration for one layer.
+///
+/// `estimator` carries the sampled subgraphs used for compression
+/// estimates; `support` the label supports of `g`.
+pub fn greedy_configuration(
+    g: &DiGraph,
+    ontology: &Ontology,
+    estimator: &CompressEstimator,
+    support: &LabelSupport,
+    params: &CostParams,
+) -> GenConfig {
+    // Candidate single-mapping generalizations: every label present in
+    // the graph paired with each of its direct supertypes.
+    let counts = g.label_counts();
+    let mut candidates: Vec<(f64, LabelId, LabelId)> = Vec::new();
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let l = LabelId(i as u32);
+        if l.index() >= ontology.num_labels() {
+            continue;
+        }
+        for &sup in ontology.direct_supertypes(l) {
+            let single = GenConfig::new([(l, sup)], ontology)
+                .expect("direct supertype by construction");
+            let cost =
+                construction_cost_capped(estimator, support, &single, params.alpha, RANK_SAMPLES);
+            candidates.push((cost, l, sup));
+        }
+    }
+    // Priority order: ascending estimated cost (ties by label for
+    // determinism).
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+
+    let mut config = GenConfig::empty();
+    for (_, l, sup) in candidates {
+        if config.len() >= params.pi {
+            break;
+        }
+        // A label may appear with several supertypes; keep the first
+        // (cheapest) accepted mapping.
+        if config.apply(l) != l {
+            continue;
+        }
+        let mut trial = config.clone();
+        trial.insert(l, sup);
+        let cost =
+            construction_cost_capped(estimator, support, &trial, params.alpha, ACCEPT_SAMPLES);
+        if cost <= params.theta {
+            config = trial;
+        } else {
+            // Algo. 1 returns as soon as a candidate overshoots θ.
+            return config;
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_bisim::BisimDirection;
+    use bgi_graph::sampling::SamplingParams;
+    use bgi_graph::{GraphBuilder, OntologyBuilder};
+
+    /// Two person subtypes pointing at a hub; generalizing them enables
+    /// compression.
+    fn setup() -> (DiGraph, Ontology) {
+        let mut gb = GraphBuilder::new();
+        let hub = gb.add_vertex(LabelId(3));
+        for i in 0..40 {
+            let l = if i % 2 == 0 { LabelId(1) } else { LabelId(2) };
+            let v = gb.add_vertex(l);
+            gb.add_edge(v, hub);
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(4);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        ob.add_subtype(LabelId(0), LabelId(2));
+        let o = ob.build().unwrap();
+        (g, o)
+    }
+
+    fn estimator(g: &DiGraph) -> CompressEstimator {
+        CompressEstimator::new(
+            g,
+            &SamplingParams {
+                radius: 2,
+                num_samples: 40,
+                max_ball: 256,
+                seed: 1,
+            },
+            BisimDirection::Forward,
+        )
+    }
+
+    #[test]
+    fn greedy_finds_compressing_mappings() {
+        let (g, o) = setup();
+        let est = estimator(&g);
+        let support = LabelSupport::new(&g);
+        let config = greedy_configuration(&g, &o, &est, &support, &CostParams::default());
+        assert_eq!(config.apply(LabelId(1)), LabelId(0));
+        assert_eq!(config.apply(LabelId(2)), LabelId(0));
+    }
+
+    #[test]
+    fn pi_budget_caps_config_size() {
+        let (g, o) = setup();
+        let est = estimator(&g);
+        let support = LabelSupport::new(&g);
+        let params = CostParams {
+            pi: 1,
+            ..CostParams::default()
+        };
+        let config = greedy_configuration(&g, &o, &est, &support, &params);
+        assert_eq!(config.len(), 1);
+    }
+
+    #[test]
+    fn tight_theta_rejects_everything() {
+        let (g, o) = setup();
+        let est = estimator(&g);
+        let support = LabelSupport::new(&g);
+        let params = CostParams {
+            theta: 0.0,
+            ..CostParams::default()
+        };
+        let config = greedy_configuration(&g, &o, &est, &support, &params);
+        assert!(config.is_empty());
+    }
+
+    #[test]
+    fn no_supertypes_means_empty_config() {
+        let g = bgi_graph::generate::uniform_random(30, 60, 3, 2);
+        let o = OntologyBuilder::new(3).build().unwrap(); // flat ontology
+        let est = estimator(&g);
+        let support = LabelSupport::new(&g);
+        let config = greedy_configuration(&g, &o, &est, &support, &CostParams::default());
+        assert!(config.is_empty());
+    }
+
+    #[test]
+    fn absent_labels_not_considered() {
+        // Graph uses only label 3 (the hub label has no supertype);
+        // labels 1, 2 absent -> nothing to generalize.
+        let mut gb = GraphBuilder::new();
+        gb.add_vertex(LabelId(3));
+        let g = gb.build();
+        let (_, o) = setup();
+        let est = estimator(&g);
+        let support = LabelSupport::new(&g);
+        let config = greedy_configuration(&g, &o, &est, &support, &CostParams::default());
+        assert!(config.is_empty());
+    }
+}

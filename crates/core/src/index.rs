@@ -1,0 +1,569 @@
+//! The BiG-index (Def. 3.1): a hierarchy of generalized summary graphs.
+//!
+//! `𝔾 = {G⁰, …, Gʰ}` with `Gⁱ = χ(Gⁱ⁻¹, Cⁱ) = Bisim(Gen(Gⁱ⁻¹, Cⁱ))`.
+//! Construction iterates Algo. 1 (greedy configuration), graph
+//! generalization, and bisimulation summarization until a termination
+//! condition fires (empty configuration, layer budget, or vanishing
+//! compression gain).
+
+use crate::compress::CompressEstimator;
+use crate::config::GenConfig;
+use crate::cost::CostParams;
+use crate::heuristic::greedy_configuration;
+use crate::layer::Layer;
+use bgi_bisim::kbisim::k_bisimulation;
+use bgi_bisim::{maximal_bisimulation, summarize, BisimDirection};
+use bgi_graph::sampling::SamplingParams;
+use bgi_graph::stats::LabelSupport;
+use bgi_graph::{DiGraph, LabelId, Ontology, VId};
+
+
+/// Which summarization formalism quotients each generalized graph.
+///
+/// The paper adopts maximal bisimulation as its proof-of-concept
+/// summarizer and names alternative formalisms as future work (Sec. 8);
+/// bounded (k-) bisimulation is the natural one: coarser summaries
+/// (more compression) that still preserve labels and paths, at the cost
+/// of more realization failures for traversals deeper than `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Summarizer {
+    /// The maximal (coarsest stable) bisimulation — the paper's choice.
+    #[default]
+    Maximal,
+    /// k-bounded bisimulation: neighborhoods agree up to depth `k`.
+    KBounded(u32),
+}
+
+/// Parameters governing BiG-index construction.
+#[derive(Debug, Clone)]
+pub struct BuildParams {
+    /// Cost-model weights and Algo. 1 thresholds.
+    pub cost: CostParams,
+    /// Subgraph sampling for compression estimation.
+    pub sampling: SamplingParams,
+    /// Bisimulation direction used by the summarizer.
+    pub direction: BisimDirection,
+    /// Maximum number of layers `h` (the paper's experiments use 7).
+    pub max_layers: usize,
+    /// Stop adding layers when a new layer's compression ratio (relative
+    /// to the previous layer) exceeds this — the paper's observation
+    /// that "compression potentials diminish".
+    pub min_gain_ratio: f64,
+    /// The summarization formalism.
+    pub summarizer: Summarizer,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        BuildParams {
+            cost: CostParams::default(),
+            sampling: SamplingParams::default(),
+            direction: BisimDirection::Forward,
+            max_layers: 7,
+            min_gain_ratio: 0.98,
+            summarizer: Summarizer::Maximal,
+        }
+    }
+}
+
+/// The BiG-index of a data graph and its ontology: the binary tuple
+/// `(𝔾, 𝒞)` of Def. 3.1 plus the correspondence tables that implement
+/// `χ` and `χ⁻¹`.
+#[derive(Debug, Clone)]
+pub struct BiGIndex {
+    base: DiGraph,
+    ontology: Ontology,
+    layers: Vec<Layer>,
+    direction: BisimDirection,
+    summarizer: Summarizer,
+    // Per-layer label supports (index 0 = data graph), precomputed so
+    // the query-generalization cost model is O(|Q|) per layer.
+    supports: Vec<LabelSupport>,
+    // gen_mass[m][ℓ'] = number of *data-graph* vertices whose label
+    // generalizes to ℓ' at layer m — the candidate mass a keyword
+    // matching ℓ' must specialize through (the cost model's support
+    // term, measured where the work happens).
+    gen_mass: Vec<Vec<u64>>,
+}
+
+impl BiGIndex {
+    /// Builds the index with Algo. 1 choosing each layer's configuration.
+    pub fn build(g: DiGraph, ontology: Ontology, params: &BuildParams) -> Self {
+        let direction = params.direction;
+        let mut layers: Vec<Layer> = Vec::new();
+        let mut current = g.clone();
+        for layer_no in 0..params.max_layers {
+            let estimator = CompressEstimator::new(&current, &params.sampling, direction);
+            let support = LabelSupport::new(&current);
+            let config =
+                greedy_configuration(&current, &ontology, &estimator, &support, &params.cost);
+            if config.is_empty() && layer_no > 0 {
+                // Nothing left to generalize; a first layer with an empty
+                // config is still useful (pure bisimulation).
+                break;
+            }
+            let layer = Self::make_layer(
+                &current,
+                &config,
+                direction,
+                g.alphabet_size(),
+                params.summarizer,
+            );
+            let gain = layer.graph.size() as f64 / current.size().max(1) as f64;
+            let next = layer.graph.clone();
+            if layer_no > 0 && gain > params.min_gain_ratio {
+                break;
+            }
+            layers.push(layer);
+            current = next;
+            if current.size() == 0 {
+                break;
+            }
+        }
+        Self::assemble(g, ontology, layers, direction, params.summarizer)
+    }
+
+    /// Builds the index from explicit per-layer configurations
+    /// (the paper's "default indexes": generalize every label once per
+    /// layer), skipping Algo. 1.
+    pub fn build_with_configs(
+        g: DiGraph,
+        ontology: Ontology,
+        configs: Vec<GenConfig>,
+        direction: BisimDirection,
+    ) -> Self {
+        Self::build_with_configs_summarizer(g, ontology, configs, direction, Summarizer::Maximal)
+    }
+
+    /// [`BiGIndex::build_with_configs`] with an explicit summarization
+    /// formalism.
+    pub fn build_with_configs_summarizer(
+        g: DiGraph,
+        ontology: Ontology,
+        configs: Vec<GenConfig>,
+        direction: BisimDirection,
+        summarizer: Summarizer,
+    ) -> Self {
+        let alphabet = g.alphabet_size();
+        let mut layers = Vec::with_capacity(configs.len());
+        let mut current = g.clone();
+        for config in configs {
+            let layer = Self::make_layer(&current, &config, direction, alphabet, summarizer);
+            let next = layer.graph.clone();
+            layers.push(layer);
+            current = next;
+        }
+        Self::assemble(g, ontology, layers, direction, summarizer)
+    }
+
+    fn assemble(
+        base: DiGraph,
+        ontology: Ontology,
+        layers: Vec<Layer>,
+        direction: BisimDirection,
+        summarizer: Summarizer,
+    ) -> Self {
+        let mut supports = vec![LabelSupport::new(&base)];
+        supports.extend(layers.iter().map(|l| LabelSupport::new(&l.graph)));
+        // Masses: push each base label's count through the per-layer
+        // label maps.
+        let alphabet = base.alphabet_size().max(ontology.num_labels());
+        let base_counts = base.label_counts();
+        let mut gen_mass: Vec<Vec<u64>> = Vec::with_capacity(layers.len() + 1);
+        let mut chain: Vec<u32> = (0..alphabet as u32).collect();
+        let mut level0 = vec![0u64; alphabet];
+        for (l, &c) in base_counts.iter().enumerate() {
+            level0[l] += c as u64;
+        }
+        gen_mass.push(level0);
+        for layer in &layers {
+            let mut mass = vec![0u64; alphabet];
+            for (l, &c) in base_counts.iter().enumerate() {
+                let cur = chain[l] as usize;
+                let next = layer
+                    .label_map
+                    .get(cur)
+                    .map(|x| x.0)
+                    .unwrap_or(cur as u32);
+                chain[l] = next;
+                mass[next as usize] += c as u64;
+            }
+            gen_mass.push(mass);
+        }
+        BiGIndex {
+            base,
+            ontology,
+            layers,
+            direction,
+            summarizer,
+            supports,
+            gen_mass,
+        }
+    }
+
+    /// One `χ` application: generalize then summarize.
+    fn make_layer(
+        lower: &DiGraph,
+        config: &GenConfig,
+        direction: BisimDirection,
+        alphabet: usize,
+        summarizer: Summarizer,
+    ) -> Layer {
+        let label_map = config.label_map(alphabet.max(lower.alphabet_size()));
+        let generalized = lower.relabel(&label_map);
+        let partition = match summarizer {
+            Summarizer::Maximal => maximal_bisimulation(&generalized, direction),
+            Summarizer::KBounded(k) => k_bisimulation(&generalized, direction, k),
+        };
+        let summary = summarize(&generalized, &partition);
+        let supernode_of: Vec<VId> = generalized.vertices().map(|v| summary.supernode_of(v)).collect();
+        let members: Vec<Vec<VId>> = summary
+            .graph
+            .vertices()
+            .map(|s| summary.members(s).to_vec())
+            .collect();
+        Layer::new(
+            config.clone(),
+            label_map,
+            summary.graph.clone(),
+            supernode_of,
+            members,
+        )
+    }
+
+    /// The data graph `G⁰`.
+    pub fn base(&self) -> &DiGraph {
+        &self.base
+    }
+
+    /// The ontology `G_Ont`.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Number of summary layers `h` (excluding the data graph).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The bisimulation direction the index was built with.
+    pub fn direction(&self) -> BisimDirection {
+        self.direction
+    }
+
+    /// The summarization formalism the index was built with.
+    pub fn summarizer(&self) -> Summarizer {
+        self.summarizer
+    }
+
+    /// Layer `i` for `1 ≤ i ≤ h`.
+    pub fn layer(&self, i: usize) -> &Layer {
+        assert!(i >= 1 && i <= self.layers.len(), "layer {i} out of range");
+        &self.layers[i - 1]
+    }
+
+    /// The graph at layer `m` (`m = 0` is the data graph).
+    pub fn graph_at(&self, m: usize) -> &DiGraph {
+        if m == 0 {
+            &self.base
+        } else {
+            &self.layer(m).graph
+        }
+    }
+
+    /// `χᵐ(v)`: maps a data-graph vertex up to its supernode at layer `m`.
+    pub fn chi(&self, v: VId, m: usize) -> VId {
+        let mut cur = v;
+        for i in 1..=m {
+            cur = self.layer(i).up(cur);
+        }
+        cur
+    }
+
+    /// One-step specialization: members of supernode `s` of layer `m` at
+    /// layer `m − 1`.
+    pub fn spec_step(&self, s: VId, m: usize) -> &[VId] {
+        self.layer(m).down(s)
+    }
+
+    /// Full specialization to the data graph: all `G⁰` vertices whose
+    /// `χᵐ` image is `s`.
+    pub fn spec_to_base(&self, s: VId, m: usize) -> Vec<VId> {
+        let mut frontier = vec![s];
+        for i in (1..=m).rev() {
+            let mut next = Vec::new();
+            for &x in &frontier {
+                next.extend_from_slice(self.layer(i).down(x));
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Generalizes a label to layer `m`: `Genᵐ(q) = Cᵐ(…C¹(q)…)`.
+    pub fn generalize_label(&self, l: LabelId, m: usize) -> LabelId {
+        let mut cur = l;
+        for i in 1..=m {
+            let map = &self.layer(i).label_map;
+            cur = map.get(cur.index()).copied().unwrap_or(cur);
+        }
+        cur
+    }
+
+    /// Precomputed label supports of the graph at layer `m`.
+    pub fn support_at(&self, m: usize) -> &LabelSupport {
+        &self.supports[m]
+    }
+
+    /// Number of data-graph vertices whose label generalizes to `l` at
+    /// layer `m` (the specialization mass behind a layer-`m` keyword
+    /// match). At `m = 0` this is the plain label count.
+    pub fn generalized_mass(&self, l: LabelId, m: usize) -> u64 {
+        self.gen_mass[m].get(l.index()).copied().unwrap_or(0)
+    }
+
+    /// Sizes `|Gⁱ|` for `i = 0..=h` (Fig. 9 / Tab. 3 raw data).
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut out = vec![self.base.size()];
+        out.extend(self.layers.iter().map(Layer::size));
+        out
+    }
+
+    /// Size ratio of layer `m` to the data graph (`|Gᵐ|/|G⁰|`).
+    pub fn size_ratio(&self, m: usize) -> f64 {
+        if self.base.size() == 0 {
+            return 1.0;
+        }
+        self.graph_at(m).size() as f64 / self.base.size() as f64
+    }
+
+    /// Total index size: the sum of summary-graph sizes (Exp-3: "the
+    /// BiG-index size is simply the sum of the summary graphs").
+    pub fn total_index_size(&self) -> usize {
+        self.layers.iter().map(Layer::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, OntologyBuilder};
+
+    /// Fig. 1-like: two person subtypes pointing at two univ subtypes,
+    /// univs pointing at states.
+    fn setup() -> (DiGraph, Ontology) {
+        let mut gb = GraphBuilder::new();
+        // Labels: 0=Person, 1=Prof, 2=Student, 3=Univ, 4=PubUniv,
+        // 5=PrivUniv, 6=State.
+        let pub_u = gb.add_vertex(LabelId(4));
+        let priv_u = gb.add_vertex(LabelId(5));
+        let state = gb.add_vertex(LabelId(6));
+        gb.add_edge(pub_u, state);
+        gb.add_edge(priv_u, state);
+        for i in 0..30 {
+            let l = if i % 2 == 0 { LabelId(1) } else { LabelId(2) };
+            let v = gb.add_vertex(l);
+            gb.add_edge(v, if i % 3 == 0 { pub_u } else { priv_u });
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(7);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        ob.add_subtype(LabelId(0), LabelId(2));
+        ob.add_subtype(LabelId(3), LabelId(4));
+        ob.add_subtype(LabelId(3), LabelId(5));
+        let o = ob.build().unwrap();
+        (g, o)
+    }
+
+    #[test]
+    fn builds_layers_that_shrink() {
+        let (g, o) = setup();
+        let idx = BiGIndex::build(g.clone(), o, &BuildParams::default());
+        assert!(idx.num_layers() >= 1);
+        let sizes = idx.layer_sizes();
+        assert_eq!(sizes[0], g.size());
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "layer sizes must be non-increasing: {sizes:?}");
+        }
+        assert!(sizes[idx.num_layers()] < sizes[0]);
+    }
+
+    #[test]
+    fn chi_and_spec_are_inverse() {
+        let (g, o) = setup();
+        let idx = BiGIndex::build(g.clone(), o, &BuildParams::default());
+        let m = idx.num_layers();
+        for v in g.vertices() {
+            let s = idx.chi(v, m);
+            assert!(idx.spec_to_base(s, m).contains(&v));
+        }
+        // spec_to_base covers each base vertex exactly once.
+        let mut all: Vec<VId> = idx
+            .graph_at(m)
+            .vertices()
+            .flat_map(|s| idx.spec_to_base(s, m))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, g.vertices().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generalize_label_follows_configs() {
+        let (g, o) = setup();
+        let idx = BiGIndex::build(g, o, &BuildParams::default());
+        if idx.num_layers() >= 1 {
+            let g1 = idx.generalize_label(LabelId(1), 1);
+            // Either generalized to Person (0) or untouched, depending on
+            // the greedy config; at some layer it should reach 0.
+            let top = idx.generalize_label(LabelId(1), idx.num_layers());
+            assert!(g1 == LabelId(0) || g1 == LabelId(1));
+            assert_eq!(top, LabelId(0));
+        }
+    }
+
+    #[test]
+    fn labels_at_layer_match_generalization() {
+        let (g, o) = setup();
+        let idx = BiGIndex::build(g.clone(), o, &BuildParams::default());
+        for m in 1..=idx.num_layers() {
+            let gm = idx.graph_at(m);
+            for v in g.vertices() {
+                let s = idx.chi(v, m);
+                assert_eq!(
+                    gm.label(s),
+                    idx.generalize_label(g.label(v), m),
+                    "layer {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_preservation_through_all_layers() {
+        let (g, o) = setup();
+        let idx = BiGIndex::build(g.clone(), o, &BuildParams::default());
+        for m in 1..=idx.num_layers() {
+            let gm = idx.graph_at(m);
+            for (u, v) in g.edges() {
+                assert!(
+                    gm.has_edge(idx.chi(u, m), idx.chi(v, m)),
+                    "edge lost at layer {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_configs_build() {
+        let (g, o) = setup();
+        let c1 = GenConfig::new(
+            [
+                (LabelId(1), LabelId(0)),
+                (LabelId(2), LabelId(0)),
+                (LabelId(4), LabelId(3)),
+                (LabelId(5), LabelId(3)),
+            ],
+            &o,
+        )
+        .unwrap();
+        let idx = BiGIndex::build_with_configs(
+            g.clone(),
+            o,
+            vec![c1],
+            BisimDirection::Forward,
+        );
+        assert_eq!(idx.num_layers(), 1);
+        // All persons collapse per univ-target pattern; graph shrinks a lot.
+        assert!(idx.graph_at(1).num_vertices() <= 8);
+        assert_eq!(idx.generalize_label(LabelId(2), 1), LabelId(0));
+    }
+
+    #[test]
+    fn max_layers_respected() {
+        let (g, o) = setup();
+        let params = BuildParams {
+            max_layers: 1,
+            ..BuildParams::default()
+        };
+        let idx = BiGIndex::build(g, o, &params);
+        assert!(idx.num_layers() <= 1);
+    }
+
+    #[test]
+    fn total_index_size_sums_layers() {
+        let (g, o) = setup();
+        let idx = BiGIndex::build(g, o, &BuildParams::default());
+        let total: usize = (1..=idx.num_layers()).map(|m| idx.graph_at(m).size()).sum();
+        assert_eq!(idx.total_index_size(), total);
+    }
+}
+
+#[cfg(test)]
+mod summarizer_tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, OntologyBuilder};
+    use bgi_search::{Banks, KeywordQuery};
+
+    /// Deep chains of same-typed vertices: maximal bisim distinguishes
+    /// by depth, k-bounded collapses beyond depth k.
+    fn chains() -> (DiGraph, Ontology) {
+        let mut gb = GraphBuilder::new();
+        for _ in 0..10 {
+            let mut prev = gb.add_vertex(LabelId(1));
+            for _ in 0..6 {
+                let next = gb.add_vertex(LabelId(1));
+                gb.add_edge(prev, next);
+                prev = next;
+            }
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(2);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        (g, ob.build().unwrap())
+    }
+
+    #[test]
+    fn kbounded_compresses_more_than_maximal() {
+        let (g, o) = chains();
+        let c = GenConfig::new([(LabelId(1), LabelId(0))], &o).unwrap();
+        let maximal = BiGIndex::build_with_configs(
+            g.clone(),
+            o.clone(),
+            vec![c.clone()],
+            BisimDirection::Forward,
+        );
+        let bounded = BiGIndex::build_with_configs_summarizer(
+            g,
+            o,
+            vec![c],
+            BisimDirection::Forward,
+            Summarizer::KBounded(2),
+        );
+        assert_eq!(bounded.summarizer(), Summarizer::KBounded(2));
+        assert!(
+            bounded.graph_at(1).size() < maximal.graph_at(1).size(),
+            "k-bounded {} vs maximal {}",
+            bounded.graph_at(1).size(),
+            maximal.graph_at(1).size()
+        );
+    }
+
+    #[test]
+    fn kbounded_queries_remain_sound() {
+        let (g, o) = chains();
+        let c = GenConfig::new([(LabelId(1), LabelId(0))], &o).unwrap();
+        let index = BiGIndex::build_with_configs_summarizer(
+            g.clone(),
+            o,
+            vec![c],
+            BisimDirection::Forward,
+            Summarizer::KBounded(1),
+        );
+        let boosted = crate::Boosted::new(&index, Banks, crate::EvalOptions::default());
+        let q = KeywordQuery::new(vec![LabelId(1)], 2);
+        let r = boosted.query(&q, 10);
+        for a in &r.answers {
+            assert!(a.validate(&g, &q.keywords));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! One layer of the BiG-index hierarchy.
+//!
+//! Layer `i` records everything needed to move between `G^{i-1}` and
+//! `G^i = χ(G^{i-1}, C^i) = Bisim(Gen(G^{i-1}, C^i))`:
+//! the configuration `C^i`, its dense label map, the summary graph, and
+//! the two-way vertex correspondence (`χ` upward, `Spec`/`Bisim⁻¹`
+//! downward, implemented as tables — the paper's hash tables).
+
+use crate::config::GenConfig;
+use bgi_graph::{DiGraph, LabelId, VId};
+
+/// Layer `i ≥ 1` of a BiG-index.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// The configuration `C^i` applied to `G^{i-1}`.
+    pub config: GenConfig,
+    /// Dense label map of `C^i` over the full alphabet.
+    pub label_map: Vec<LabelId>,
+    /// The summary graph `G^i`.
+    pub graph: DiGraph,
+    /// `χ`: vertex of `G^{i-1}` → its supernode in `G^i`.
+    supernode_of: Vec<VId>,
+    /// `Bisim⁻¹ ∘ Spec`: supernode of `G^i` → vertices of `G^{i-1}`.
+    members: Vec<Vec<VId>>,
+}
+
+impl Layer {
+    /// Assembles a layer from its parts.
+    pub fn new(
+        config: GenConfig,
+        label_map: Vec<LabelId>,
+        graph: DiGraph,
+        supernode_of: Vec<VId>,
+        members: Vec<Vec<VId>>,
+    ) -> Self {
+        debug_assert_eq!(graph.num_vertices(), members.len());
+        Layer {
+            config,
+            label_map,
+            graph,
+            supernode_of,
+            members,
+        }
+    }
+
+    /// Maps a `G^{i-1}` vertex up to its `G^i` supernode.
+    #[inline]
+    pub fn up(&self, v: VId) -> VId {
+        self.supernode_of[v.index()]
+    }
+
+    /// Specializes a `G^i` supernode down to its `G^{i-1}` members.
+    #[inline]
+    pub fn down(&self, s: VId) -> &[VId] {
+        &self.members[s.index()]
+    }
+
+    /// Number of vertices in the layer below.
+    pub fn num_lower_vertices(&self) -> usize {
+        self.supernode_of.len()
+    }
+
+    /// The layer's size `|G^i|` (`|V| + |E|`).
+    pub fn size(&self) -> usize {
+        self.graph.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    fn tiny_layer() -> Layer {
+        // Lower graph has 3 vertices collapsing to 2 supernodes.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(LabelId(0));
+        b.add_vertex(LabelId(1));
+        let graph = b.build();
+        Layer::new(
+            GenConfig::empty(),
+            vec![LabelId(0), LabelId(1)],
+            graph,
+            vec![VId(0), VId(0), VId(1)],
+            vec![vec![VId(0), VId(1)], vec![VId(2)]],
+        )
+    }
+
+    #[test]
+    fn up_down_roundtrip() {
+        let l = tiny_layer();
+        assert_eq!(l.up(VId(0)), VId(0));
+        assert_eq!(l.up(VId(2)), VId(1));
+        assert_eq!(l.down(VId(0)), &[VId(0), VId(1)]);
+        for v in 0..3u32 {
+            assert!(l.down(l.up(VId(v))).contains(&VId(v)));
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        let l = tiny_layer();
+        assert_eq!(l.num_lower_vertices(), 3);
+        assert_eq!(l.size(), 2);
+    }
+}

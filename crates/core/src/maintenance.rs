@@ -1,0 +1,214 @@
+//! BiG-index maintenance under ontology updates (Sec. 3.2,
+//! "Maintenance of BiG-index").
+//!
+//! Per the paper: (i) *adding* ontology edges never invalidates an
+//! existing BiG-index — no configuration can have used the new relation
+//! — so the index only records the richer ontology and can be rebuilt
+//! opportunistically; (ii) *removing* a subtype–supertype relation
+//! invalidates every configuration mapping through it, so the affected
+//! layers are reconstructed with the offending mappings dropped.
+
+use crate::config::GenConfig;
+use crate::index::BiGIndex;
+use bgi_graph::{LabelId, Ontology, OntologyBuilder};
+
+/// Error raised when an ontology edit cannot be applied.
+#[derive(Debug)]
+pub enum MaintenanceError {
+    /// The edit would create a supertype cycle.
+    WouldCreateCycle,
+    /// A rebuilt configuration became invalid (should not happen for
+    /// edits produced by this module).
+    InvalidConfig(crate::config::ConfigError),
+}
+
+impl std::fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaintenanceError::WouldCreateCycle => {
+                write!(f, "ontology edit would create a cycle")
+            }
+            MaintenanceError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+/// Returns a copy of `ontology` with the subtype edge `(sup, sub)`
+/// added, or an error if that would create a cycle.
+pub fn ontology_with_edge(
+    ontology: &Ontology,
+    sup: LabelId,
+    sub: LabelId,
+) -> Result<Ontology, MaintenanceError> {
+    let n = ontology
+        .num_labels()
+        .max(sup.index() + 1)
+        .max(sub.index() + 1);
+    let mut b = OntologyBuilder::new(n);
+    for (s, t) in ontology.subtype_edges() {
+        b.add_subtype(s, t);
+    }
+    b.add_subtype(sup, sub);
+    b.build().map_err(|_| MaintenanceError::WouldCreateCycle)
+}
+
+/// Returns a copy of `ontology` without the subtype edge `(sup, sub)`
+/// (a no-op copy if the edge is absent).
+pub fn ontology_without_edge(ontology: &Ontology, sup: LabelId, sub: LabelId) -> Ontology {
+    let mut b = OntologyBuilder::new(ontology.num_labels());
+    for (s, t) in ontology.subtype_edges() {
+        if (s, t) != (sup, sub) {
+            b.add_subtype(s, t);
+        }
+    }
+    b.build().expect("removing an edge keeps the DAG acyclic")
+}
+
+impl BiGIndex {
+    /// Handles the *addition* of a subtype relation: per the paper,
+    /// "new ontologies do not make a BiG-index incorrect"; the index is
+    /// rebuilt against the richer ontology with its existing
+    /// configurations, all of which remain valid.
+    pub fn ontology_edge_added(
+        &self,
+        sup: LabelId,
+        sub: LabelId,
+    ) -> Result<BiGIndex, MaintenanceError> {
+        let ontology = ontology_with_edge(self.ontology(), sup, sub)?;
+        let configs: Vec<GenConfig> = (1..=self.num_layers())
+            .map(|i| self.layer(i).config.clone())
+            .collect();
+        // Revalidate each configuration against the new ontology (adding
+        // edges cannot invalidate them, but the constructor checks).
+        let revalidated: Result<Vec<GenConfig>, _> = configs
+            .into_iter()
+            .map(|c| GenConfig::new(c.mappings().iter().copied(), &ontology))
+            .collect();
+        let configs = revalidated.map_err(MaintenanceError::InvalidConfig)?;
+        Ok(BiGIndex::build_with_configs(
+            self.base().clone(),
+            ontology,
+            configs,
+            self.direction(),
+        ))
+    }
+
+    /// Handles the *removal* of the subtype relation `(sup, sub)`:
+    /// every configuration mapping `sub → sup` is rewritten without the
+    /// affected mapping and the hierarchy is reconstructed from the
+    /// first affected layer down (the paper's "specializes the summary
+    /// graphs so that the affected relationships are not involved in
+    /// any configurations").
+    pub fn ontology_edge_removed(
+        &self,
+        sup: LabelId,
+        sub: LabelId,
+    ) -> Result<BiGIndex, MaintenanceError> {
+        let ontology = ontology_without_edge(self.ontology(), sup, sub);
+        let configs: Result<Vec<GenConfig>, _> = (1..=self.num_layers())
+            .map(|i| {
+                let kept = self
+                    .layer(i)
+                    .config
+                    .mappings()
+                    .iter()
+                    .copied()
+                    .filter(|&(from, to)| (from, to) != (sub, sup));
+                GenConfig::new(kept, &ontology)
+            })
+            .collect();
+        let mut configs = configs.map_err(MaintenanceError::InvalidConfig)?;
+        // Drop trailing layers whose configuration became empty — they
+        // would summarize nothing new.
+        while configs.last().is_some_and(GenConfig::is_empty) {
+            configs.pop();
+        }
+        Ok(BiGIndex::build_with_configs(
+            self.base().clone(),
+            ontology,
+            configs,
+            self.direction(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_bisim::BisimDirection;
+    use bgi_graph::{GraphBuilder, LabelId};
+    use bgi_search::{Banks, KeywordQuery, KeywordSearch};
+
+    /// 0 ⊐ {1, 2}; graph fans persons (1, 2) onto a hub (3).
+    fn setup() -> BiGIndex {
+        let mut gb = GraphBuilder::new();
+        let hub = gb.add_vertex(LabelId(3));
+        for i in 0..12 {
+            let l = if i % 2 == 0 { LabelId(1) } else { LabelId(2) };
+            let v = gb.add_vertex(l);
+            gb.add_edge(v, hub);
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(5);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        ob.add_subtype(LabelId(0), LabelId(2));
+        let o = ob.build().unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
+            .unwrap();
+        BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
+    }
+
+    #[test]
+    fn removal_drops_affected_mapping() {
+        let idx = setup();
+        assert_eq!(idx.generalize_label(LabelId(2), 1), LabelId(0));
+        let updated = idx.ontology_edge_removed(LabelId(0), LabelId(2)).unwrap();
+        // Label 2 no longer generalizes; label 1 still does.
+        assert_eq!(updated.generalize_label(LabelId(2), 1), LabelId(2));
+        assert_eq!(updated.generalize_label(LabelId(1), 1), LabelId(0));
+        // The updated index still answers queries correctly.
+        let q = KeywordQuery::new(vec![LabelId(2), LabelId(3)], 2);
+        let baseline = Banks.search_fresh(updated.base(), &q, 100);
+        let boosted = crate::Boosted::new(&updated, Banks, crate::EvalOptions::default());
+        let r = boosted.query(&q, 100);
+        assert_eq!(baseline.len(), r.answers.len());
+    }
+
+    #[test]
+    fn removal_of_unused_edge_is_identity_on_configs() {
+        let idx = setup();
+        let updated = idx.ontology_edge_removed(LabelId(0), LabelId(4)).unwrap();
+        assert_eq!(updated.num_layers(), idx.num_layers());
+        assert_eq!(
+            updated.layer(1).config.mappings(),
+            idx.layer(1).config.mappings()
+        );
+    }
+
+    #[test]
+    fn removing_all_mappings_drops_the_layer() {
+        let idx = setup();
+        let u1 = idx.ontology_edge_removed(LabelId(0), LabelId(1)).unwrap();
+        let u2 = u1.ontology_edge_removed(LabelId(0), LabelId(2)).unwrap();
+        // Both mappings gone: the layer's config is empty and trailing
+        // empty layers are dropped.
+        assert_eq!(u2.num_layers(), 0);
+    }
+
+    #[test]
+    fn addition_preserves_configs_and_correctness() {
+        let idx = setup();
+        let updated = idx.ontology_edge_added(LabelId(0), LabelId(4)).unwrap();
+        assert_eq!(updated.num_layers(), idx.num_layers());
+        assert_eq!(updated.ontology().direct_supertypes(LabelId(4)), &[LabelId(0)]);
+    }
+
+    #[test]
+    fn addition_rejects_cycles() {
+        let idx = setup();
+        let err = idx.ontology_edge_added(LabelId(1), LabelId(0));
+        assert!(matches!(err, Err(MaintenanceError::WouldCreateCycle)));
+    }
+}

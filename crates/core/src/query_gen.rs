@@ -1,0 +1,163 @@
+//! Query generalization and the optimal query layer (Sec. 4.1).
+//!
+//! A query `Q` is generalized layer by layer through the index's
+//! configurations; the *optimal query layer* (Def. 4.1) is the layer
+//! minimizing the Formula 4 cost among layers where no two keywords
+//! collapse into one (condition 1: `|Genᵐ(Q)| = |Q|`).
+
+use crate::cost::query_cost;
+use crate::index::BiGIndex;
+use bgi_search::KeywordQuery;
+
+/// Generalizes `q` to layer `m` (`Genᵐ(Q)`), keeping `d_max` unchanged.
+pub fn generalize_query(index: &BiGIndex, q: &KeywordQuery, m: usize) -> KeywordQuery {
+    let keywords: Vec<_> = q
+        .keywords
+        .iter()
+        .map(|&kw| index.generalize_label(kw, m))
+        .collect();
+    KeywordQuery::new(keywords, q.dmax)
+}
+
+/// True if generalizing to layer `m` keeps all keywords distinct
+/// (Def. 4.1, condition 1).
+pub fn keywords_stay_distinct(index: &BiGIndex, q: &KeywordQuery, m: usize) -> bool {
+    generalize_query(index, q, m).len() == q.len()
+}
+
+/// Formula 4 cost of evaluating `q` at layer `m`.
+///
+/// The support term measures each keyword's *specialization mass*: the
+/// number of data-graph vertices whose label generalizes to the
+/// keyword's layer-`m` image, relative to the keyword's own match
+/// count. That is the work a generalized match creates downstream —
+/// both for expansion (more seeds) and for pruning/realization — and it
+/// directly reflects the semantic distortion a layer inflicts on this
+/// particular query.
+pub fn layer_cost(index: &BiGIndex, q: &KeywordQuery, m: usize, beta: f64) -> f64 {
+    let size_ratio = index.size_ratio(m);
+    let base_sum: f64 = q
+        .keywords
+        .iter()
+        .map(|&k| index.generalized_mass(k, 0) as f64)
+        .sum();
+    let gen_sum: f64 = q
+        .keywords
+        .iter()
+        .map(|&k| index.generalized_mass(index.generalize_label(k, m), m) as f64)
+        .sum();
+    let support_ratio = if base_sum == 0.0 {
+        1.0
+    } else {
+        gen_sum / base_sum
+    };
+    query_cost(size_ratio, support_ratio, beta)
+}
+
+/// The optimal query layer per Def. 4.1: the `m` with minimal Formula 4
+/// cost among layers keeping keywords distinct. The data graph (`m = 0`,
+/// cost `β`) always qualifies, so a query whose keywords blow up under
+/// generalization is evaluated unboosted rather than on a hostile
+/// summary — the exhaustive search the paper prescribes ("the optimal
+/// layer is obtained by exhaustive search").
+pub fn optimal_layer(index: &BiGIndex, q: &KeywordQuery, beta: f64) -> usize {
+    let mut best = (layer_cost(index, q, 0, beta), 0usize);
+    for m in 1..=index.num_layers() {
+        if !keywords_stay_distinct(index, q, m) {
+            continue;
+        }
+        let c = layer_cost(index, q, m, beta);
+        if c < best.0 {
+            best = (c, m);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use bgi_bisim::BisimDirection;
+    use bgi_graph::{GraphBuilder, LabelId, OntologyBuilder};
+
+    /// Graph with many label-1 and label-2 vertices fanned onto a hub;
+    /// ontology 0 -> {1, 2}. One explicit layer generalizing both.
+    fn indexed() -> BiGIndex {
+        let mut gb = GraphBuilder::new();
+        let hub = gb.add_vertex(LabelId(3));
+        for i in 0..40 {
+            let l = if i % 2 == 0 { LabelId(1) } else { LabelId(2) };
+            let v = gb.add_vertex(l);
+            gb.add_edge(v, hub);
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(4);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        ob.add_subtype(LabelId(0), LabelId(2));
+        let o = ob.build().unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
+            .unwrap();
+        BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
+    }
+
+    #[test]
+    fn generalize_query_maps_keywords() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let gq = generalize_query(&idx, &q, 1);
+        assert_eq!(gq.keywords, vec![LabelId(0), LabelId(3)]);
+        assert_eq!(gq.dmax, 2);
+    }
+
+    #[test]
+    fn keyword_merge_detected() {
+        let idx = indexed();
+        // 1 and 2 both generalize to 0 at layer 1: merged.
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(2)], 2);
+        assert!(!keywords_stay_distinct(&idx, &q, 1));
+        assert!(keywords_stay_distinct(&idx, &q, 0));
+        // Distinct keywords stay distinct.
+        let q2 = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        assert!(keywords_stay_distinct(&idx, &q2, 1));
+    }
+
+    #[test]
+    fn optimal_layer_skips_merging_layers() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(2)], 2);
+        // Only layer 1 exists and it merges: fall back to 0.
+        assert_eq!(optimal_layer(&idx, &q, 0.5), 0);
+        let q2 = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        assert_eq!(optimal_layer(&idx, &q2, 0.5), 1);
+    }
+
+    #[test]
+    fn layer_cost_in_unit_interval() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        for beta in [0.1, 0.5, 0.9] {
+            let c0 = layer_cost(&idx, &q, 0, beta);
+            let c1 = layer_cost(&idx, &q, 1, beta);
+            assert!((0.0..=1.0 + 1e-9).contains(&c0));
+            assert!((0.0..=1.0 + 1e-9).contains(&c1));
+        }
+    }
+
+    #[test]
+    fn high_beta_prefers_compressed_layer() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        // At beta -> 1 only size matters; layer 1 is far smaller.
+        assert!(layer_cost(&idx, &q, 1, 1.0) < layer_cost(&idx, &q, 0, 1.0));
+    }
+
+    #[test]
+    fn layer0_cost_has_no_support_penalty() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1)], 2);
+        // At m = 0 the support ratio is exactly 1 -> only the size term.
+        let c = layer_cost(&idx, &q, 0, 0.4);
+        assert!((c - 0.4).abs() < 1e-9, "c = {c}");
+    }
+}

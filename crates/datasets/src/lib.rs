@@ -1,0 +1,36 @@
+//! # bgi-datasets
+//!
+//! Synthetic datasets reproducing the *shape* of the BiG-index paper's
+//! evaluation data (Tab. 2): YAGO3-like, DBpedia-like, and IMDB-like
+//! knowledge graphs plus the synt-N family, each paired with an ontology
+//! generated to the paper's synthetic spec (average branching ≈ 5,
+//! height ≈ 7 for synt; shallower, wider ontologies for the real-data
+//! stand-ins).
+//!
+//! The generators control exactly the two statistics that drive
+//! BiG-index's behaviour (see DESIGN.md, "Substitutions"):
+//!
+//! 1. **type-cluster multiplicity** — how many same-typed vertices share
+//!    identical out-neighborhood *types* (popularity-skewed target
+//!    choice), which determines how much bisimulation collapses after
+//!    generalization; and
+//! 2. **per-label support** — a Zipf mix of leaf-specific and mid-level
+//!    labels, which determines keyword counts (Tab. 4) and the
+//!    distortion/support terms of both cost models.
+//!
+//! [`queries`] generates the Q1–Q8-style benchmark workload: 2–6
+//! keywords that are semantically related (co-occurring within a few
+//! hops) with a minimum support, mirroring Sec. 6.1.3.
+
+#![warn(missing_docs)]
+
+pub mod kg;
+pub mod ontology_gen;
+pub mod persist;
+pub mod queries;
+pub mod specs;
+pub mod zipf;
+
+pub use kg::Dataset;
+pub use queries::{benchmark_queries, BenchQuery};
+pub use specs::DatasetSpec;

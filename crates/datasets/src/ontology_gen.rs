@@ -1,0 +1,148 @@
+//! Synthetic ontology generation.
+//!
+//! Ontologies are balanced-ish trees described by per-level branching
+//! factors: `[8, 6, 5]` means a root with 8 categories, each with 6
+//! subcategories, each with 5 leaves — height 3. The paper's synthetic
+//! ontologies use an average degree of 5 and a height of 7, "consistent
+//! with the heights and average degrees of the real ontology graphs"
+//! (Sec. 6.1.2).
+
+use bgi_graph::{LabelId, LabelInterner, Ontology, OntologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated ontology with its label names and level structure.
+#[derive(Debug, Clone)]
+pub struct GeneratedOntology {
+    /// The ontology DAG.
+    pub ontology: Ontology,
+    /// Names for every label (`T0`, `T0.3`, `T0.3.1`, …).
+    pub labels: LabelInterner,
+    /// Labels grouped by depth: `levels[0]` = the root, `levels[d]` =
+    /// labels at depth `d`.
+    pub levels: Vec<Vec<LabelId>>,
+}
+
+impl GeneratedOntology {
+    /// The deepest level's labels (the most specific types).
+    pub fn leaves(&self) -> &[LabelId] {
+        self.levels.last().expect("at least the root level")
+    }
+
+    /// Labels at depth `d` (root = 0).
+    pub fn level(&self, d: usize) -> &[LabelId] {
+        &self.levels[d]
+    }
+
+    /// Ontology height.
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+}
+
+/// Generates a tree ontology with the given per-level branching factors;
+/// `jitter` randomizes each node's child count by ±jitter (so "average
+/// degree 5" ontologies aren't perfectly regular).
+pub fn generate_ontology(branching: &[usize], jitter: usize, seed: u64) -> GeneratedOntology {
+    assert!(!branching.is_empty(), "need at least one level");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = LabelInterner::new();
+    let root = labels.intern("Thing");
+    let mut levels: Vec<Vec<LabelId>> = vec![vec![root]];
+    let mut edges: Vec<(LabelId, LabelId)> = Vec::new();
+
+    for (depth, &b) in branching.iter().enumerate() {
+        let mut next = Vec::new();
+        let parents = levels[depth].clone();
+        for parent in parents {
+            let b = if jitter > 0 && b > jitter {
+                rng.gen_range(b - jitter..=b + jitter)
+            } else {
+                b
+            };
+            for c in 0..b {
+                let name = format!("{}.{}", labels.name(parent), c);
+                let child = labels.intern(&name);
+                edges.push((parent, child));
+                next.push(child);
+            }
+        }
+        levels.push(next);
+    }
+
+    let mut builder = OntologyBuilder::new(labels.len());
+    for (sup, sub) in edges {
+        builder.add_subtype(sup, sub);
+    }
+    let ontology = builder.build().expect("generated tree is acyclic");
+    GeneratedOntology {
+        ontology,
+        labels,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_tree_counts() {
+        let g = generate_ontology(&[3, 2], 0, 1);
+        assert_eq!(g.level(0).len(), 1);
+        assert_eq!(g.level(1).len(), 3);
+        assert_eq!(g.level(2).len(), 6);
+        assert_eq!(g.leaves().len(), 6);
+        assert_eq!(g.height(), 2);
+        assert_eq!(g.ontology.num_labels(), 10);
+    }
+
+    #[test]
+    fn depths_match_levels() {
+        let g = generate_ontology(&[4, 3, 2], 0, 2);
+        for (d, level) in g.levels.iter().enumerate() {
+            for &l in level {
+                assert_eq!(g.ontology.depth(l) as usize, d);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_hierarchical() {
+        let g = generate_ontology(&[2], 0, 3);
+        assert_eq!(g.labels.name(g.level(0)[0]), "Thing");
+        assert!(g.labels.name(g.level(1)[0]).starts_with("Thing."));
+    }
+
+    #[test]
+    fn jitter_varies_branching_but_stays_tree() {
+        let g = generate_ontology(&[5, 5], 2, 7);
+        // Every non-root label has exactly one supertype.
+        for d in 1..=g.height() {
+            for &l in g.level(d) {
+                assert_eq!(g.ontology.direct_supertypes(l).len(), 1);
+            }
+        }
+        let n1 = g.level(1).len();
+        assert!((3..=7).contains(&n1), "level 1 size {n1}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_ontology(&[5, 4, 3], 1, 9);
+        let b = generate_ontology(&[5, 4, 3], 1, 9);
+        assert_eq!(a.ontology.num_labels(), b.ontology.num_labels());
+        for d in 0..=a.height() {
+            assert_eq!(a.level(d), b.level(d));
+        }
+    }
+
+    #[test]
+    fn paper_synthetic_shape() {
+        // Height 7, average degree 5: levels [5; 7] would give 5^7 leaves
+        // (~78k); a trimmed version keeps the height with fewer labels.
+        let g = generate_ontology(&[5, 5, 4, 3, 2, 2, 2], 0, 11);
+        assert_eq!(g.height(), 7);
+        assert!(g.ontology.num_labels() > 1000);
+    }
+}

@@ -1,0 +1,137 @@
+//! Dataset persistence in the workspace's plain-text graph format, so
+//! generated benchmark inputs can be inspected, diffed, and reloaded
+//! without regeneration.
+//!
+//! A dataset directory contains:
+//! - `graph.txt` — the data graph (`v`/`e` records);
+//! - `ontology.txt` — the ontology (`t` records);
+//! - `meta.txt` — name and level structure.
+
+use crate::kg::Dataset;
+use bgi_graph::io::{read_graph, read_ontology, write_graph, write_ontology};
+use bgi_graph::{GraphError, LabelId, LabelInterner};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Saves `ds` into `dir` (created if missing).
+pub fn save(ds: &Dataset, dir: &Path) -> Result<(), GraphError> {
+    std::fs::create_dir_all(dir)?;
+    let graph_file = BufWriter::new(File::create(dir.join("graph.txt"))?);
+    write_graph(&ds.graph, &ds.labels, graph_file)?;
+    let ont_file = BufWriter::new(File::create(dir.join("ontology.txt"))?);
+    write_ontology(&ds.ontology, &ds.labels, ont_file)?;
+    let mut meta = BufWriter::new(File::create(dir.join("meta.txt"))?);
+    writeln!(meta, "name {}", ds.name)?;
+    for (d, level) in ds.levels.iter().enumerate() {
+        let names: Vec<&str> = level.iter().map(|&l| ds.labels.name(l)).collect();
+        writeln!(meta, "level {} {}", d, names.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Loads a dataset previously written by [`save`].
+pub fn load(dir: &Path) -> Result<Dataset, GraphError> {
+    let mut labels = LabelInterner::new();
+    // The ontology is read first so label ids match the generation-time
+    // interning order (labels are interned by the ontology generator
+    // before any vertex labels).
+    let ontology = read_ontology(
+        BufReader::new(File::open(dir.join("ontology.txt"))?),
+        &mut labels,
+    )?;
+    let graph = read_graph(
+        BufReader::new(File::open(dir.join("graph.txt"))?),
+        &mut labels,
+    )?;
+    let meta = BufReader::new(File::open(dir.join("meta.txt"))?);
+    let mut name = String::from("unnamed");
+    let mut levels: Vec<Vec<LabelId>> = Vec::new();
+    for (lineno, line) in meta.lines().enumerate() {
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => {
+                name = parts.collect::<Vec<_>>().join(" ");
+            }
+            Some("level") => {
+                let _depth: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lineno + 1,
+                        message: "expected level depth".into(),
+                    })?;
+                let level: Result<Vec<LabelId>, GraphError> = parts
+                    .map(|n| {
+                        labels.get(n).ok_or_else(|| GraphError::Parse {
+                            line: lineno + 1,
+                            message: format!("unknown label '{n}' in meta"),
+                        })
+                    })
+                    .collect();
+                levels.push(level?);
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown meta record '{other}'"),
+                });
+            }
+            None => {}
+        }
+    }
+    Ok(Dataset {
+        name,
+        graph,
+        ontology,
+        labels,
+        levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::DatasetSpec;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = DatasetSpec::yago_like(500).generate();
+        let dir = std::env::temp_dir().join("bgi_persist_test_rt");
+        save(&ds, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.name, ds.name);
+        assert_eq!(loaded.graph.num_vertices(), ds.graph.num_vertices());
+        assert_eq!(loaded.graph.num_edges(), ds.graph.num_edges());
+        assert_eq!(loaded.ontology.num_edges(), ds.ontology.num_edges());
+        assert_eq!(loaded.levels.len(), ds.levels.len());
+        // Vertex labels survive by *name* (ids may be permuted by
+        // interning order).
+        for v in ds.graph.vertices().take(50) {
+            assert_eq!(
+                loaded.labels.name(loaded.graph.label(v)),
+                ds.labels.name(ds.graph.label(v))
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let err = load(Path::new("/nonexistent/bgi_dataset"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn queries_work_on_reloaded_dataset() {
+        use crate::queries::benchmark_queries;
+        let ds = DatasetSpec::yago_like(800).generate();
+        let dir = std::env::temp_dir().join("bgi_persist_test_q");
+        save(&ds, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        let queries = benchmark_queries(&loaded, 3, 5, 1);
+        assert!(!queries.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

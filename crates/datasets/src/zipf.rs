@@ -1,0 +1,105 @@
+//! Zipf-distributed index sampling.
+//!
+//! Knowledge-graph label frequencies and edge-target popularities are
+//! heavy-tailed; a simple cumulative-weight table gives reproducible
+//! Zipf draws without external dependencies.
+
+use rand::Rng;
+
+/// A sampler over `0..n` with probability `P(i) ∝ 1 / (i + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the table for `n` items with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if empty (never: construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_small_indexes() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut first_ten = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                first_ten += 1;
+            }
+        }
+        // With s = 1.2 the first 10 of 100 items carry well over half
+        // the mass.
+        assert!(first_ten > N / 2, "first_ten = {first_ten}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Mutable construction of [`DiGraph`]s.
+//!
+//! The builder accumulates vertices and an edge list, then performs a
+//! two-pass counting sort into dual CSR form. Duplicate edges are merged
+//! (the paper's graphs are simple), and self-loops are kept — bisimulation
+//! and the search semantics are both well-defined on them.
+
+use crate::graph::DiGraph;
+use crate::ids::{LabelId, VId};
+
+/// Builder for [`DiGraph`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    labels: Vec<LabelId>,
+    edges: Vec<(VId, VId)>,
+    max_label: u32,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved capacity.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        GraphBuilder {
+            labels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            max_label: 0,
+        }
+    }
+
+    /// Adds a vertex with `label` and returns its id.
+    pub fn add_vertex(&mut self, label: LabelId) -> VId {
+        let v = VId::from(self.labels.len());
+        self.labels.push(label);
+        self.max_label = self.max_label.max(label.0);
+        v
+    }
+
+    /// Adds a directed edge `u -> v`. Both endpoints must already exist.
+    pub fn add_edge(&mut self, u: VId, v: VId) {
+        debug_assert!(u.index() < self.labels.len(), "edge source out of range");
+        debug_assert!(v.index() < self.labels.len(), "edge target out of range");
+        self.edges.push((u, v));
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable [`DiGraph`], deduplicating parallel
+    /// edges and sorting each adjacency list.
+    pub fn build(mut self) -> DiGraph {
+        let n = self.labels.len();
+        // Deduplicate parallel edges.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+
+        // Out-CSR by counting sort on source (edges already sorted by
+        // source then target, so targets come out sorted).
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _) in &self.edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<VId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // In-CSR by counting sort on target.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v) in &self.edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![VId(0); m];
+        for &(u, v) in &self.edges {
+            let slot = cursor[v.index()];
+            in_sources[slot as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        // Sources within each in-list are already in ascending order because
+        // the edge list is sorted by source first.
+
+        let num_labels = if n == 0 { 0 } else { self.max_label as usize + 1 };
+        DiGraph::from_parts(
+            self.labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            num_labels,
+        )
+    }
+
+    /// Builds a graph from parallel arrays: `labels[i]` is the label of
+    /// vertex `i`, `edges` are `(source, target)` pairs.
+    pub fn from_edges(labels: Vec<LabelId>, edges: Vec<(VId, VId)>) -> DiGraph {
+        let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+        for l in labels {
+            b.add_vertex(l);
+        }
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(LabelId(0));
+        let v = b.add_vertex(LabelId(0));
+        b.add_edge(u, v);
+        b.add_edge(u, v);
+        b.add_edge(u, v);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(LabelId(0));
+        b.add_edge(u, u);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_neighbors(u), &[u]);
+        assert_eq!(g.in_neighbors(u), &[u]);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(LabelId(0));
+        let a = b.add_vertex(LabelId(0));
+        let c = b.add_vertex(LabelId(0));
+        let d = b.add_vertex(LabelId(0));
+        b.add_edge(u, d);
+        b.add_edge(u, a);
+        b.add_edge(u, c);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(u), &[a, c, d]);
+    }
+
+    #[test]
+    fn in_lists_are_sorted_by_source() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId(0));
+        let c = b.add_vertex(LabelId(0));
+        let t = b.add_vertex(LabelId(0));
+        b.add_edge(c, t);
+        b.add_edge(a, t);
+        let g = b.build();
+        assert_eq!(g.in_neighbors(t), &[a, c]);
+    }
+
+    #[test]
+    fn from_edges_convenience() {
+        let g = GraphBuilder::from_edges(
+            vec![LabelId(0), LabelId(1)],
+            vec![(VId(0), VId(1))],
+        );
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn alphabet_size_covers_max_label() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(LabelId(5));
+        let g = b.build();
+        assert_eq!(g.alphabet_size(), 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors raised by graph construction, validation, and serialization.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an index outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vid: u32,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A label id referenced an index outside the interner.
+    LabelOutOfRange {
+        /// The offending label index.
+        label: u32,
+        /// The number of interned labels.
+        num_labels: usize,
+    },
+    /// The ontology graph contains a supertype cycle.
+    OntologyCycle {
+        /// A label on the detected cycle.
+        on_label: u32,
+    },
+    /// A parse error while reading the text graph format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vid, num_vertices } => {
+                write!(f, "vertex v{vid} out of range (graph has {num_vertices} vertices)")
+            }
+            GraphError::LabelOutOfRange { label, num_labels } => {
+                write!(f, "label l{label} out of range ({num_labels} labels interned)")
+            }
+            GraphError::OntologyCycle { on_label } => {
+                write!(f, "ontology graph is not a DAG: cycle through label l{on_label}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfRange { vid: 9, num_vertices: 3 };
+        assert!(e.to_string().contains("v9"));
+        let e = GraphError::OntologyCycle { on_label: 2 };
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::Parse { line: 4, message: "bad edge".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_error_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,290 @@
+//! The immutable directed, vertex-labeled graph.
+//!
+//! [`DiGraph`] stores adjacency in compressed sparse row (CSR) form in
+//! *both* directions: backward keyword search (BANKS, BLINKS) walks
+//! in-edges, while bisimulation refinement and forward verification walk
+//! out-edges. Both are offset/target arrays, so neighbor iteration is a
+//! contiguous slice with no per-vertex allocation.
+
+use crate::ids::{LabelId, VId};
+
+/// A directed graph with one label per vertex, stored as dual CSR.
+///
+/// Construct via [`crate::GraphBuilder`]; the graph itself is immutable.
+/// `|G| = |V| + |E|` as in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    labels: Vec<LabelId>,
+    // Out-CSR: edges (u -> v) grouped by u.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<VId>,
+    // In-CSR: edges (u -> v) grouped by v, storing u.
+    in_offsets: Vec<u32>,
+    in_sources: Vec<VId>,
+    num_labels: usize,
+}
+
+impl DiGraph {
+    pub(crate) fn from_parts(
+        labels: Vec<LabelId>,
+        out_offsets: Vec<u32>,
+        out_targets: Vec<VId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<VId>,
+        num_labels: usize,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), labels.len() + 1);
+        debug_assert_eq!(in_offsets.len(), labels.len() + 1);
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        DiGraph {
+            labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            num_labels,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Graph size `|G| = |V| + |E|` as defined in Sec. 2 of the paper.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.num_vertices() + self.num_edges()
+    }
+
+    /// Number of distinct labels the graph was built against (the size of
+    /// its label alphabet `Σ`, which may exceed the labels actually used).
+    #[inline]
+    pub fn alphabet_size(&self) -> usize {
+        self.num_labels
+    }
+
+    /// The label of `v`.
+    #[inline]
+    pub fn label(&self, v: VId) -> LabelId {
+        self.labels[v.index()]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VId> + '_ {
+        (0..self.labels.len() as u32).map(VId)
+    }
+
+    /// Out-neighbors of `v` (targets of edges leaving `v`).
+    #[inline]
+    pub fn out_neighbors(&self, v: VId) -> &[VId] {
+        let i = v.index();
+        &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    /// In-neighbors of `v` (sources of edges entering `v`).
+    #[inline]
+    pub fn in_neighbors(&self, v: VId) -> &[VId] {
+        let i = v.index();
+        &self.in_sources[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree (in + out) of `v`. Joint vertices in the path-based
+    /// answer generation (Sec. 4.3.3) are vertices of degree > 2.
+    #[inline]
+    pub fn degree(&self, v: VId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Checks whether edge `(u, v)` exists. `O(out_degree(u))`.
+    pub fn has_edge(&self, u: VId, v: VId) -> bool {
+        self.out_neighbors(u).contains(&v)
+    }
+
+    /// Iterator over all edges `(u, v)` in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (VId, VId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Vertices carrying label `l` (linear scan; the search crates build
+    /// inverted label indexes for their hot paths).
+    pub fn vertices_with_label(&self, l: LabelId) -> impl Iterator<Item = VId> + '_ {
+        self.vertices().filter(move |&v| self.label(v) == l)
+    }
+
+    /// Counts occurrences of every label; result is indexed by `LabelId`.
+    pub fn label_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_labels];
+        for &l in &self.labels {
+            counts[l.index()] += 1;
+        }
+        counts
+    }
+
+    /// Returns a copy of this graph with labels rewritten through `map`
+    /// (`map[old_label] = new_label`). The adjacency structure is shared
+    /// logic with the original; only the label table changes. This is the
+    /// primitive behind graph generalization `Gen(G, C)`.
+    pub fn relabel(&self, map: &[LabelId]) -> DiGraph {
+        let labels = self.labels.iter().map(|l| map[l.index()]).collect();
+        DiGraph {
+            labels,
+            out_offsets: self.out_offsets.clone(),
+            out_targets: self.out_targets.clone(),
+            in_offsets: self.in_offsets.clone(),
+            in_sources: self.in_sources.clone(),
+            num_labels: self.num_labels,
+        }
+    }
+
+    /// Validates internal invariants; used by tests and debug assertions.
+    pub fn check_consistency(&self) -> bool {
+        let n = self.num_vertices();
+        if self.out_offsets.len() != n + 1 || self.in_offsets.len() != n + 1 {
+            return false;
+        }
+        if self.out_offsets[n] as usize != self.out_targets.len() {
+            return false;
+        }
+        if self.in_offsets[n] as usize != self.in_sources.len() {
+            return false;
+        }
+        // Every out-edge must be mirrored by an in-edge and vice versa.
+        let mut out_pairs: Vec<(u32, u32)> =
+            self.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let mut in_pairs: Vec<(u32, u32)> = self
+            .vertices()
+            .flat_map(|v| self.in_neighbors(v).iter().map(move |&u| (u.0, v.0)))
+            .collect();
+        out_pairs.sort_unstable();
+        in_pairs.sort_unstable();
+        out_pairs == in_pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId(0));
+        let x = b.add_vertex(LabelId(1));
+        let y = b.add_vertex(LabelId(1));
+        let z = b.add_vertex(LabelId(2));
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, z);
+        b.add_edge(y, z);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_size() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.size(), 8);
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(VId(0)), &[VId(1), VId(2)]);
+        assert_eq!(g.in_neighbors(VId(3)), &[VId(1), VId(2)]);
+        assert_eq!(g.in_neighbors(VId(0)), &[] as &[VId]);
+        assert_eq!(g.out_neighbors(VId(3)), &[] as &[VId]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(VId(0)), 2);
+        assert_eq!(g.in_degree(VId(0)), 0);
+        assert_eq!(g.degree(VId(1)), 2);
+    }
+
+    #[test]
+    fn has_edge_checks() {
+        let g = diamond();
+        assert!(g.has_edge(VId(0), VId(1)));
+        assert!(!g.has_edge(VId(1), VId(0)));
+        assert!(!g.has_edge(VId(0), VId(3)));
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = diamond();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 4);
+        assert!(es.contains(&(VId(0), VId(1))));
+        assert!(es.contains(&(VId(2), VId(3))));
+    }
+
+    #[test]
+    fn label_counts_and_lookup() {
+        let g = diamond();
+        assert_eq!(g.label(VId(1)), LabelId(1));
+        let counts = g.label_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[2], 1);
+        let with_l1: Vec<_> = g.vertices_with_label(LabelId(1)).collect();
+        assert_eq!(with_l1, vec![VId(1), VId(2)]);
+    }
+
+    #[test]
+    fn relabel_rewrites_labels_only() {
+        let g = diamond();
+        // Map label 1 -> 2, identity elsewhere.
+        let map = vec![LabelId(0), LabelId(2), LabelId(2)];
+        let g2 = g.relabel(&map);
+        assert_eq!(g2.label(VId(1)), LabelId(2));
+        assert_eq!(g2.label(VId(2)), LabelId(2));
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.out_neighbors(VId(0)), g.out_neighbors(VId(0)));
+    }
+
+    #[test]
+    fn consistency_holds() {
+        assert!(diamond().check_consistency());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.check_consistency());
+        assert_eq!(g.vertices().count(), 0);
+    }
+}

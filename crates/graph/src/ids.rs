@@ -1,0 +1,120 @@
+//! Compact identifier newtypes.
+//!
+//! Graph vertices and labels are dense `u32` indices. Wrapping them in
+//! newtypes prevents accidentally indexing a label table with a vertex id
+//! (or vice versa) while staying `Copy` and 4 bytes.
+
+use std::fmt;
+
+/// A vertex identifier: a dense index into a [`crate::DiGraph`]'s tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VId(pub u32);
+
+/// A label identifier: a dense index into a [`crate::LabelInterner`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl VId {
+    /// The index as `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LabelId {
+    /// The index as `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VId(v)
+    }
+}
+
+impl From<usize> for VId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "vertex id overflows u32");
+        VId(v as u32)
+    }
+}
+
+impl From<u32> for LabelId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        LabelId(v)
+    }
+}
+
+impl From<usize> for LabelId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "label id overflows u32");
+        LabelId(v as u32)
+    }
+}
+
+impl fmt::Debug for VId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vid_roundtrip() {
+        let v = VId::from(42usize);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VId(42));
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let l = LabelId::from(7u32);
+        assert_eq!(l.index(), 7);
+        assert_eq!(format!("{l:?}"), "l7");
+        assert_eq!(format!("{l}"), "7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VId(1) < VId(2));
+        assert!(LabelId(0) < LabelId(1));
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<VId>(), 4);
+        assert_eq!(std::mem::size_of::<LabelId>(), 4);
+        // Option<VId> should not be larger than 8 bytes.
+        assert!(std::mem::size_of::<Option<VId>>() <= 8);
+    }
+}

@@ -1,0 +1,116 @@
+//! String-to-[`LabelId`] interning.
+//!
+//! All graph labels (entity names, types, keywords) are interned exactly
+//! once; every other component works with dense `u32` ids. The interner is
+//! shared between a data graph and its ontology graph so that label
+//! generalization is an id-to-id mapping.
+
+use crate::ids::LabelId;
+use rustc_hash::FxHashMap;
+
+/// Bidirectional map between label strings and dense [`LabelId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    by_name: FxHashMap<String, LabelId>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent: interning the same
+    /// string twice returns the same id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId::from(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`. Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The string for `id`, or `None` if out of range.
+    pub fn try_name(&self, id: LabelId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over `(LabelId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId::from(i), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("Person");
+        let b = it.intern("Person");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("Person");
+        let b = it.intern("Univ");
+        assert_ne!(a, b);
+        assert_eq!(it.name(a), "Person");
+        assert_eq!(it.name(b), "Univ");
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut it = LabelInterner::new();
+        assert_eq!(it.get("x"), None);
+        let id = it.intern("x");
+        assert_eq!(it.get("x"), Some(id));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut it = LabelInterner::new();
+        it.intern("a");
+        it.intern("b");
+        it.intern("c");
+        let names: Vec<&str> = it.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn try_name_out_of_range() {
+        let it = LabelInterner::new();
+        assert_eq!(it.try_name(LabelId(0)), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Plain-text serialization of graphs and ontologies.
+//!
+//! A deliberately simple line format so datasets can be inspected and
+//! diffed:
+//!
+//! ```text
+//! # comment
+//! v <id> <label-name>
+//! e <src-id> <dst-id>
+//! ```
+//!
+//! Ontologies use `t <supertype-name> <subtype-name>` lines. Vertex ids
+//! must be dense `0..n` but may appear in any order.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::DiGraph;
+use crate::ids::VId;
+use crate::interner::LabelInterner;
+use crate::ontology::{Ontology, OntologyBuilder};
+use std::io::{BufRead, Write};
+
+/// Writes `g` in the text format, using `labels` for label names.
+pub fn write_graph<W: Write>(
+    g: &DiGraph,
+    labels: &LabelInterner,
+    mut w: W,
+) -> Result<(), GraphError> {
+    for v in g.vertices() {
+        let name = labels
+            .try_name(g.label(v))
+            .ok_or(GraphError::LabelOutOfRange {
+                label: g.label(v).0,
+                num_labels: labels.len(),
+            })?;
+        writeln!(w, "v {} {}", v.0, name)?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "e {} {}", u.0, v.0)?;
+    }
+    Ok(())
+}
+
+/// Reads a graph in the text format, interning labels into `labels`.
+pub fn read_graph<R: BufRead>(
+    r: R,
+    labels: &mut LabelInterner,
+) -> Result<DiGraph, GraphError> {
+    let mut vertices: Vec<(u32, String)> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap();
+        let parse_err = |message: &str| GraphError::Parse {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+        match kind {
+            "v" => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected vertex id"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err("expected label name"))?;
+                vertices.push((id, name.to_string()));
+            }
+            "e" => {
+                let u: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge source"))?;
+                let v: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge target"))?;
+                edges.push((u, v));
+            }
+            other => {
+                return Err(parse_err(&format!("unknown record kind '{other}'")));
+            }
+        }
+    }
+    vertices.sort_unstable_by_key(|&(id, _)| id);
+    for (i, &(id, _)) in vertices.iter().enumerate() {
+        if id as usize != i {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("vertex ids are not dense: missing or duplicate id {i} (saw {id})"),
+            });
+        }
+    }
+    let n = vertices.len();
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (_, name) in &vertices {
+        b.add_vertex(labels.intern(name));
+    }
+    for (u, v) in edges {
+        if u as usize >= n {
+            return Err(GraphError::VertexOutOfRange { vid: u, num_vertices: n });
+        }
+        if v as usize >= n {
+            return Err(GraphError::VertexOutOfRange { vid: v, num_vertices: n });
+        }
+        b.add_edge(VId(u), VId(v));
+    }
+    Ok(b.build())
+}
+
+/// Writes an ontology as `t <supertype> <subtype>` lines.
+pub fn write_ontology<W: Write>(
+    o: &Ontology,
+    labels: &LabelInterner,
+    mut w: W,
+) -> Result<(), GraphError> {
+    for l in 0..o.num_labels() as u32 {
+        let l = crate::ids::LabelId(l);
+        for &sub in o.direct_subtypes(l) {
+            let sup_name = labels.try_name(l).ok_or(GraphError::LabelOutOfRange {
+                label: l.0,
+                num_labels: labels.len(),
+            })?;
+            let sub_name = labels.try_name(sub).ok_or(GraphError::LabelOutOfRange {
+                label: sub.0,
+                num_labels: labels.len(),
+            })?;
+            writeln!(w, "t {sup_name} {sub_name}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an ontology, interning any new labels into `labels`.
+pub fn read_ontology<R: BufRead>(
+    r: R,
+    labels: &mut LabelInterner,
+) -> Result<Ontology, GraphError> {
+    let mut edges = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap();
+        if kind != "t" {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("expected 't' record, got '{kind}'"),
+            });
+        }
+        let sup = parts.next().ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            message: "expected supertype name".into(),
+        })?;
+        let sub = parts.next().ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            message: "expected subtype name".into(),
+        })?;
+        edges.push((labels.intern(sup), labels.intern(sub)));
+    }
+    let mut b = OntologyBuilder::new(labels.len());
+    for (sup, sub) in edges {
+        b.add_subtype(sup, sub);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LabelId;
+
+    #[test]
+    fn graph_roundtrip() {
+        let mut labels = LabelInterner::new();
+        let p = labels.intern("Person");
+        let u = labels.intern("Univ");
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(p);
+        let m = b.add_vertex(u);
+        b.add_edge(a, m);
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        write_graph(&g, &labels, &mut buf).unwrap();
+        let mut labels2 = LabelInterner::new();
+        let g2 = read_graph(&buf[..], &mut labels2).unwrap();
+        assert_eq!(g2.num_vertices(), 2);
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(labels2.name(g2.label(VId(0))), "Person");
+        assert_eq!(labels2.name(g2.label(VId(1))), "Univ");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\nv 0 A\nv 1 B\ne 0 1\n";
+        let mut labels = LabelInterner::new();
+        let g = read_graph(text.as_bytes(), &mut labels).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let text = "v 0 A\nv 2 B\n";
+        let mut labels = LabelInterner::new();
+        assert!(read_graph(text.as_bytes(), &mut labels).is_err());
+    }
+
+    #[test]
+    fn bad_record_kind_rejected() {
+        let text = "x 0 A\n";
+        let mut labels = LabelInterner::new();
+        let err = read_graph(text.as_bytes(), &mut labels).unwrap_err();
+        assert!(err.to_string().contains("unknown record kind"));
+    }
+
+    #[test]
+    fn edge_out_of_range_rejected() {
+        let text = "v 0 A\ne 0 5\n";
+        let mut labels = LabelInterner::new();
+        assert!(read_graph(text.as_bytes(), &mut labels).is_err());
+    }
+
+    #[test]
+    fn ontology_roundtrip() {
+        let mut labels = LabelInterner::new();
+        let thing = labels.intern("Thing");
+        let person = labels.intern("Person");
+        let mut b = OntologyBuilder::new(labels.len());
+        b.add_subtype(thing, person);
+        let o = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        write_ontology(&o, &labels, &mut buf).unwrap();
+        let mut labels2 = LabelInterner::new();
+        let o2 = read_ontology(&buf[..], &mut labels2).unwrap();
+        let t2 = labels2.get("Thing").unwrap();
+        let p2 = labels2.get("Person").unwrap();
+        assert!(o2.is_supertype_of(t2, p2));
+    }
+
+    #[test]
+    fn ontology_bad_record_rejected() {
+        let mut labels = LabelInterner::new();
+        assert!(read_ontology("v 0 A\n".as_bytes(), &mut labels).is_err());
+    }
+
+    #[test]
+    fn vertex_order_in_file_is_irrelevant() {
+        let text = "v 1 B\nv 0 A\ne 0 1\n";
+        let mut labels = LabelInterner::new();
+        let g = read_graph(text.as_bytes(), &mut labels).unwrap();
+        assert_eq!(labels.name(g.label(VId(0))), "A");
+        assert_eq!(labels.name(g.label(VId(1))), "B");
+    }
+
+    #[test]
+    fn label_id_used_for_missing_name_errors() {
+        // A graph whose label table refers past the interner.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(LabelId(3));
+        let g = b.build();
+        let labels = LabelInterner::new();
+        assert!(write_graph(&g, &labels, Vec::new()).is_err());
+    }
+}

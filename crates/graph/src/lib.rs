@@ -1,0 +1,56 @@
+//! # bgi-graph
+//!
+//! Graph substrate for the BiG-index reproduction: a compact directed,
+//! vertex-labeled graph with CSR adjacency in both directions, an ontology
+//! DAG for label generalization, traversal primitives used by the keyword
+//! search algorithms, r-hop node-induced subgraph sampling (used by the
+//! index-construction cost model), random graph generators, and a simple
+//! text serialization format.
+//!
+//! The types here are deliberately small and `Copy` where possible:
+//! vertices and labels are `u32` newtypes ([`VId`], [`LabelId`]), and labels
+//! are interned once in a [`LabelInterner`] so the hot paths of
+//! bisimulation and search never touch strings.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bgi_graph::{GraphBuilder, LabelInterner};
+//!
+//! let mut labels = LabelInterner::new();
+//! let person = labels.intern("Person");
+//! let univ = labels.intern("Univ");
+//!
+//! let mut b = GraphBuilder::new();
+//! let alice = b.add_vertex(person);
+//! let mit = b.add_vertex(univ);
+//! b.add_edge(alice, mit);
+//! let g = b.build();
+//!
+//! assert_eq!(g.num_vertices(), 2);
+//! assert_eq!(g.out_neighbors(alice), &[mit]);
+//! assert_eq!(g.in_neighbors(mit), &[alice]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod generate;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod ontology;
+pub mod sampling;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::DiGraph;
+pub use ids::{LabelId, VId};
+pub use interner::LabelInterner;
+pub use ontology::{Ontology, OntologyBuilder};
+pub use subgraph::induced_subgraph;

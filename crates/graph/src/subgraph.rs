@@ -1,0 +1,114 @@
+//! Node-induced subgraphs.
+//!
+//! The cost model of Sec. 3.2 estimates compression ratios on sampled
+//! *node-induced subgraphs*: given a vertex set `U`, keep every edge of
+//! the original graph whose endpoints are both in `U`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::DiGraph;
+use crate::ids::VId;
+use rustc_hash::FxHashMap;
+
+/// A node-induced subgraph together with the mapping back to the
+/// original graph's vertex ids.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The subgraph; vertex `i` corresponds to `original[i]` in the parent.
+    pub graph: DiGraph,
+    /// For each subgraph vertex, its id in the parent graph.
+    pub original: Vec<VId>,
+}
+
+impl InducedSubgraph {
+    /// Maps a subgraph vertex back to the parent graph.
+    pub fn to_original(&self, v: VId) -> VId {
+        self.original[v.index()]
+    }
+}
+
+/// Builds the subgraph of `g` induced by `vertices`. Duplicate ids in
+/// `vertices` are ignored; order of first occurrence determines the new ids.
+pub fn induced_subgraph(g: &DiGraph, vertices: &[VId]) -> InducedSubgraph {
+    let mut remap: FxHashMap<VId, VId> = FxHashMap::default();
+    let mut original = Vec::with_capacity(vertices.len());
+    let mut b = GraphBuilder::with_capacity(vertices.len(), vertices.len() * 2);
+    for &v in vertices {
+        if remap.contains_key(&v) {
+            continue;
+        }
+        let nv = b.add_vertex(g.label(v));
+        remap.insert(v, nv);
+        original.push(v);
+    }
+    for (&old, &new) in remap.iter() {
+        for &t in g.out_neighbors(old) {
+            if let Some(&nt) = remap.get(&t) {
+                b.add_edge(new, nt);
+            }
+        }
+    }
+    InducedSubgraph {
+        graph: b.build(),
+        original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LabelId;
+
+    fn triangle_plus_tail() -> DiGraph {
+        // 0 -> 1 -> 2 -> 0, 2 -> 3
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_vertex(LabelId(i));
+        }
+        b.add_edge(VId(0), VId(1));
+        b.add_edge(VId(1), VId(2));
+        b.add_edge(VId(2), VId(0));
+        b.add_edge(VId(2), VId(3));
+        b.build()
+    }
+
+    #[test]
+    fn induces_edges_with_both_endpoints() {
+        let g = triangle_plus_tail();
+        let sub = induced_subgraph(&g, &[VId(0), VId(1), VId(2)]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 3); // the triangle, not 2->3
+    }
+
+    #[test]
+    fn labels_are_preserved() {
+        let g = triangle_plus_tail();
+        let sub = induced_subgraph(&g, &[VId(2), VId(3)]);
+        assert_eq!(sub.graph.label(VId(0)), LabelId(2));
+        assert_eq!(sub.graph.label(VId(1)), LabelId(3));
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn mapping_back_to_original() {
+        let g = triangle_plus_tail();
+        let sub = induced_subgraph(&g, &[VId(3), VId(1)]);
+        assert_eq!(sub.to_original(VId(0)), VId(3));
+        assert_eq!(sub.to_original(VId(1)), VId(1));
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = triangle_plus_tail();
+        let sub = induced_subgraph(&g, &[VId(0), VId(0), VId(1)]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = triangle_plus_tail();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+}

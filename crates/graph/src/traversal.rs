@@ -1,0 +1,300 @@
+//! Traversal primitives shared by the keyword search algorithms.
+//!
+//! All distances are hop counts (the paper's semantics use unweighted
+//! shortest distances), so single-source shortest paths are plain BFS.
+//! A reusable [`BfsScratch`] avoids reallocating the visited table for
+//! every query on large graphs.
+
+use crate::graph::DiGraph;
+use crate::ids::VId;
+use std::collections::VecDeque;
+
+/// Which edge direction a traversal follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (`u -> v` visits `v` from `u`).
+    Forward,
+    /// Follow in-edges (`u -> v` visits `u` from `v`) — the direction of
+    /// backward keyword search.
+    Backward,
+}
+
+impl Direction {
+    #[inline]
+    fn neighbors(self, g: &DiGraph, v: VId) -> &[VId] {
+        match self {
+            Direction::Forward => g.out_neighbors(v),
+            Direction::Backward => g.in_neighbors(v),
+        }
+    }
+}
+
+/// Sentinel distance for "unreached".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Reusable scratch space for repeated BFS runs over the same graph.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    touched: Vec<VId>,
+    queue: VecDeque<VId>,
+}
+
+impl BfsScratch {
+    /// Scratch for a graph of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            dist: vec![UNREACHED; n],
+            touched: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Distance of `v` from the last BFS source set, or [`UNREACHED`].
+    #[inline]
+    pub fn dist(&self, v: VId) -> u32 {
+        self.dist[v.index()]
+    }
+
+    /// Vertices reached by the last BFS, in visitation order.
+    pub fn reached(&self) -> &[VId] {
+        &self.touched
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v.index()] = UNREACHED;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Multi-source BFS from `sources` in `dir`, exploring up to
+    /// `max_depth` hops. Calls `visit(v, d)` for every reached vertex
+    /// including the sources (d = 0); if `visit` returns `false` the
+    /// traversal stops early.
+    pub fn run<F>(
+        &mut self,
+        g: &DiGraph,
+        sources: &[VId],
+        dir: Direction,
+        max_depth: u32,
+        mut visit: F,
+    ) where
+        F: FnMut(VId, u32) -> bool,
+    {
+        self.reset();
+        for &s in sources {
+            if self.dist[s.index()] == UNREACHED {
+                self.dist[s.index()] = 0;
+                self.touched.push(s);
+                self.queue.push_back(s);
+                if !visit(s, 0) {
+                    return;
+                }
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let d = self.dist[u.index()];
+            if d >= max_depth {
+                continue;
+            }
+            for &v in dir.neighbors(g, u) {
+                if self.dist[v.index()] == UNREACHED {
+                    self.dist[v.index()] = d + 1;
+                    self.touched.push(v);
+                    self.queue.push_back(v);
+                    if !visit(v, d + 1) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Single-source hop distances from `s` in `dir`, bounded by `max_depth`.
+/// Returns `(vertex, distance)` pairs for every vertex within the bound.
+pub fn bfs_distances(
+    g: &DiGraph,
+    s: VId,
+    dir: Direction,
+    max_depth: u32,
+) -> Vec<(VId, u32)> {
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    let mut out = Vec::new();
+    scratch.run(g, &[s], dir, max_depth, |v, d| {
+        out.push((v, d));
+        true
+    });
+    out
+}
+
+/// Shortest hop distance from `u` to `v` following out-edges, or `None`
+/// if `v` is not reachable within `max_depth`.
+pub fn shortest_distance(g: &DiGraph, u: VId, v: VId, max_depth: u32) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    let mut found = None;
+    scratch.run(g, &[u], Direction::Forward, max_depth, |x, d| {
+        if x == v {
+            found = Some(d);
+            false
+        } else {
+            true
+        }
+    });
+    found
+}
+
+/// True if `v` is reachable from `u` (following out-edges) within
+/// `max_depth` hops. `reach(u, v, G)` in the paper's Prop. 5.1.
+pub fn reachable(g: &DiGraph, u: VId, v: VId, max_depth: u32) -> bool {
+    shortest_distance(g, u, v, max_depth).is_some()
+}
+
+/// The set of vertices reachable from `v` within `r` hops (forward),
+/// including `v`. Used for r-hop node-induced subgraph sampling (Sec. 3.2).
+pub fn r_hop_ball(g: &DiGraph, v: VId, r: u32) -> Vec<VId> {
+    bfs_distances(g, v, Direction::Forward, r)
+        .into_iter()
+        .map(|(x, _)| x)
+        .collect()
+}
+
+/// The set of vertices within `r` hops of `v` ignoring edge direction,
+/// including `v`. Compression-ratio sampling uses undirected balls: the
+/// collapsible "sibling" vertices of a hub live in its *in*-neighborhood,
+/// which a forward ball from an entity never contains.
+pub fn undirected_r_hop_ball(g: &DiGraph, v: VId, r: u32) -> Vec<VId> {
+    // Sparse map: balls are small relative to the graph.
+    let mut seen: rustc_hash::FxHashMap<VId, u32> = rustc_hash::FxHashMap::default();
+    let mut queue = VecDeque::new();
+    seen.insert(v, 0);
+    queue.push_back(v);
+    let mut out = vec![v];
+    while let Some(u) = queue.pop_front() {
+        let d = seen[&u];
+        if d >= r {
+            continue;
+        }
+        for &w in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
+                e.insert(d + 1);
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::LabelId;
+
+    /// Path 0 -> 1 -> 2 -> 3 plus shortcut 0 -> 2.
+    fn path_graph() -> DiGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_vertex(LabelId(0));
+        }
+        b.add_edge(VId(0), VId(1));
+        b.add_edge(VId(1), VId(2));
+        b.add_edge(VId(2), VId(3));
+        b.add_edge(VId(0), VId(2));
+        b.build()
+    }
+
+    #[test]
+    fn forward_distances() {
+        let g = path_graph();
+        let d = bfs_distances(&g, VId(0), Direction::Forward, 10);
+        let get = |v: u32| d.iter().find(|(x, _)| *x == VId(v)).map(|&(_, d)| d);
+        assert_eq!(get(0), Some(0));
+        assert_eq!(get(1), Some(1));
+        assert_eq!(get(2), Some(1)); // via shortcut
+        assert_eq!(get(3), Some(2));
+    }
+
+    #[test]
+    fn backward_distances() {
+        let g = path_graph();
+        let d = bfs_distances(&g, VId(3), Direction::Backward, 10);
+        let get = |v: u32| d.iter().find(|(x, _)| *x == VId(v)).map(|&(_, d)| d);
+        assert_eq!(get(3), Some(0));
+        assert_eq!(get(2), Some(1));
+        assert_eq!(get(0), Some(2)); // 0 -> 2 -> 3 backwards
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let g = path_graph();
+        let d = bfs_distances(&g, VId(0), Direction::Forward, 1);
+        assert!(d.iter().all(|&(_, dist)| dist <= 1));
+        assert_eq!(d.len(), 3); // 0, 1, 2
+    }
+
+    #[test]
+    fn shortest_distance_and_reachability() {
+        let g = path_graph();
+        assert_eq!(shortest_distance(&g, VId(0), VId(3), 10), Some(2));
+        assert_eq!(shortest_distance(&g, VId(3), VId(0), 10), None);
+        assert_eq!(shortest_distance(&g, VId(1), VId(1), 0), Some(0));
+        assert!(reachable(&g, VId(0), VId(3), 2));
+        assert!(!reachable(&g, VId(0), VId(3), 1));
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = path_graph();
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let mut reached = vec![];
+        scratch.run(&g, &[VId(1), VId(2)], Direction::Forward, 10, |v, d| {
+            reached.push((v, d));
+            true
+        });
+        let get = |v: u32| reached.iter().find(|(x, _)| *x == VId(v)).map(|&(_, d)| d);
+        assert_eq!(get(1), Some(0));
+        assert_eq!(get(2), Some(0));
+        assert_eq!(get(3), Some(1));
+        assert_eq!(get(0), None);
+    }
+
+    #[test]
+    fn scratch_reuse_resets_state() {
+        let g = path_graph();
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        scratch.run(&g, &[VId(0)], Direction::Forward, 10, |_, _| true);
+        assert_eq!(scratch.dist(VId(3)), 2);
+        scratch.run(&g, &[VId(3)], Direction::Forward, 10, |_, _| true);
+        assert_eq!(scratch.dist(VId(3)), 0);
+        assert_eq!(scratch.dist(VId(0)), UNREACHED);
+    }
+
+    #[test]
+    fn early_termination() {
+        let g = path_graph();
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let mut count = 0;
+        scratch.run(&g, &[VId(0)], Direction::Forward, 10, |_, _| {
+            count += 1;
+            count < 2
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn r_hop_ball_contents() {
+        let g = path_graph();
+        let ball = r_hop_ball(&g, VId(0), 1);
+        assert!(ball.contains(&VId(0)));
+        assert!(ball.contains(&VId(1)));
+        assert!(ball.contains(&VId(2)));
+        assert!(!ball.contains(&VId(3)));
+    }
+}

@@ -1,0 +1,286 @@
+//! `bkws`: backward keyword search (Sec. 5.1), after BANKS
+//! (Bhalotia et al. [1]) with the distinct-root refinement of He et al.
+//!
+//! Answers are subtrees `T = {r, p_1, …, p_n}` where each leaf `p_i`
+//! contains keyword `q_i` and `dist(r, p_i) ≤ d_max`, ranked by
+//! `Σ_i dist(r, p_i)` (Formula 1 of Sec. 2). The search expands
+//! *backward* (over in-edges) from each keyword's vertex set; a vertex
+//! reached from every keyword set within the bound is an answer root.
+
+use crate::answer::{rank_and_truncate, AnswerGraph};
+use crate::query::KeywordQuery;
+use crate::semantics::KeywordSearch;
+use bgi_graph::{DiGraph, LabelId, VId};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// The backward keyword search algorithm (no parameters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Banks;
+
+/// BANKS' only index: the inverted label → vertices table.
+#[derive(Debug, Clone)]
+pub struct BanksIndex {
+    label_vertices: Vec<Vec<VId>>,
+}
+
+impl BanksIndex {
+    /// Vertices containing label `l` (`V_q` in the paper).
+    pub fn vertices_with(&self, l: LabelId) -> &[VId] {
+        self.label_vertices
+            .get(l.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Per-keyword backward BFS result: for each reached vertex, its
+/// distance to the nearest keyword node and the out-neighbor on a
+/// shortest path toward it (`None` at keyword nodes themselves).
+pub(crate) type ReachTable = FxHashMap<VId, (u32, Option<VId>)>;
+
+pub(crate) fn backward_reach(g: &DiGraph, sources: &[VId], dmax: u32) -> ReachTable {
+    let mut reach: ReachTable = FxHashMap::default();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if let std::collections::hash_map::Entry::Vacant(e) = reach.entry(s) {
+            e.insert((0, None));
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = reach[&v].0;
+        if d >= dmax {
+            continue;
+        }
+        for &u in g.in_neighbors(v) {
+            if let std::collections::hash_map::Entry::Vacant(e) = reach.entry(u) {
+                e.insert((d + 1, Some(v)));
+                queue.push_back(u);
+            }
+        }
+    }
+    reach
+}
+
+/// Reconstructs the root-to-keyword path from a `backward_reach` table.
+pub(crate) fn path_to_keyword(reach: &ReachTable, root: VId) -> Vec<VId> {
+    let mut path = vec![root];
+    let mut cur = root;
+    while let Some(&(_, Some(next))) = reach.get(&cur) {
+        path.push(next);
+        cur = next;
+    }
+    path
+}
+
+impl KeywordSearch for Banks {
+    type Index = BanksIndex;
+
+    fn name(&self) -> &'static str {
+        "bkws"
+    }
+
+    fn build_index(&self, g: &DiGraph) -> BanksIndex {
+        let mut label_vertices = vec![Vec::new(); g.alphabet_size()];
+        for v in g.vertices() {
+            label_vertices[g.label(v).index()].push(v);
+        }
+        BanksIndex { label_vertices }
+    }
+
+    fn search(
+        &self,
+        g: &DiGraph,
+        index: &BanksIndex,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> Vec<AnswerGraph> {
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Backward expansion from every keyword's vertex set, smallest
+        // set first (BANKS' strategy); if any keyword is absent there is
+        // no answer at all.
+        let mut keyword_sets: Vec<(usize, &[VId])> = query
+            .keywords
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (i, index.vertices_with(q)))
+            .collect();
+        if keyword_sets.iter().any(|(_, s)| s.is_empty()) {
+            return Vec::new();
+        }
+        keyword_sets.sort_by_key(|(_, s)| s.len());
+
+        let mut reaches: Vec<Option<ReachTable>> = vec![None; query.len()];
+        // Candidate roots: intersection of reach sets; seed from the
+        // smallest keyword set's reach and intersect incrementally.
+        let mut candidates: Option<Vec<VId>> = None;
+        for &(i, sources) in &keyword_sets {
+            let reach = backward_reach(g, sources, query.dmax);
+            candidates = Some(match candidates {
+                None => reach.keys().copied().collect(),
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|v| reach.contains_key(v))
+                    .collect(),
+            });
+            reaches[i] = Some(reach);
+            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                return Vec::new();
+            }
+        }
+
+        let mut answers = Vec::new();
+        for root in candidates.unwrap_or_default() {
+            let mut vertices = Vec::new();
+            let mut edges = Vec::new();
+            let mut keyword_matches = vec![Vec::new(); query.len()];
+            let mut score = 0u64;
+            for (i, reach) in reaches.iter().enumerate() {
+                let reach = reach.as_ref().unwrap();
+                let (d, _) = reach[&root];
+                score += d as u64;
+                let path = path_to_keyword(reach, root);
+                for w in path.windows(2) {
+                    edges.push((w[0], w[1]));
+                }
+                keyword_matches[i].push(*path.last().unwrap());
+                vertices.extend(path);
+            }
+            answers.push(AnswerGraph::new(
+                vertices,
+                edges,
+                keyword_matches,
+                Some(root),
+                score,
+            ));
+        }
+        rank_and_truncate(answers, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    /// Fig. 1 in miniature:
+    ///   root(0, "R") -> a(1, "A"), root -> b(2, "B"),
+    ///   far(3, "R") -> c(4, "C") -> a.
+    fn sample() -> DiGraph {
+        let mut bld = GraphBuilder::new();
+        let root = bld.add_vertex(LabelId(0)); // R
+        let a = bld.add_vertex(LabelId(1)); // A
+        let b = bld.add_vertex(LabelId(2)); // B
+        let far = bld.add_vertex(LabelId(0)); // R
+        let c = bld.add_vertex(LabelId(3)); // C
+        bld.add_edge(root, a);
+        bld.add_edge(root, b);
+        bld.add_edge(far, c);
+        bld.add_edge(c, a);
+        bld.build()
+    }
+
+    #[test]
+    fn finds_rooted_tree() {
+        let g = sample();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(2)], 3);
+        let answers = Banks.search_fresh(&g, &q, 10);
+        assert_eq!(answers.len(), 1);
+        let a = &answers[0];
+        assert_eq!(a.root, Some(VId(0)));
+        assert_eq!(a.score, 2); // dist 1 to each keyword
+        assert!(a.validate(&g, &q.keywords));
+    }
+
+    #[test]
+    fn respects_dmax() {
+        let g = sample();
+        // far reaches A only at distance 2 (far -> c -> a).
+        let q = KeywordQuery::new(vec![LabelId(1)], 1);
+        let answers = Banks.search_fresh(&g, &q, 10);
+        let roots: Vec<_> = answers.iter().map(|a| a.root.unwrap()).collect();
+        assert!(roots.contains(&VId(0)));
+        assert!(!roots.contains(&VId(3)));
+
+        let q2 = KeywordQuery::new(vec![LabelId(1)], 2);
+        let answers2 = Banks.search_fresh(&g, &q2, 10);
+        let roots2: Vec<_> = answers2.iter().map(|a| a.root.unwrap()).collect();
+        assert!(roots2.contains(&VId(3)));
+    }
+
+    #[test]
+    fn ranking_is_by_total_distance() {
+        let g = sample();
+        let q = KeywordQuery::new(vec![LabelId(1)], 3);
+        let answers = Banks.search_fresh(&g, &q, 10);
+        // Roots by score: a itself (0), root and c (1), far (2).
+        assert_eq!(answers[0].root, Some(VId(1)));
+        assert_eq!(answers[0].score, 0);
+        let scores: Vec<u64> = answers.iter().map(|a| a.score).collect();
+        let mut sorted = scores.clone();
+        sorted.sort_unstable();
+        assert_eq!(scores, sorted);
+    }
+
+    #[test]
+    fn missing_keyword_yields_no_answers() {
+        let g = sample();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(9)], 3);
+        assert!(Banks.search_fresh(&g, &q, 10).is_empty());
+    }
+
+    #[test]
+    fn k_truncation() {
+        let g = sample();
+        let q = KeywordQuery::new(vec![LabelId(1)], 3);
+        let answers = Banks.search_fresh(&g, &q, 2);
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn keyword_node_can_be_root() {
+        let g = sample();
+        let q = KeywordQuery::new(vec![LabelId(1)], 0);
+        let answers = Banks.search_fresh(&g, &q, 10);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].root, Some(VId(1)));
+        assert_eq!(answers[0].vertices, vec![VId(1)]);
+    }
+
+    #[test]
+    fn answer_trees_are_paths_in_graph() {
+        let g = bgi_graph::generate::uniform_random(150, 500, 5, 33);
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1), LabelId(2)], 3);
+        for a in Banks.search_fresh(&g, &q, 20) {
+            assert!(a.validate(&g, &q.keywords));
+            // Score equals the sum of shortest distances from root.
+            let root = a.root.unwrap();
+            let mut total = 0;
+            for &kw in &q.keywords {
+                let best = g
+                    .vertices()
+                    .filter(|&v| g.label(v) == kw)
+                    .filter_map(|v| {
+                        bgi_graph::traversal::shortest_distance(&g, root, v, q.dmax)
+                    })
+                    .min()
+                    .expect("keyword reachable");
+                total += best as u64;
+            }
+            assert_eq!(a.score, total);
+        }
+    }
+
+    #[test]
+    fn empty_query_or_zero_k() {
+        let g = sample();
+        assert!(Banks
+            .search_fresh(&g, &KeywordQuery::new(Vec::<LabelId>::new(), 3), 5)
+            .is_empty());
+        let q = KeywordQuery::new(vec![LabelId(1)], 3);
+        assert!(Banks.search_fresh(&g, &q, 0).is_empty());
+    }
+}

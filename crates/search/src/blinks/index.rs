@@ -1,0 +1,210 @@
+//! The BLINKS bi-level index.
+//!
+//! For every keyword `ℓ` appearing in the graph, a backward BFS bounded
+//! by `τ_prune` computes `dist(v → nearest ℓ-node)` for every vertex `v`
+//! that can reach an `ℓ`-node within the bound. The results are stored
+//! three ways, mirroring He et al.'s structures:
+//!
+//! - **keyword-node list** `KNL[ℓ]`: `(dist, v)` pairs sorted by
+//!   distance (and block, so entries of one block are adjacent within
+//!   each distance band) — drives backward expansion in sorted order;
+//! - **node-keyword map** `NKM[(v, ℓ)] = dist` — completes candidate
+//!   roots with exact distances in O(1);
+//! - **keyword-block list** `KBL[ℓ]`: blocks containing a matched
+//!   vertex — block-level pruning.
+
+use super::partition::{bfs_partition, GraphPartition};
+use crate::banks::backward_reach;
+use bgi_graph::{DiGraph, LabelId, VId};
+use rustc_hash::FxHashMap;
+
+/// Tuning parameters for the bi-level index.
+#[derive(Debug, Clone, Copy)]
+pub struct BlinksParams {
+    /// Target partition block size (the paper's experiments use 1000).
+    pub block_size: usize,
+    /// Pruning threshold `τ_prune`: maximum indexed keyword distance
+    /// (the paper's experiments use 5, equal to `d_max`).
+    pub prune_dist: u32,
+}
+
+impl Default for BlinksParams {
+    fn default() -> Self {
+        BlinksParams {
+            block_size: 1000,
+            prune_dist: 5,
+        }
+    }
+}
+
+/// The bi-level index over one graph.
+#[derive(Debug, Clone)]
+pub struct BlinksIndex {
+    partition: GraphPartition,
+    prune_dist: u32,
+    /// `KNL[ℓ]`: entries sorted by (dist, block, vertex).
+    knl: FxHashMap<LabelId, Vec<(u16, VId)>>,
+    /// `NKM[(v, ℓ)]`: exact bounded distance from `v` to nearest ℓ-node.
+    nkm: FxHashMap<(VId, LabelId), u16>,
+    /// `KBL[ℓ]`: sorted blocks containing a vertex within the bound.
+    kbl: FxHashMap<LabelId, Vec<u32>>,
+}
+
+impl BlinksIndex {
+    /// Builds the index for `g`.
+    pub fn build(g: &DiGraph, params: &BlinksParams) -> Self {
+        let partition = bfs_partition(g, params.block_size.max(1));
+        let mut knl: FxHashMap<LabelId, Vec<(u16, VId)>> = FxHashMap::default();
+        let mut nkm: FxHashMap<(VId, LabelId), u16> = FxHashMap::default();
+        let mut kbl: FxHashMap<LabelId, Vec<u32>> = FxHashMap::default();
+
+        // Group vertices by label once.
+        let mut by_label: FxHashMap<LabelId, Vec<VId>> = FxHashMap::default();
+        for v in g.vertices() {
+            by_label.entry(g.label(v)).or_default().push(v);
+        }
+
+        for (&label, sources) in &by_label {
+            let reach = backward_reach(g, sources, params.prune_dist);
+            let mut entries: Vec<(u16, VId)> = reach
+                .iter()
+                .map(|(&v, &(d, _))| (d as u16, v))
+                .collect();
+            // Sort by distance, then block, then vertex: within a
+            // distance band the entries of one block are adjacent.
+            entries.sort_unstable_by_key(|&(d, v)| (d, partition.block_of(v), v));
+            let mut blocks: Vec<u32> = entries
+                .iter()
+                .map(|&(_, v)| partition.block_of(v))
+                .collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            for &(d, v) in &entries {
+                nkm.insert((v, label), d);
+            }
+            knl.insert(label, entries);
+            kbl.insert(label, blocks);
+        }
+
+        BlinksIndex {
+            partition,
+            prune_dist: params.prune_dist,
+            knl,
+            nkm,
+            kbl,
+        }
+    }
+
+    /// The pruning threshold the index was built with.
+    pub fn prune_dist(&self) -> u32 {
+        self.prune_dist
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &GraphPartition {
+        &self.partition
+    }
+
+    /// The keyword-node list for `l` (sorted by distance), if any vertex
+    /// can reach the keyword within the bound.
+    pub fn keyword_node_list(&self, l: LabelId) -> Option<&[(u16, VId)]> {
+        self.knl.get(&l).map(Vec::as_slice)
+    }
+
+    /// `dist(v → nearest l-node)` within the bound, if reachable.
+    pub fn node_keyword_distance(&self, v: VId, l: LabelId) -> Option<u32> {
+        self.nkm.get(&(v, l)).map(|&d| d as u32)
+    }
+
+    /// Blocks containing at least one vertex within the bound of `l`.
+    pub fn keyword_blocks(&self, l: LabelId) -> &[u32] {
+        self.kbl.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of (vertex, keyword) entries — the index's dominant
+    /// space cost.
+    pub fn num_entries(&self) -> usize {
+        self.nkm.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    /// 0(R) -> 1(A); 2(R) -> 3(C) -> 1(A)
+    fn sample() -> DiGraph {
+        let mut b = GraphBuilder::new();
+        let r0 = b.add_vertex(LabelId(0));
+        let a = b.add_vertex(LabelId(1));
+        let r2 = b.add_vertex(LabelId(0));
+        let c = b.add_vertex(LabelId(2));
+        b.add_edge(r0, a);
+        b.add_edge(r2, c);
+        b.add_edge(c, a);
+        b.build()
+    }
+
+    #[test]
+    fn nkm_distances_are_exact() {
+        let g = sample();
+        let idx = BlinksIndex::build(&g, &BlinksParams::default());
+        assert_eq!(idx.node_keyword_distance(VId(0), LabelId(1)), Some(1));
+        assert_eq!(idx.node_keyword_distance(VId(2), LabelId(1)), Some(2));
+        assert_eq!(idx.node_keyword_distance(VId(1), LabelId(1)), Some(0));
+        assert_eq!(idx.node_keyword_distance(VId(0), LabelId(2)), None);
+        assert_eq!(idx.node_keyword_distance(VId(2), LabelId(2)), Some(1));
+    }
+
+    #[test]
+    fn knl_sorted_by_distance() {
+        let g = sample();
+        let idx = BlinksIndex::build(&g, &BlinksParams::default());
+        let list = idx.keyword_node_list(LabelId(1)).unwrap();
+        assert!(list.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(list[0], (0, VId(1)));
+        assert_eq!(list.len(), 4); // every vertex reaches A within 5
+    }
+
+    #[test]
+    fn prune_dist_bounds_entries() {
+        let g = sample();
+        let idx = BlinksIndex::build(
+            &g,
+            &BlinksParams {
+                block_size: 2,
+                prune_dist: 1,
+            },
+        );
+        // At bound 1, vertex 2 (distance 2 from A) is not indexed for A.
+        assert_eq!(idx.node_keyword_distance(VId(2), LabelId(1)), None);
+        let list = idx.keyword_node_list(LabelId(1)).unwrap();
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn keyword_blocks_cover_matched_vertices() {
+        let g = sample();
+        let idx = BlinksIndex::build(
+            &g,
+            &BlinksParams {
+                block_size: 2,
+                prune_dist: 5,
+            },
+        );
+        for (d, v) in idx.keyword_node_list(LabelId(1)).unwrap() {
+            let _ = d;
+            let b = idx.partition().block_of(*v);
+            assert!(idx.keyword_blocks(LabelId(1)).contains(&b));
+        }
+    }
+
+    #[test]
+    fn entry_count_matches_reach() {
+        let g = sample();
+        let idx = BlinksIndex::build(&g, &BlinksParams::default());
+        // A: 4 entries, R: {0,2} at 0 = 2 entries, C: {3 at 0, 2 at 1}.
+        assert_eq!(idx.num_entries(), 4 + 2 + 2);
+    }
+}

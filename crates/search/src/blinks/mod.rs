@@ -1,0 +1,30 @@
+//! `rkws`: ranked keyword search after BLINKS (He et al. [12]).
+//!
+//! BLINKS answers the *distinct-root* semantics: for each root `r` that
+//! reaches at least one node per query keyword within the pruning bound,
+//! the best answer rooted at `r` is scored by
+//! `scr(a) = Σ_i dist(r, p_i)`; the query returns the top-k roots.
+//!
+//! The implementation follows the paper's bi-level design (Sec. 5.3 of
+//! the BiG-index paper summarizes it):
+//!
+//! - a **graph partitioner** splits vertices into blocks of a target size
+//!   ([`partition`]; BFS-grown blocks stand in for METIS, see DESIGN.md);
+//! - per keyword, a **keyword-node list** of `(distance, vertex)` entries
+//!   sorted by distance, organized block-by-block, bounded by the
+//!   pruning threshold `τ_prune`;
+//! - a **node-keyword map** giving `dist(v → nearest q-node)` exactly;
+//! - a **keyword-block list** for block-level pruning.
+//!
+//! Search pops the per-keyword lists in ascending distance (backward
+//! expansion in sorted order), completes candidate roots via the
+//! node-keyword map, and terminates early once the k-th best score is no
+//! worse than the sum of the current frontier distances.
+
+pub mod index;
+pub mod partition;
+pub mod search;
+
+pub use index::{BlinksIndex, BlinksParams};
+pub use partition::{bfs_partition, GraphPartition};
+pub use search::Blinks;

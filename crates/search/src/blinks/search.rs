@@ -1,0 +1,325 @@
+//! BLINKS query processing: backward expansion with top-k early
+//! termination.
+//!
+//! The query expands backward (over in-edges) from each keyword's
+//! vertex set in round-robin BFS levels — the paper's "expanding
+//! backward … in a round-robin manner". A vertex reached by all
+//! keywords is a candidate root with exact score `Σ_i dist(v, q_i)`;
+//! block-level pruning drops candidates whose block misses some
+//! keyword's block list. The search stops when the k-th best score is
+//! no larger than `Σ_i depth_i`, the lower bound on any root not yet
+//! completed. The per-keyword node lists seed the expansion and the
+//! node-keyword map reconstructs answer paths; root *scores* come from
+//! the expansion itself, so query cost is proportional to the traversed
+//! region — exactly the cost BiG-index shrinks by evaluating on summary
+//! graphs.
+
+use super::index::{BlinksIndex, BlinksParams};
+use crate::answer::{rank_and_truncate, AnswerGraph};
+use crate::query::KeywordQuery;
+use crate::semantics::KeywordSearch;
+use bgi_graph::{DiGraph, LabelId, VId};
+use rustc_hash::FxHashMap;
+
+/// The BLINKS ranked keyword search algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Blinks {
+    /// Index construction parameters.
+    pub params: BlinksParams,
+}
+
+impl Blinks {
+    /// BLINKS with the paper's experimental settings
+    /// (block size 1000, `τ_prune` 5).
+    pub fn new(params: BlinksParams) -> Self {
+        Blinks { params }
+    }
+
+    /// Reconstructs the shortest path from `root` to the nearest
+    /// `keyword`-node by greedy descent over the node-keyword map.
+    fn descend_path(
+        g: &DiGraph,
+        index: &BlinksIndex,
+        root: VId,
+        keyword: LabelId,
+    ) -> Vec<VId> {
+        let mut path = vec![root];
+        let mut cur = root;
+        let mut d = index
+            .node_keyword_distance(root, keyword)
+            .expect("root must reach keyword");
+        while d > 0 {
+            let next = g
+                .out_neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| index.node_keyword_distance(w, keyword) == Some(d - 1))
+                .expect("node-keyword map must admit a descent step");
+            path.push(next);
+            cur = next;
+            d -= 1;
+        }
+        path
+    }
+}
+
+impl KeywordSearch for Blinks {
+    type Index = BlinksIndex;
+
+    fn name(&self) -> &'static str {
+        "rkws"
+    }
+
+    fn build_index(&self, g: &DiGraph) -> BlinksIndex {
+        BlinksIndex::build(g, &self.params)
+    }
+
+    fn search(
+        &self,
+        g: &DiGraph,
+        index: &BlinksIndex,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> Vec<AnswerGraph> {
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let dmax = query.dmax.min(index.prune_dist());
+        let n = query.len();
+
+        // Seeds: the distance-0 prefix of each keyword-node list (the
+        // vertices containing the keyword). A missing list means the
+        // keyword is absent.
+        let mut frontiers: Vec<std::collections::VecDeque<VId>> = Vec::with_capacity(n);
+        let mut dists: Vec<FxHashMap<VId, u32>> = vec![FxHashMap::default(); n];
+        for (i, &q) in query.keywords.iter().enumerate() {
+            let Some(list) = index.keyword_node_list(q) else {
+                return Vec::new();
+            };
+            let mut queue = std::collections::VecDeque::new();
+            for &(d, v) in list.iter().take_while(|&&(d, _)| d == 0) {
+                debug_assert_eq!(d, 0);
+                dists[i].insert(v, 0);
+                queue.push_back(v);
+            }
+            if queue.is_empty() {
+                return Vec::new();
+            }
+            frontiers.push(queue);
+        }
+
+        // Blocks that can host a root: must appear in every keyword's
+        // block list (block-level pruning of the bi-level index).
+        let root_blocks: Vec<&[u32]> = query
+            .keywords
+            .iter()
+            .map(|&q| index.keyword_blocks(q))
+            .collect();
+        let block_ok = |v: VId| {
+            let b = index.partition().block_of(v);
+            root_blocks.iter().all(|bl| bl.binary_search(&b).is_ok())
+        };
+
+        // Backward expansion state: how many keywords reached each
+        // candidate and its accumulated score.
+        let mut hit_count: FxHashMap<VId, (u8, u64)> = FxHashMap::default();
+        for f in frontiers.iter().enumerate().flat_map(|(i, q)| {
+            let _ = i;
+            q.iter().copied().collect::<Vec<_>>()
+        }) {
+            let e = hit_count.entry(f).or_insert((0, 0));
+            e.0 += 1;
+        }
+        let mut depth = vec![0u32; n];
+        let mut roots: Vec<(u64, VId)> = Vec::new();
+        let mut best_k: std::collections::BinaryHeap<u64> = std::collections::BinaryHeap::new();
+        // Record completed roots (exact scores known on completion).
+        let complete = |entry: (u8, u64),
+                            v: VId,
+                            roots: &mut Vec<(u64, VId)>,
+                            best_k: &mut std::collections::BinaryHeap<u64>| {
+            if entry.0 as usize == n && block_ok(v) {
+                roots.push((entry.1, v));
+                best_k.push(entry.1);
+                if best_k.len() > k {
+                    best_k.pop();
+                }
+            }
+        };
+        // Seeds that are already complete (single-keyword queries).
+        if n == 1 {
+            for (&v, &e) in hit_count.iter() {
+                complete(e, v, &mut roots, &mut best_k);
+            }
+        }
+
+        // Round-robin backward BFS, one level of one keyword at a time,
+        // always advancing the keyword with the smallest current depth.
+        loop {
+            // Termination: every unfinished root needs at least one more
+            // step from some keyword, so its score is at least
+            // Σ_i depth_i; stop once the k-th best beats that bound.
+            let active: Vec<usize> = (0..n)
+                .filter(|&i| !frontiers[i].is_empty() && depth[i] < dmax)
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let bound: u64 = depth.iter().map(|&d| d as u64).sum();
+            if best_k.len() >= k && *best_k.peek().unwrap() <= bound {
+                break;
+            }
+            let i = *active
+                .iter()
+                .min_by_key(|&&i| (depth[i], frontiers[i].len()))
+                .unwrap();
+            // Expand one full BFS level of keyword i.
+            let level = frontiers[i].len();
+            let next_depth = depth[i] + 1;
+            for _ in 0..level {
+                let u = frontiers[i].pop_front().unwrap();
+                for &w in g.in_neighbors(u) {
+                    if dists[i].contains_key(&w) {
+                        continue;
+                    }
+                    dists[i].insert(w, next_depth);
+                    frontiers[i].push_back(w);
+                    let e = hit_count.entry(w).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += next_depth as u64;
+                    if e.0 as usize == n {
+                        complete(*e, w, &mut roots, &mut best_k);
+                    }
+                }
+            }
+            depth[i] = next_depth;
+        }
+
+        // Materialize answers for the best roots.
+        roots.sort_unstable();
+        roots.truncate(k);
+        let answers = roots
+            .into_iter()
+            .map(|(score, root)| {
+                let mut vertices = Vec::new();
+                let mut edges = Vec::new();
+                let mut keyword_matches = vec![Vec::new(); n];
+                for (i, &q) in query.keywords.iter().enumerate() {
+                    let path = Self::descend_path(g, index, root, q);
+                    for w in path.windows(2) {
+                        edges.push((w[0], w[1]));
+                    }
+                    keyword_matches[i].push(*path.last().unwrap());
+                    vertices.extend(path);
+                }
+                AnswerGraph::new(vertices, edges, keyword_matches, Some(root), score)
+            })
+            .collect();
+        rank_and_truncate(answers, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banks::Banks;
+    use bgi_graph::generate::uniform_random;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    fn small_params() -> BlinksParams {
+        BlinksParams {
+            block_size: 8,
+            prune_dist: 5,
+        }
+    }
+
+    #[test]
+    fn matches_banks_on_random_graphs() {
+        // BLINKS implements the same distinct-root semantics as our
+        // Banks baseline; top-k roots and scores must agree.
+        for seed in 0..8 {
+            let g = uniform_random(120, 360, 5, seed);
+            let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 4);
+            let blinks = Blinks::new(small_params());
+            let a = blinks.search_fresh(&g, &q, 1000);
+            let b = Banks.search_fresh(&g, &q, 1000);
+            let key = |ans: &AnswerGraph| (ans.root, ans.score);
+            let mut ka: Vec<_> = a.iter().map(key).collect();
+            let mut kb: Vec<_> = b.iter().map(key).collect();
+            ka.sort_unstable();
+            kb.sort_unstable();
+            assert_eq!(ka, kb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn top_k_early_termination_is_exact() {
+        for seed in 0..5 {
+            let g = uniform_random(200, 600, 4, seed + 100);
+            let q = KeywordQuery::new(vec![LabelId(0), LabelId(2)], 5);
+            let blinks = Blinks::new(small_params());
+            let idx = blinks.build_index(&g);
+            let top3 = blinks.search(&g, &idx, &q, 3);
+            let all = blinks.search(&g, &idx, &q, usize::MAX / 2);
+            assert_eq!(
+                top3.iter().map(|a| a.score).collect::<Vec<_>>(),
+                all.iter().take(3).map(|a| a.score).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn answers_validate() {
+        let g = uniform_random(150, 450, 4, 7);
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1), LabelId(3)], 4);
+        let blinks = Blinks::new(small_params());
+        for a in blinks.search_fresh(&g, &q, 10) {
+            assert!(a.validate(&g, &q.keywords));
+            assert!(a.score <= (q.dmax as u64) * q.len() as u64);
+        }
+    }
+
+    #[test]
+    fn prune_dist_clamps_dmax() {
+        // Chain 0 -> 1 -> 2 -> 3(A): with prune_dist 2 the index cannot
+        // see roots at distance 3.
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_vertex(LabelId(0));
+        }
+        b.add_vertex(LabelId(1));
+        b.add_edge(VId(0), VId(1));
+        b.add_edge(VId(1), VId(2));
+        b.add_edge(VId(2), VId(3));
+        let g = b.build();
+        let blinks = Blinks::new(BlinksParams {
+            block_size: 2,
+            prune_dist: 2,
+        });
+        let q = KeywordQuery::new(vec![LabelId(1)], 5);
+        let answers = blinks.search_fresh(&g, &q, 10);
+        let roots: Vec<_> = answers.iter().map(|a| a.root.unwrap()).collect();
+        assert!(roots.contains(&VId(1)));
+        assert!(!roots.contains(&VId(0)), "beyond τ_prune");
+    }
+
+    #[test]
+    fn missing_keyword_returns_empty() {
+        let g = uniform_random(50, 100, 2, 3);
+        let blinks = Blinks::new(small_params());
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(42)], 3);
+        assert!(blinks.search_fresh(&g, &q, 5).is_empty());
+    }
+
+    #[test]
+    fn single_keyword_best_root_is_keyword_node() {
+        let g = uniform_random(80, 200, 3, 11);
+        let blinks = Blinks::new(small_params());
+        let q = KeywordQuery::new(vec![LabelId(1)], 3);
+        let answers = blinks.search_fresh(&g, &q, 1);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].score, 0);
+        assert_eq!(g.label(answers[0].root.unwrap()), LabelId(1));
+    }
+}

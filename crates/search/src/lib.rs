@@ -1,0 +1,40 @@
+//! # bgi-search
+//!
+//! Keyword search algorithms on directed labeled graphs — the plug-in
+//! semantics `f` of the BiG-index paper (Secs. 2 and 5):
+//!
+//! - [`banks`]: **bkws**, backward keyword search in the style of BANKS
+//!   (Bhalotia et al., ICDE'02): find roots that reach one node per query
+//!   keyword within `d_max` hops, ranked by total root-to-keyword distance.
+//! - [`blinks`]: **rkws**, ranked keyword search with a bi-level index in
+//!   the style of BLINKS (He et al., SIGMOD'07): a graph partitioner
+//!   (stand-in for METIS), per-keyword node lists sorted by distance, a
+//!   node-keyword distance map, and sorted backward expansion with
+//!   top-k early termination under the distinct-root semantics.
+//! - [`rclique`]: **dkws**, distance-based keyword search in the style of
+//!   r-clique (Kargar & An, VLDB'11): a bounded neighbor index, a greedy
+//!   approximate best answer, and top-k enumeration by search-space
+//!   decomposition.
+//!
+//! All three implement the [`semantics::KeywordSearch`] trait, which is
+//! the exact surface BiG-index needs: they are label-based (match
+//! `L(v) = q`) and traversal-based (path-preserving summaries keep their
+//! answers), so they run unchanged on summary graphs.
+
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod banks;
+pub mod bidirectional;
+pub mod blinks;
+pub mod query;
+pub mod rclique;
+pub mod semantics;
+
+pub use answer::AnswerGraph;
+pub use banks::Banks;
+pub use bidirectional::Bidirectional;
+pub use blinks::Blinks;
+pub use query::KeywordQuery;
+pub use rclique::RClique;
+pub use semantics::KeywordSearch;

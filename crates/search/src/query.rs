@@ -1,0 +1,93 @@
+//! Keyword queries.
+//!
+//! A query is the 2-ary tuple `(Q, d_max)` of Sec. 2: a set of keyword
+//! labels plus a distance bound. A vertex `v` *contains* keyword `q`
+//! when `L(v) = q`.
+
+use bgi_graph::LabelId;
+
+/// A keyword query: keywords (as interned labels) plus the hop bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    /// The query keywords `Q = {q_1, …, q_n}`.
+    pub keywords: Vec<LabelId>,
+    /// Distance bound `d_max` (BLINKS' pruning threshold `τ_prune`;
+    /// r-clique's `r`).
+    pub dmax: u32,
+}
+
+impl KeywordQuery {
+    /// Creates a query; duplicate keywords are removed (a query is a set).
+    pub fn new(keywords: impl Into<Vec<LabelId>>, dmax: u32) -> Self {
+        let mut keywords = keywords.into();
+        let mut seen = Vec::new();
+        keywords.retain(|k| {
+            if seen.contains(k) {
+                false
+            } else {
+                seen.push(*k);
+                true
+            }
+        });
+        KeywordQuery { keywords, dmax }
+    }
+
+    /// Number of keywords `|Q|`.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// True if the query has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// Returns a copy with keywords rewritten through `map`
+    /// (`map[old_label] = new_label`) — the query half of `Gen`.
+    /// Note this can merge keywords; BiG-index's Def. 4.1 rejects layers
+    /// where that happens.
+    pub fn relabel(&self, map: &[LabelId]) -> KeywordQuery {
+        KeywordQuery::new(
+            self.keywords
+                .iter()
+                .map(|k| map.get(k.index()).copied().unwrap_or(*k))
+                .collect::<Vec<_>>(),
+            self.dmax,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_keywords() {
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(2), LabelId(1)], 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.keywords, vec![LabelId(1), LabelId(2)]);
+    }
+
+    #[test]
+    fn relabel_maps_and_may_merge() {
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 3);
+        let map = vec![LabelId(5), LabelId(5)];
+        let gq = q.relabel(&map);
+        assert_eq!(gq.len(), 1); // merged
+        assert_eq!(gq.keywords, vec![LabelId(5)]);
+        assert_eq!(gq.dmax, 3);
+    }
+
+    #[test]
+    fn relabel_out_of_range_is_identity() {
+        let q = KeywordQuery::new(vec![LabelId(9)], 2);
+        let gq = q.relabel(&[LabelId(1)]);
+        assert_eq!(gq.keywords, vec![LabelId(9)]);
+    }
+
+    #[test]
+    fn empty_query() {
+        let q = KeywordQuery::new(Vec::<LabelId>::new(), 1);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! `dkws`: distance-based keyword search after r-clique
+//! (Kargar & An, VLDB'11).
+//!
+//! An *r-clique* is a set of keyword nodes — one per query keyword —
+//! whose pairwise (undirected) shortest distances are all at most `r`,
+//! weighted by the sum of pairwise distances. Computing the optimum is
+//! NP-hard; Kargar & An give a greedy 2-approximation for the best
+//! answer and enumerate top-k answers by search-space decomposition.
+//!
+//! Structures:
+//! - [`neighbor_index::NeighborIndex`] — for each vertex, the vertices
+//!   within `R` undirected hops with their distances (the paper's
+//!   "neighbor list"; its `O(mn)` size is what blows up on IMDB in the
+//!   original evaluation, and [`neighbor_index::NeighborIndex::estimated_bytes`]
+//!   reproduces that accounting).
+//! - [`search::RClique`] — greedy best answer + Lawler-style top-k
+//!   decomposition.
+
+pub mod neighbor_index;
+pub mod search;
+
+pub use neighbor_index::{NeighborIndex, NeighborIndexParams};
+pub use search::RClique;

@@ -1,0 +1,278 @@
+//! The r-clique neighbor index.
+//!
+//! For each vertex `v`, stores every vertex within `R` *undirected* hops
+//! together with its distance, sorted by vertex id for `O(log)` lookup.
+//! Kargar & An keep exactly this `O(m·n)`-sized structure; the BiG-index
+//! paper reports it reaching an estimated 16 TB on IMDB. We reproduce the
+//! accounting via [`NeighborIndex::estimated_bytes`] and let callers
+//! enforce a budget with [`NeighborIndex::try_build`].
+
+use bgi_graph::{DiGraph, VId};
+use std::collections::VecDeque;
+
+/// Parameters for the neighbor index.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborIndexParams {
+    /// Distance bound `R` (the paper's experiments use 4).
+    pub radius: u32,
+    /// Optional memory budget in bytes; `try_build` fails when the
+    /// index would exceed it.
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for NeighborIndexParams {
+    fn default() -> Self {
+        NeighborIndexParams {
+            radius: 4,
+            max_bytes: None,
+        }
+    }
+}
+
+/// Per-vertex bounded undirected neighborhoods with distances.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    radius: u32,
+    // CSR layout: entries[offsets[v]..offsets[v+1]] = (neighbor, dist),
+    // sorted by neighbor id.
+    offsets: Vec<u64>,
+    entries: Vec<(VId, u16)>,
+}
+
+/// Error returned when the index would exceed its memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexTooLarge {
+    /// Estimated size of the full index in bytes.
+    pub estimated_bytes: usize,
+    /// The configured budget.
+    pub budget_bytes: usize,
+}
+
+impl std::fmt::Display for IndexTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "neighbor index would need ~{} bytes, over the {} byte budget",
+            self.estimated_bytes, self.budget_bytes
+        )
+    }
+}
+
+impl std::error::Error for IndexTooLarge {}
+
+impl NeighborIndex {
+    /// Builds the index unconditionally.
+    pub fn build(g: &DiGraph, radius: u32) -> Self {
+        Self::try_build(
+            g,
+            &NeighborIndexParams {
+                radius,
+                max_bytes: None,
+            },
+        )
+        .expect("no budget set")
+    }
+
+    /// Builds the index, failing early if the estimated size exceeds
+    /// `params.max_bytes`. The estimate extrapolates from a prefix of
+    /// vertices, mirroring how the original evaluation estimated 16 TB
+    /// for IMDB without materializing the index.
+    pub fn try_build(g: &DiGraph, params: &NeighborIndexParams) -> Result<Self, IndexTooLarge> {
+        let n = g.num_vertices();
+        if let Some(budget) = params.max_bytes {
+            let estimated = Self::estimate_bytes(g, params.radius);
+            if estimated > budget {
+                return Err(IndexTooLarge {
+                    estimated_bytes: estimated,
+                    budget_bytes: budget,
+                });
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut entries = Vec::new();
+        let mut scratch = Scratch::new(n);
+        for v in g.vertices() {
+            let start = entries.len();
+            scratch.undirected_ball(g, v, params.radius, &mut entries);
+            entries[start..].sort_unstable_by_key(|&(u, _)| u);
+            offsets.push(entries.len() as u64);
+        }
+        Ok(NeighborIndex {
+            radius: params.radius,
+            offsets,
+            entries,
+        })
+    }
+
+    /// Estimates the full index size in bytes by sampling the first
+    /// `min(n, 64)` vertices' neighborhood sizes.
+    pub fn estimate_bytes(g: &DiGraph, radius: u32) -> usize {
+        let n = g.num_vertices();
+        if n == 0 {
+            return 0;
+        }
+        let sample = n.min(64);
+        let mut scratch = Scratch::new(n);
+        let mut tmp = Vec::new();
+        let mut total = 0usize;
+        for v in 0..sample as u32 {
+            tmp.clear();
+            scratch.undirected_ball(g, VId(v), radius, &mut tmp);
+            total += tmp.len();
+        }
+        let avg = total as f64 / sample as f64;
+        (avg * n as f64) as usize * std::mem::size_of::<(VId, u16)>()
+    }
+
+    /// The distance bound the index was built with.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Undirected bounded distance between `u` and `v`, if `≤ radius`.
+    pub fn distance(&self, u: VId, v: VId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let list = self.neighbors(u);
+        list.binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| list[i].1 as u32)
+    }
+
+    /// All `(neighbor, distance)` pairs of `v`, sorted by neighbor id.
+    pub fn neighbors(&self, v: VId) -> &[(VId, u16)] {
+        &self.entries[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Actual size of the materialized index in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(VId, u16)>()
+            + self.offsets.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Reusable BFS scratch over the undirected view of a graph.
+struct Scratch {
+    dist: Vec<u32>,
+    touched: Vec<VId>,
+    queue: VecDeque<VId>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            dist: vec![u32::MAX; n],
+            touched: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Appends `(u, dist)` for every `u ≠ v` within `r` undirected hops
+    /// of `v` to `out`.
+    fn undirected_ball(&mut self, g: &DiGraph, v: VId, r: u32, out: &mut Vec<(VId, u16)>) {
+        for &t in &self.touched {
+            self.dist[t.index()] = u32::MAX;
+        }
+        self.touched.clear();
+        self.queue.clear();
+        self.dist[v.index()] = 0;
+        self.touched.push(v);
+        self.queue.push_back(v);
+        while let Some(u) = self.queue.pop_front() {
+            let d = self.dist[u.index()];
+            if d >= r {
+                continue;
+            }
+            for &w in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if self.dist[w.index()] == u32::MAX {
+                    self.dist[w.index()] = d + 1;
+                    self.touched.push(w);
+                    self.queue.push_back(w);
+                    out.push((w, (d + 1) as u16));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    /// 0 -> 1 -> 2, 3 -> 2 (undirected dist(0,3) = 3).
+    fn sample() -> DiGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_vertex(LabelId(0));
+        }
+        b.add_edge(VId(0), VId(1));
+        b.add_edge(VId(1), VId(2));
+        b.add_edge(VId(3), VId(2));
+        b.build()
+    }
+
+    #[test]
+    fn undirected_distances() {
+        let g = sample();
+        let idx = NeighborIndex::build(&g, 4);
+        assert_eq!(idx.distance(VId(0), VId(1)), Some(1));
+        assert_eq!(idx.distance(VId(1), VId(0)), Some(1)); // ignores direction
+        assert_eq!(idx.distance(VId(0), VId(3)), Some(3));
+        assert_eq!(idx.distance(VId(2), VId(2)), Some(0));
+    }
+
+    #[test]
+    fn radius_bounds_distances() {
+        let g = sample();
+        let idx = NeighborIndex::build(&g, 2);
+        assert_eq!(idx.distance(VId(0), VId(2)), Some(2));
+        assert_eq!(idx.distance(VId(0), VId(3)), None);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = sample();
+        let idx = NeighborIndex::build(&g, 4);
+        for v in g.vertices() {
+            let ns = idx.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let g = bgi_graph::generate::uniform_random(200, 800, 3, 5);
+        let err = NeighborIndex::try_build(
+            &g,
+            &NeighborIndexParams {
+                radius: 4,
+                max_bytes: Some(16),
+            },
+        )
+        .unwrap_err();
+        assert!(err.estimated_bytes > 16);
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn estimate_close_to_actual_on_uniform_graph() {
+        let g = bgi_graph::generate::uniform_random(300, 900, 3, 9);
+        let est = NeighborIndex::estimate_bytes(&g, 2);
+        let idx = NeighborIndex::build(&g, 2);
+        let actual = idx.entries.len() * std::mem::size_of::<(VId, u16)>();
+        // Sampling the first 64 vertices of a uniform graph should land
+        // within 3x of the truth.
+        assert!(est > actual / 3 && est < actual * 3, "est {est}, actual {actual}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let idx = NeighborIndex::build(&g, 3);
+        assert_eq!(idx.estimated_bytes(), std::mem::size_of::<u64>());
+        assert_eq!(NeighborIndex::estimate_bytes(&g, 3), 0);
+    }
+}

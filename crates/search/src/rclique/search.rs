@@ -1,0 +1,415 @@
+//! r-clique search: greedy best answer + top-k search-space
+//! decomposition (Sec. 5.2 of the BiG-index paper).
+//!
+//! The best answer of a search space `SP = (V_q1, …, V_qn)` is
+//! approximated greedily: for each content node `u` of the most
+//! selective keyword, take the nearest content node of every other
+//! keyword (`u'_j = argmin dist(u, u_j)`), keep the candidate only if
+//! all pairwise distances are ≤ r, and return the minimum-weight valid
+//! candidate (weight = sum of pairwise distances). Top-k answers are
+//! enumerated Lawler-style: when `(SP, a)` is popped, `SP` is split into
+//! disjoint subspaces by fixing a prefix of `a` and excluding one node,
+//! each subspace queued with its own best answer.
+
+use super::neighbor_index::{NeighborIndex, NeighborIndexParams};
+use crate::answer::AnswerGraph;
+use crate::query::KeywordQuery;
+use crate::semantics::KeywordSearch;
+use bgi_graph::{DiGraph, VId};
+use rustc_hash::FxHashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The r-clique keyword search algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct RClique {
+    /// Distance bound `r` used for the neighbor index (experiments: 4).
+    pub radius: u32,
+    /// Memory budget for the neighbor index, if any.
+    pub max_index_bytes: Option<usize>,
+}
+
+impl Default for RClique {
+    fn default() -> Self {
+        RClique {
+            radius: 4,
+            max_index_bytes: None,
+        }
+    }
+}
+
+/// Index: the neighbor lists plus the inverted label table.
+#[derive(Debug, Clone)]
+pub struct RCliqueIndex {
+    /// Bounded undirected distances.
+    pub neighbor: NeighborIndex,
+    label_vertices: Vec<Vec<VId>>,
+}
+
+/// One slot of a search (sub)space.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Fixed to a single content node (by Lawler decomposition).
+    Fixed(VId),
+    /// The keyword's full content-node list minus exclusions.
+    Open { excluded: Vec<VId> },
+}
+
+/// Heap item: `(weight, answer nodes, space)`, min-ordered by weight.
+struct SpaceItem {
+    weight: u64,
+    answer: Vec<VId>,
+    space: Vec<Slot>,
+}
+
+impl PartialEq for SpaceItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.answer == other.answer
+    }
+}
+impl Eq for SpaceItem {}
+impl PartialOrd for SpaceItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SpaceItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.weight
+            .cmp(&other.weight)
+            .then_with(|| self.answer.cmp(&other.answer))
+    }
+}
+
+impl RClique {
+    /// Builds the answer graph for a picked node set: keyword nodes plus
+    /// undirected witness paths from the first node to every other.
+    fn materialize(g: &DiGraph, r: u32, picked: &[VId], weight: u64) -> AnswerGraph {
+        let hub = picked[0];
+        // One undirected BFS from the hub with parent pointers.
+        let mut parent: FxHashMap<VId, VId> = FxHashMap::default();
+        let mut queue = VecDeque::new();
+        let mut dist: FxHashMap<VId, u32> = FxHashMap::default();
+        dist.insert(hub, 0);
+        queue.push_back(hub);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[&u];
+            if d >= r {
+                continue;
+            }
+            for &w in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(d + 1);
+                    parent.insert(w, u);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut vertices = vec![hub];
+        let mut edges = Vec::new();
+        for &t in &picked[1..] {
+            let mut cur = t;
+            vertices.push(cur);
+            while cur != hub {
+                let p = parent[&cur];
+                // Orient the edge as it exists in the data graph.
+                if g.has_edge(p, cur) {
+                    edges.push((p, cur));
+                } else {
+                    edges.push((cur, p));
+                }
+                vertices.push(p);
+                cur = p;
+            }
+        }
+        let keyword_matches = picked.iter().map(|&v| vec![v]).collect();
+        AnswerGraph::new(vertices, edges, keyword_matches, None, weight)
+    }
+}
+
+impl KeywordSearch for RClique {
+    type Index = RCliqueIndex;
+
+    fn name(&self) -> &'static str {
+        "dkws"
+    }
+
+    fn build_index(&self, g: &DiGraph) -> RCliqueIndex {
+        let neighbor = NeighborIndex::try_build(
+            g,
+            &NeighborIndexParams {
+                radius: self.radius,
+                max_bytes: self.max_index_bytes,
+            },
+        )
+        .expect("neighbor index exceeds the configured memory budget");
+        let mut label_vertices = vec![Vec::new(); g.alphabet_size()];
+        for v in g.vertices() {
+            label_vertices[g.label(v).index()].push(v);
+        }
+        RCliqueIndex {
+            neighbor,
+            label_vertices,
+        }
+    }
+
+    fn search(
+        &self,
+        g: &DiGraph,
+        index: &RCliqueIndex,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> Vec<AnswerGraph> {
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let r = query.dmax.min(index.neighbor.radius());
+        // Per-query content node lists (the search space SP).
+        let content: Vec<&[VId]> = query
+            .keywords
+            .iter()
+            .map(|&q| {
+                index
+                    .label_vertices
+                    .get(q.index())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+            })
+            .collect();
+        if content.iter().any(|c| c.is_empty()) {
+            return Vec::new();
+        }
+        let n = query.len();
+
+        // Local closure versions of best_answer using per-query content.
+        let candidates = |space: &[Slot], i: usize| -> Vec<VId> {
+            match &space[i] {
+                Slot::Fixed(v) => vec![*v],
+                Slot::Open { excluded } => content[i]
+                    .iter()
+                    .copied()
+                    .filter(|v| !excluded.contains(v))
+                    .collect(),
+            }
+        };
+        let best_answer = |space: &[Slot]| -> Option<(u64, Vec<VId>)> {
+            let cand_lists: Vec<Vec<VId>> = (0..n).map(|i| candidates(space, i)).collect();
+            if cand_lists.iter().any(Vec::is_empty) {
+                return None;
+            }
+            let pivot = (0..n).min_by_key(|&i| cand_lists[i].len()).unwrap();
+            let mut best: Option<(u64, Vec<VId>)> = None;
+            for &u in &cand_lists[pivot] {
+                let mut picked = vec![u; n];
+                let mut feasible = true;
+                for j in 0..n {
+                    if j == pivot {
+                        continue;
+                    }
+                    let mut best_j: Option<(u32, VId)> = None;
+                    for &w in &cand_lists[j] {
+                        if let Some(d) = index.neighbor.distance(u, w) {
+                            if d <= r && best_j.is_none_or(|(bd, bw)| (d, w) < (bd, bw)) {
+                                best_j = Some((d, w));
+                            }
+                        }
+                    }
+                    match best_j {
+                        Some((_, w)) => picked[j] = w,
+                        None => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if !feasible {
+                    continue;
+                }
+                let mut weight = 0u64;
+                let mut valid = true;
+                'pairs: for a in 0..n {
+                    for b in a + 1..n {
+                        match index.neighbor.distance(picked[a], picked[b]) {
+                            Some(d) if d <= r => weight += d as u64,
+                            _ => {
+                                valid = false;
+                                break 'pairs;
+                            }
+                        }
+                    }
+                }
+                if valid
+                    && best
+                        .as_ref()
+                        .is_none_or(|(bw, ba)| (weight, &picked) < (*bw, ba))
+                {
+                    best = Some((weight, picked));
+                }
+            }
+            best
+        };
+
+        let root_space: Vec<Slot> = (0..n)
+            .map(|_| Slot::Open { excluded: Vec::new() })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<SpaceItem>> = BinaryHeap::new();
+        if let Some((weight, answer)) = best_answer(&root_space) {
+            heap.push(Reverse(SpaceItem {
+                weight,
+                answer,
+                space: root_space,
+            }));
+        }
+        let mut results = Vec::new();
+        while let Some(Reverse(item)) = heap.pop() {
+            results.push(Self::materialize(g, r, &item.answer, item.weight));
+            if results.len() >= k {
+                break;
+            }
+            // Lawler decomposition into disjoint subspaces.
+            for i in 0..n {
+                if matches!(item.space[i], Slot::Fixed(_)) {
+                    continue;
+                }
+                let mut child: Vec<Slot> = Vec::with_capacity(n);
+                for (j, slot) in item.space.iter().enumerate() {
+                    if j < i {
+                        child.push(match slot {
+                            Slot::Fixed(v) => Slot::Fixed(*v),
+                            Slot::Open { .. } => Slot::Fixed(item.answer[j]),
+                        });
+                    } else if j == i {
+                        let mut excluded = match slot {
+                            Slot::Open { excluded } => excluded.clone(),
+                            Slot::Fixed(_) => unreachable!(),
+                        };
+                        excluded.push(item.answer[i]);
+                        child.push(Slot::Open { excluded });
+                    } else {
+                        child.push(slot.clone());
+                    }
+                }
+                if let Some((weight, answer)) = best_answer(&child) {
+                    heap.push(Reverse(SpaceItem {
+                        weight,
+                        answer,
+                        space: child,
+                    }));
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::generate::uniform_random;
+    use bgi_graph::{GraphBuilder, LabelId};
+
+    /// hub(0, H) -> a(1, A); hub -> b(2, B); far(3, A) isolated-ish:
+    /// 4(C) -> 3.
+    fn sample() -> DiGraph {
+        let mut bld = GraphBuilder::new();
+        let h = bld.add_vertex(LabelId(0));
+        let a = bld.add_vertex(LabelId(1));
+        let b = bld.add_vertex(LabelId(2));
+        let fa = bld.add_vertex(LabelId(1));
+        let c = bld.add_vertex(LabelId(3));
+        bld.add_edge(h, a);
+        bld.add_edge(h, b);
+        bld.add_edge(c, fa);
+        bld.build()
+    }
+
+    #[test]
+    fn finds_min_weight_clique() {
+        let g = sample();
+        let rc = RClique {
+            radius: 4,
+            max_index_bytes: None,
+        };
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(2)], 4);
+        let answers = rc.search_fresh(&g, &q, 10);
+        assert!(!answers.is_empty());
+        // Best: a and b, undirected distance 2 via hub.
+        assert_eq!(answers[0].score, 2);
+        assert_eq!(answers[0].keyword_matches[0], vec![VId(1)]);
+        assert_eq!(answers[0].keyword_matches[1], vec![VId(2)]);
+        assert!(answers[0].is_weakly_connected());
+    }
+
+    #[test]
+    fn respects_distance_bound() {
+        let g = sample();
+        let rc = RClique {
+            radius: 1,
+            max_index_bytes: None,
+        };
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(2)], 1);
+        // a and b are 2 apart: no clique at r = 1.
+        assert!(rc.search_fresh(&g, &q, 10).is_empty());
+    }
+
+    #[test]
+    fn top_k_weights_nondecreasing() {
+        let g = uniform_random(150, 450, 4, 5);
+        let rc = RClique::default();
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 4);
+        let answers = rc.search_fresh(&g, &q, 10);
+        assert!(answers.windows(2).all(|w| w[0].score <= w[1].score));
+    }
+
+    #[test]
+    fn answers_are_distinct() {
+        let g = uniform_random(150, 450, 4, 6);
+        let rc = RClique::default();
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(2)], 4);
+        let answers = rc.search_fresh(&g, &q, 10);
+        let mut ids: Vec<_> = answers.iter().map(|a| a.identity()).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn all_pairs_within_r() {
+        let g = uniform_random(120, 360, 3, 7);
+        let rc = RClique::default();
+        let idx = rc.build_index(&g);
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1), LabelId(2)], 4);
+        for a in rc.search(&g, &idx, &q, 5) {
+            let picked: Vec<VId> = a.keyword_matches.iter().map(|m| m[0]).collect();
+            for i in 0..picked.len() {
+                for j in i + 1..picked.len() {
+                    let d = idx.neighbor.distance(picked[i], picked[j]);
+                    assert!(d.is_some() && d.unwrap() <= 4);
+                }
+            }
+            assert!(a.validate(&g, &q.keywords));
+        }
+    }
+
+    #[test]
+    fn missing_keyword_empty() {
+        let g = sample();
+        let rc = RClique::default();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(9)], 4);
+        assert!(rc.search_fresh(&g, &q, 5).is_empty());
+    }
+
+    #[test]
+    fn second_best_found_by_decomposition() {
+        let g = sample();
+        let rc = RClique::default();
+        let q = KeywordQuery::new(vec![LabelId(1)], 4);
+        // Single keyword: both A-nodes are answers (weight 0 each).
+        let answers = rc.search_fresh(&g, &q, 10);
+        assert_eq!(answers.len(), 2);
+        let mut nodes: Vec<VId> = answers.iter().map(|a| a.keyword_matches[0][0]).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![VId(1), VId(3)]);
+    }
+}

@@ -1,0 +1,40 @@
+//! The plug-in surface for keyword search semantics — the `f` of the
+//! paper's problem statement (Def. 2.3).
+//!
+//! BiG-index only assumes `f` is *label-based* (vertices match keywords
+//! by label) and *traversal-based* (its answers survive path-preserving
+//! summarization). Any [`KeywordSearch`] implementation can therefore be
+//! evaluated on the data graph or on any summary layer unchanged; the
+//! index for the layer is rebuilt by [`KeywordSearch::build_index`].
+
+use crate::answer::AnswerGraph;
+use crate::query::KeywordQuery;
+use bgi_graph::DiGraph;
+
+/// A keyword search algorithm with a per-graph index.
+pub trait KeywordSearch {
+    /// The algorithm's precomputed per-graph index.
+    type Index;
+
+    /// Human-readable algorithm name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Builds the algorithm's index over `g`.
+    fn build_index(&self, g: &DiGraph) -> Self::Index;
+
+    /// Evaluates `query` on `g` using `index`, returning up to `k`
+    /// answers ranked best (lowest score) first.
+    fn search(
+        &self,
+        g: &DiGraph,
+        index: &Self::Index,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> Vec<AnswerGraph>;
+
+    /// Convenience: build the index and search in one call.
+    fn search_fresh(&self, g: &DiGraph, query: &KeywordQuery, k: usize) -> Vec<AnswerGraph> {
+        let index = self.build_index(g);
+        self.search(g, &index, query, k)
+    }
+}

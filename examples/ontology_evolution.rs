@@ -1,0 +1,81 @@
+//! Ontology evolution (Sec. 3.2, "Maintenance of BiG-index"): adding a
+//! subtype relation never invalidates the index; removing one rewrites
+//! the affected configurations and rebuilds the affected layers.
+//!
+//! ```sh
+//! cargo run --release --example ontology_evolution
+//! ```
+
+use big_index_repro::bisim::BisimDirection;
+use big_index_repro::graph::{GraphBuilder, LabelInterner, OntologyBuilder};
+use big_index_repro::index::{BiGIndex, Boosted, EvalOptions, GenConfig};
+use big_index_repro::search::{Banks, KeywordQuery};
+
+fn main() {
+    let mut labels = LabelInterner::new();
+    let person = labels.intern("Person");
+    let prof = labels.intern("Professor");
+    let student = labels.intern("Student");
+    let univ = labels.intern("Univ");
+    let postdoc = labels.intern("Postdoc"); // not yet in the ontology
+
+    let mut ont = OntologyBuilder::new(labels.len());
+    ont.add_subtype(person, prof);
+    ont.add_subtype(person, student);
+    let ontology = ont.build().unwrap();
+
+    let mut g = GraphBuilder::new();
+    let hub = g.add_vertex(univ);
+    for i in 0..30 {
+        let label = match i % 3 {
+            0 => prof,
+            1 => student,
+            _ => postdoc,
+        };
+        let v = g.add_vertex(label);
+        g.add_edge(v, hub);
+    }
+    let graph = g.build();
+
+    let config = GenConfig::new([(prof, person), (student, person)], &ontology).unwrap();
+    let index = BiGIndex::build_with_configs(
+        graph,
+        ontology,
+        vec![config],
+        BisimDirection::Forward,
+    );
+    println!(
+        "initial index: layer sizes {:?} (postdocs not generalized)",
+        index.layer_sizes()
+    );
+
+    // The knowledge engineers add Postdoc ⊏ Person: the index stays
+    // correct as-is and can be rebuilt to exploit the new relation.
+    let richer = index.ontology_edge_added(person, postdoc).unwrap();
+    println!(
+        "after adding Person ⊐ Postdoc: layer sizes {:?} (rebuild may now also map Postdoc)",
+        richer.layer_sizes()
+    );
+
+    // Later the Student relation is retracted: the affected mapping is
+    // dropped and the hierarchy rebuilt; queries still work.
+    let pruned = richer.ontology_edge_removed(person, student).unwrap();
+    println!(
+        "after removing Person ⊐ Student: layer sizes {:?}",
+        pruned.layer_sizes()
+    );
+    assert_eq!(pruned.generalize_label(student, 1), student);
+    assert_eq!(pruned.generalize_label(prof, 1), person);
+
+    let boosted = Boosted::new(&pruned, Banks, EvalOptions::default());
+    let q = KeywordQuery::new(vec![student, univ], 2);
+    let result = boosted.query(&q, 5);
+    let (baseline, _) = boosted.baseline(&q, 5);
+    println!(
+        "query {{Student, Univ}}: {} answers (baseline {}) at layer {}",
+        result.answers.len(),
+        baseline.len(),
+        result.layer
+    );
+    assert_eq!(result.answers.len(), baseline.len());
+}

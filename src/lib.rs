@@ -1,0 +1,22 @@
+//! # big-index-repro
+//!
+//! Facade crate for the BiG-index reproduction. Re-exports the workspace
+//! crates so examples and integration tests can use a single dependency:
+//!
+//! - [`graph`] — directed labeled graphs, ontology DAGs, traversals,
+//!   sampling, and generators (`bgi-graph`).
+//! - [`bisim`] — maximal-bisimulation summarization (`bgi-bisim`).
+//! - [`search`] — BANKS, BLINKS, and r-clique keyword search (`bgi-search`).
+//! - [`index`] — the BiG-index itself (`big-index`).
+//! - [`datasets`] — synthetic stand-ins for the paper's evaluation
+//!   datasets and query workloads (`bgi-datasets`).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use bgi_bisim as bisim;
+pub use bgi_datasets as datasets;
+pub use bgi_graph as graph;
+pub use bgi_search as search;
+pub use big_index as index;
