@@ -54,22 +54,18 @@ fn bench_realizers(c: &mut Criterion) {
     let mut group = c.benchmark_group("answer_generation");
     for width in [10usize, 100, 1000] {
         let (base, answer, spec) = scenario(width);
-        group.bench_with_input(
-            BenchmarkId::new("algo3_ordered", width),
-            &width,
-            |b, _| {
-                b.iter(|| vertex_answer_generation(&base, &answer, &spec, true, usize::MAX))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algo3_ordered", width), &width, |b, _| {
+            b.iter(|| vertex_answer_generation(&base, &answer, &spec, true, usize::MAX));
+        });
         group.bench_with_input(
             BenchmarkId::new("algo3_unordered", width),
             &width,
             |b, _| {
-                b.iter(|| vertex_answer_generation(&base, &answer, &spec, false, usize::MAX))
+                b.iter(|| vertex_answer_generation(&base, &answer, &spec, false, usize::MAX));
             },
         );
         group.bench_with_input(BenchmarkId::new("algo4_paths", width), &width, |b, _| {
-            b.iter(|| path_answer_generation(&base, &answer, &spec, usize::MAX))
+            b.iter(|| path_answer_generation(&base, &answer, &spec, usize::MAX));
         });
     }
     group.finish();
@@ -79,10 +75,10 @@ fn bench_early_termination(c: &mut Criterion) {
     let (base, answer, spec) = scenario(1000);
     let mut group = c.benchmark_group("answer_generation_topk");
     group.bench_function("algo4_all", |b| {
-        b.iter(|| path_answer_generation(&base, &answer, &spec, usize::MAX))
+        b.iter(|| path_answer_generation(&base, &answer, &spec, usize::MAX));
     });
     group.bench_function("algo4_top1", |b| {
-        b.iter(|| path_answer_generation(&base, &answer, &spec, 1))
+        b.iter(|| path_answer_generation(&base, &answer, &spec, 1));
     });
     group.finish();
 }

@@ -10,7 +10,7 @@ fn bench_maximal_bisimulation(c: &mut Criterion) {
     for scale in [1_000usize, 4_000, 16_000] {
         let ds = DatasetSpec::yago_like(scale).generate();
         group.bench_with_input(BenchmarkId::new("yago-like", scale), &ds, |b, ds| {
-            b.iter(|| maximal_bisimulation(&ds.graph, BisimDirection::Forward))
+            b.iter(|| maximal_bisimulation(&ds.graph, BisimDirection::Forward));
         });
     }
     group.finish();

@@ -19,10 +19,10 @@ fn bench_blinks_queries(c: &mut Criterion) {
     for q in wb.queries.iter().take(4) {
         let query = q.to_query();
         group.bench_function(format!("{}_baseline", q.id), |b| {
-            b.iter(|| boosted.baseline(&query, 10))
+            b.iter(|| boosted.baseline(&query, 10));
         });
         group.bench_function(format!("{}_boosted", q.id), |b| {
-            b.iter(|| boosted.query(&query, 10))
+            b.iter(|| boosted.query(&query, 10));
         });
     }
     group.finish();
@@ -38,7 +38,7 @@ fn bench_blinks_index_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("blinks_index_build");
     group.sample_size(10);
     group.bench_function("yago-like/4000", |b| {
-        b.iter(|| blinks.build_index(&ds.graph))
+        b.iter(|| blinks.build_index(&ds.graph));
     });
     group.finish();
 }

@@ -15,7 +15,7 @@ fn bench_default_index(c: &mut Criterion) {
     for scale in [1_000usize, 4_000] {
         let ds = DatasetSpec::yago_like(scale).generate();
         group.bench_with_input(BenchmarkId::new("yago-like", scale), &ds, |b, ds| {
-            b.iter(|| bgi_bench::setup::default_index(ds, 7))
+            b.iter(|| bgi_bench::setup::default_index(ds, 7));
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_greedy_build(c: &mut Criterion) {
         summarizer: big_index::Summarizer::Maximal,
     };
     group.bench_function("yago-like/2000", |b| {
-        b.iter(|| BiGIndex::build(ds.graph.clone(), ds.ontology.clone(), &params))
+        b.iter(|| BiGIndex::build(ds.graph.clone(), ds.ontology.clone(), &params));
     });
     group.finish();
 }

@@ -21,10 +21,10 @@ fn bench_rclique_queries(c: &mut Criterion) {
     for q in wb.queries.iter().take(4) {
         let query = q.to_query();
         group.bench_function(format!("{}_baseline", q.id), |b| {
-            b.iter(|| boosted.baseline(&query, 10))
+            b.iter(|| boosted.baseline(&query, 10));
         });
         group.bench_function(format!("{}_boosted", q.id), |b| {
-            b.iter(|| boosted.query(&query, 10))
+            b.iter(|| boosted.query(&query, 10));
         });
     }
     group.finish();
@@ -36,7 +36,7 @@ fn bench_neighbor_index(c: &mut Criterion) {
     for scale in [1_000usize, 3_000] {
         let ds = DatasetSpec::yago_like(scale).generate();
         group.bench_function(format!("yago-like/{scale}/r4"), |b| {
-            b.iter(|| NeighborIndex::build(&ds.graph, 4))
+            b.iter(|| NeighborIndex::build(&ds.graph, 4));
         });
     }
     group.finish();

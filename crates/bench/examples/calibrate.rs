@@ -10,7 +10,16 @@ fn main() {
         let ds = spec.generate();
         let (index, _) = bgi_bench::setup::default_index(&ds, 7);
         let sizes = index.layer_sizes();
-        let ratios: Vec<String> = sizes.iter().map(|&s| format!("{:.3}", s as f64 / sizes[0] as f64)).collect();
-        println!("{:14} |G0|={:6} layers={} ratios={:?}", ds.name, sizes[0], index.num_layers(), ratios);
+        let ratios: Vec<String> = sizes
+            .iter()
+            .map(|&s| format!("{:.3}", s as f64 / sizes[0] as f64))
+            .collect();
+        println!(
+            "{:14} |G0|={:6} layers={} ratios={:?}",
+            ds.name,
+            sizes[0],
+            index.num_layers(),
+            ratios
+        );
     }
 }

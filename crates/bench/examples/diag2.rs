@@ -10,24 +10,37 @@ fn main() {
     let (index, _) = bgi_bench::setup::default_index(&ds, 7);
     let min_count = (ds.num_vertices() / 100).max(3) as u32;
     let queries = bgi_datasets::benchmark_queries(&ds, 5, min_count, 0xC0FFEE);
-    let blinks = Blinks::new(BlinksParams { block_size: 1000, prune_dist: 5 });
+    let blinks = Blinks::new(BlinksParams {
+        block_size: 1000,
+        prune_dist: 5,
+    });
     let q = queries[4].to_query(); // Q5
-    println!("layers: {}, sizes: {:?}", index.num_layers(), index.layer_sizes());
+    println!(
+        "layers: {}, sizes: {:?}",
+        index.num_layers(),
+        index.layer_sizes()
+    );
     for m in 0..=2.min(index.num_layers()) {
         let g = index.graph_at(m);
         let idx = blinks.build_index(g);
         let gq = generalize_query(&index, &q, m);
         // keyword list lengths
         for &kw in &gq.keywords {
-            let len = idx.keyword_node_list(kw).map(|l| l.len()).unwrap_or(0);
+            let len = idx
+                .keyword_node_list(kw)
+                .map_or(0, <[(u16, bgi_graph::ids::VId)]>::len);
             let count = g.vertices().filter(|&v| g.label(v) == kw).count();
-            print!(" kw{:?}: count={} list={} |", kw, count, len);
+            print!(" kw{kw:?}: count={count} list={len} |");
         }
         println!();
         let t = Instant::now();
         let ans = blinks.search(g, &idx, &gq, 10);
-        println!("layer {m}: |G|={} search={:?} answers={} best_scores={:?}",
-            g.size(), t.elapsed(), ans.len(),
-            ans.iter().take(5).map(|a| a.score).collect::<Vec<_>>());
+        println!(
+            "layer {m}: |G|={} search={:?} answers={} best_scores={:?}",
+            g.size(),
+            t.elapsed(),
+            ans.len(),
+            ans.iter().take(5).map(|a| a.score).collect::<Vec<_>>()
+        );
     }
 }

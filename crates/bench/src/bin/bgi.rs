@@ -6,6 +6,7 @@
 //! bgi build <dir> [layers]                         build the index, print layer sizes
 //! bgi workload <dir>                               print the Q1-Q8 workload
 //! bgi query <dir> <kw1,kw2,...> [dmax] [k]         run a boosted BLINKS query
+//! bgi verify <dir> [layers]                        build, then check every index invariant
 //! ```
 
 use bgi_datasets::{benchmark_queries, persist, Dataset, DatasetSpec};
@@ -23,15 +24,17 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bgi <gen|stats|build|workload|query> ...\n\
+                "usage: bgi <gen|stats|build|workload|query|verify> ...\n\
                  \n\
                  bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>\n\
                  bgi stats <dir>\n\
                  bgi build <dir> [layers]\n\
                  bgi workload <dir>\n\
-                 bgi query <dir> <kw1,kw2,...> [dmax] [k]"
+                 bgi query <dir> <kw1,kw2,...> [dmax] [k]\n\
+                 bgi verify <dir> [layers]"
             );
             return ExitCode::from(2);
         }
@@ -85,8 +88,12 @@ fn cmd_stats(args: &[String]) -> CliResult {
     println!("|V|:        {}", ds.num_vertices());
     println!("|E|:        {}", ds.num_edges());
     println!("labels:     {}", ds.labels.len());
-    println!("ontology:   {} labels, {} edges, height {}",
-        ds.ontology.num_labels(), ds.ontology.num_edges(), ds.ontology.height());
+    println!(
+        "ontology:   {} labels, {} edges, height {}",
+        ds.ontology.num_labels(),
+        ds.ontology.num_edges(),
+        ds.ontology.height()
+    );
     println!("mean deg:   {:.2}", deg.mean_out);
     println!("max out/in: {} / {}", deg.max_out, deg.max_in);
     Ok(())
@@ -120,6 +127,33 @@ fn cmd_workload(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_verify(args: &[String]) -> CliResult {
+    let (dir, layers) = match args {
+        [dir] => (dir, 7usize),
+        [dir, layers] => (dir, layers.parse()?),
+        _ => return Err("usage: bgi verify <dir> [layers]".into()),
+    };
+    let ds = load(dir)?;
+    let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+    println!(
+        "built {} layer(s) in {took:?}; checking invariants…",
+        index.num_layers()
+    );
+    let report = index.verify();
+    print!("{report}");
+    if report.is_clean() {
+        println!("index is clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant(s) violated ({} total violation(s))",
+            report.failed().len(),
+            report.total_violations()
+        )
+        .into())
+    }
+}
+
 fn cmd_query(args: &[String]) -> CliResult {
     let (dir, kws, dmax, k) = match args {
         [dir, kws] => (dir, kws, 5u32, 10usize),
@@ -151,7 +185,11 @@ fn cmd_query(args: &[String]) -> CliResult {
     println!(
         "layer {} ({}), {} answer(s) in {:?}:",
         result.layer,
-        if result.fell_back { "fell back" } else { "chosen" },
+        if result.fell_back {
+            "fell back"
+        } else {
+            "chosen"
+        },
         result.answers.len(),
         took
     );
@@ -161,7 +199,12 @@ fn cmd_query(args: &[String]) -> CliResult {
             .iter()
             .map(|&v| format!("{}({})", v.0, ds.labels.name(ds.graph.label(v))))
             .collect();
-        println!("  #{i} score={} root={:?}: {}", a.score, a.root, verts.join(" "));
+        println!(
+            "  #{i} score={} root={:?}: {}",
+            a.score,
+            a.root,
+            verts.join(" ")
+        );
     }
     Ok(())
 }

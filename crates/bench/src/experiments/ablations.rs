@@ -48,7 +48,11 @@ pub fn sampling_vs_exact(scale: usize) -> String {
     t.row(&[
         "sampled (n=400, r=2)".into(),
         format!("{estimate:.4}"),
-        format!("{} (+{} sampling)", fmt_duration(estimate_time), fmt_duration(setup_time)),
+        format!(
+            "{} (+{} sampling)",
+            fmt_duration(estimate_time),
+            fmt_duration(setup_time)
+        ),
     ]);
     format!(
         "## Ablation A — sampled vs exact compression estimation (yago-like/{scale})\n\n{}",

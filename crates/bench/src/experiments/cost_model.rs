@@ -38,7 +38,7 @@ pub fn sampling_stability(scale: usize) -> String {
         t.row(&[
             n.to_string(),
             format!("{:.4}", est.estimate(&config)),
-            format!("{:.4}", exact),
+            format!("{exact:.4}"),
         ]);
     }
     format!(
@@ -68,11 +68,7 @@ pub fn estimate_correlation(scale: usize) -> (String, f64) {
     let mut exact = Vec::new();
     for _ in 0..40 {
         // Random subset of the one-step mappings.
-        let subset: Vec<_> = all
-            .iter()
-            .copied()
-            .filter(|_| rng.gen_bool(0.5))
-            .collect();
+        let subset: Vec<_> = all.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
         let config = GenConfig::new(subset, &ds.ontology).unwrap();
         estimated.push(est.estimate(&config));
         exact.push(exact_compress(
@@ -116,13 +112,13 @@ pub fn layer_prediction(scale: usize) -> (String, f64) {
             let mut best_layer = 0;
             let mut best_time = std::time::Duration::MAX;
             for m in 0..=wb.index.num_layers() {
-                if big_index::query_gen::generalize_query(&wb.index, &query, m).len()
-                    != query.len()
+                if big_index::query_gen::generalize_query(&wb.index, &query, m).len() != query.len()
                 {
                     continue;
                 }
-                let time =
-                    crate::harness::median_time(2, || boosted.query_at_layer(&query, 10, m).answers);
+                let time = crate::harness::median_time(2, || {
+                    boosted.query_at_layer(&query, 10, m).answers
+                });
                 if time < best_time {
                     best_time = time;
                     best_layer = m;

@@ -21,9 +21,7 @@ pub fn run(scale: usize) -> String {
     ];
 
     let mut tab3 = TableWriter::new(&["Dataset", "Layer-1 size (|V|+|E|)", "Size ratio"]);
-    let mut fig9 = TableWriter::new(&[
-        "Dataset", "L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7",
-    ]);
+    let mut fig9 = TableWriter::new(&["Dataset", "L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7"]);
     let mut times = TableWriter::new(&["Dataset", "Construction time (all layers)"]);
 
     for spec in &specs {
@@ -40,12 +38,7 @@ pub fn run(scale: usize) -> String {
         }
         let mut cells = vec![ds.name.clone()];
         for i in 0..=7usize {
-            cells.push(
-                sizes
-                    .get(i)
-                    .map(usize::to_string)
-                    .unwrap_or_else(|| "-".into()),
-            );
+            cells.push(sizes.get(i).map_or_else(|| "-".into(), usize::to_string));
         }
         fig9.row(&cells);
         times.row(&[ds.name.clone(), fmt_duration(build_time)]);

@@ -7,8 +7,6 @@ use bgi_datasets::DatasetSpec;
 use bgi_search::blinks::{Blinks, BlinksParams};
 use big_index::{Boosted, EvalOptions, RealizerKind};
 
-
-
 fn blinks() -> Blinks {
     Blinks::new(BlinksParams {
         block_size: 1000,

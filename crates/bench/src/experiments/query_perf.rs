@@ -5,8 +5,8 @@
 use crate::harness::{fmt_duration, median_time, reduction_pct, TableWriter};
 use crate::setup::Workbench;
 use bgi_datasets::DatasetSpec;
-use bgi_search::rclique::NeighborIndex;
 use bgi_search::blinks::{Blinks, BlinksParams};
+use bgi_search::rclique::NeighborIndex;
 use bgi_search::RClique;
 use big_index::{boost::boost_dkws, Boosted, EvalOptions};
 use std::time::Duration;
@@ -119,9 +119,18 @@ pub fn run_blinks(scale: usize) -> (String, Vec<f64>) {
     let mut out = String::new();
     let mut reductions = Vec::new();
     for (fig, spec) in [
-        ("Fig. 10 — Blinks on yago-like", DatasetSpec::yago_like(scale)),
-        ("Fig. 11 — Blinks on dbpedia-like", DatasetSpec::dbpedia_like(scale)),
-        ("Fig. 12 — Blinks on imdb-like", DatasetSpec::imdb_like(scale)),
+        (
+            "Fig. 10 — Blinks on yago-like",
+            DatasetSpec::yago_like(scale),
+        ),
+        (
+            "Fig. 11 — Blinks on dbpedia-like",
+            DatasetSpec::dbpedia_like(scale),
+        ),
+        (
+            "Fig. 12 — Blinks on imdb-like",
+            DatasetSpec::imdb_like(scale),
+        ),
     ] {
         let wb = Workbench::prepare(&spec, 7, 5);
         let rows = blinks_rows(&wb);
@@ -142,8 +151,14 @@ pub fn run_rclique(scale: usize) -> (String, Vec<f64>) {
     let mut out = String::new();
     let mut reductions = Vec::new();
     for (fig, spec) in [
-        ("Fig. 13 — r-clique on yago-like", DatasetSpec::yago_like(scale)),
-        ("Fig. 14 — r-clique on dbpedia-like", DatasetSpec::dbpedia_like(scale)),
+        (
+            "Fig. 13 — r-clique on yago-like",
+            DatasetSpec::yago_like(scale),
+        ),
+        (
+            "Fig. 14 — r-clique on dbpedia-like",
+            DatasetSpec::dbpedia_like(scale),
+        ),
     ] {
         let wb = Workbench::prepare(&spec, 7, 4);
         let rows = rclique_rows(&wb);

@@ -53,7 +53,8 @@ pub fn run(scale: usize) -> String {
         } else {
             Vec::new()
         };
-        let avg = |rows: &[super::query_perf::QueryPerfRow], f: fn(&super::query_perf::QueryPerfRow) -> Duration| {
+        let avg = |rows: &[super::query_perf::QueryPerfRow],
+                   f: fn(&super::query_perf::QueryPerfRow) -> Duration| {
             if rows.is_empty() {
                 Duration::ZERO
             } else {

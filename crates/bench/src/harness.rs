@@ -29,7 +29,10 @@ impl TableWriter {
     /// Starts a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         TableWriter {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }

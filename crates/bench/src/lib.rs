@@ -20,6 +20,7 @@
 //! Scale defaults keep the full suite in laptop range; set `BGI_SCALE`
 //! to raise the vertex counts toward the paper's (2.6M–8M).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -29,10 +29,7 @@ pub fn full_step_config(g: &DiGraph, ontology: &Ontology) -> GenConfig {
             if l.index() >= ontology.num_labels() {
                 return None;
             }
-            ontology
-                .direct_supertypes(l)
-                .first()
-                .map(|&sup| (l, sup))
+            ontology.direct_supertypes(l).first().map(|&sup| (l, sup))
         })
         .collect();
     GenConfig::new(mappings, ontology).expect("direct supertypes are valid")
@@ -139,5 +136,4 @@ mod tests {
         assert!(wb.index.num_layers() >= 1);
         assert!(wb.queries.len() >= 4);
     }
-
 }

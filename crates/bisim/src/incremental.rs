@@ -69,11 +69,7 @@ impl IncrementalBisim {
                 es.push((u, v));
                 es
             }
-            Update::DeleteEdge(u, v) => self
-                .graph
-                .edges()
-                .filter(|&e| e != (u, v))
-                .collect(),
+            Update::DeleteEdge(u, v) => self.graph.edges().filter(|&e| e != (u, v)).collect(),
         };
         self.graph = GraphBuilder::from_edges(self.graph.labels().to_vec(), edges);
         // Re-stabilize starting from the current partition. Because
@@ -134,7 +130,11 @@ mod tests {
         inc.apply(Update::InsertEdge(persons[0], other));
         assert_eq!(inc.partition().num_blocks(), 4);
         assert!(!inc.partition().equivalent(persons[0], persons[1]));
-        assert!(is_stable(inc.graph(), inc.partition(), BisimDirection::Forward));
+        assert!(is_stable(
+            inc.graph(),
+            inc.partition(),
+            BisimDirection::Forward
+        ));
     }
 
     #[test]
@@ -142,7 +142,11 @@ mod tests {
         let g = fan(5);
         let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
         inc.apply(Update::DeleteEdge(VId(1), VId(0)));
-        assert!(is_stable(inc.graph(), inc.partition(), BisimDirection::Forward));
+        assert!(is_stable(
+            inc.graph(),
+            inc.partition(),
+            BisimDirection::Forward
+        ));
         // The person who lost its edge is no longer like the others.
         assert!(!inc.partition().equivalent(VId(1), VId(2)));
     }

@@ -37,6 +37,7 @@
 //! assert_eq!(s.members(s.supernode_of(p1)), &[p1, p2]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod incremental;

@@ -73,8 +73,7 @@ pub fn is_stable(g: &DiGraph, part: &Partition, dir: BisimDirection) -> bool {
             {
                 return false;
             }
-            if matches!(dir, BisimDirection::Backward | BisimDirection::Both)
-                && in_sig(v) != ref_in
+            if matches!(dir, BisimDirection::Backward | BisimDirection::Both) && in_sig(v) != ref_in
             {
                 return false;
             }

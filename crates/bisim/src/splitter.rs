@@ -72,12 +72,7 @@ pub fn maximal_bisimulation_splitter(g: &DiGraph, dir: BisimDirection) -> Partit
             }
             // Partition B's members into up to 4 fragments by the two
             // predicates.
-            let key = |v: VId| {
-                (
-                    into_s.contains(&v),
-                    from_s.contains(&v),
-                )
-            };
+            let key = |v: VId| (into_s.contains(&v), from_s.contains(&v));
             let first_key = key(members_b[0]);
             if members_b.iter().all(|&v| key(v) == first_key) {
                 continue; // stable w.r.t. this splitter

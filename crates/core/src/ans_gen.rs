@@ -212,8 +212,7 @@ mod tests {
     #[test]
     fn example_4_1_generation() {
         let s = scenario();
-        let (answers, _) =
-            vertex_answer_generation(&s.base, &s.answer, &s.spec, true, usize::MAX);
+        let (answers, _) = vertex_answer_generation(&s.base, &s.answer, &s.spec, true, usize::MAX);
         // Only Harvard satisfies all three edges (Idreos->U, U->Eastern,
         // U->Org): {Idreos, Harvard, Massachusetts, IvyLeague}.
         assert_eq!(answers.len(), 1);
@@ -251,8 +250,7 @@ mod tests {
         };
         let (a_ord, with_order) =
             vertex_answer_generation(&s.base, &answer, &spec, true, usize::MAX);
-        let (a_nat, without) =
-            vertex_answer_generation(&s.base, &answer, &spec, false, usize::MAX);
+        let (a_nat, without) = vertex_answer_generation(&s.base, &answer, &spec, false, usize::MAX);
         assert!(
             with_order.partials_created <= without.partials_created,
             "ordered {} vs natural {}",
@@ -268,8 +266,8 @@ mod tests {
         let s = scenario();
         let (a, _) = vertex_answer_generation(&s.base, &s.answer, &s.spec, true, usize::MAX);
         let (b, _) = vertex_answer_generation(&s.base, &s.answer, &s.spec, false, usize::MAX);
-        let mut ia: Vec<_> = a.iter().map(|x| x.identity()).collect();
-        let mut ib: Vec<_> = b.iter().map(|x| x.identity()).collect();
+        let mut ia: Vec<_> = a.iter().map(bgi_search::AnswerGraph::identity).collect();
+        let mut ib: Vec<_> = b.iter().map(bgi_search::AnswerGraph::identity).collect();
         ia.sort();
         ib.sort();
         assert_eq!(ia, ib);
@@ -280,13 +278,7 @@ mod tests {
         // Make all three universities valid by dropping the Eastern and
         // root constraints: answer = single Univ vertex.
         let s = scenario();
-        let answer = AnswerGraph::new(
-            vec![VId(11)],
-            vec![],
-            vec![vec![VId(11)]],
-            None,
-            0,
-        );
+        let answer = AnswerGraph::new(vec![VId(11)], vec![], vec![vec![VId(11)]], None, 0);
         let spec = SpecializedAnswer {
             candidates: vec![vec![VId(1), VId(2), VId(3)]],
             key_of: vec![Some(0)],
@@ -313,8 +305,7 @@ mod tests {
             key_of: s.spec.key_of.clone(),
             pruned: 0,
         };
-        let (answers, _) =
-            vertex_answer_generation(&s.base, &s.answer, &spec, true, usize::MAX);
+        let (answers, _) = vertex_answer_generation(&s.base, &s.answer, &spec, true, usize::MAX);
         assert!(answers.is_empty());
     }
 
@@ -327,8 +318,7 @@ mod tests {
             key_of: vec![],
             pruned: 0,
         };
-        let (answers, _) =
-            vertex_answer_generation(&s.base, &answer, &spec, true, usize::MAX);
+        let (answers, _) = vertex_answer_generation(&s.base, &answer, &spec, true, usize::MAX);
         assert!(answers.is_empty());
     }
 }

@@ -92,7 +92,7 @@ impl CompressEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgi_graph::{GraphBuilder, LabelId, OntologyBuilder, Ontology};
+    use bgi_graph::{GraphBuilder, LabelId, Ontology, OntologyBuilder};
 
     /// 50 vertices of label 1 and 50 of label 2, all pointing at a hub
     /// (label 3). Generalizing 1,2 -> 0 lets all 100 collapse.
@@ -119,11 +119,8 @@ mod tests {
         let g = fan_two_types();
         let o = ontology();
         let empty = GenConfig::empty();
-        let full = GenConfig::new(
-            [(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))],
-            &o,
-        )
-        .unwrap();
+        let full =
+            GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         let c_empty = exact_compress(&g, &empty, BisimDirection::Forward);
         let c_full = exact_compress(&g, &full, BisimDirection::Forward);
         // Without generalization: 2 person-blocks + hub = |3 + 2| / 201.
@@ -150,11 +147,8 @@ mod tests {
         let g = outward_fan();
         let o = ontology();
         let empty = GenConfig::empty();
-        let full = GenConfig::new(
-            [(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))],
-            &o,
-        )
-        .unwrap();
+        let full =
+            GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         let est = CompressEstimator::new(
             &g,
             &SamplingParams {
@@ -194,11 +188,7 @@ mod tests {
             exact_compress(&g, &GenConfig::empty(), BisimDirection::Forward),
             1.0
         );
-        let est = CompressEstimator::new(
-            &g,
-            &SamplingParams::default(),
-            BisimDirection::Forward,
-        );
+        let est = CompressEstimator::new(&g, &SamplingParams::default(), BisimDirection::Forward);
         assert_eq!(est.estimate(&GenConfig::empty()), 1.0);
     }
 }

@@ -112,7 +112,10 @@ impl GenConfig {
         match self.mappings.binary_search_by_key(&l, |&(from, _)| from) {
             Ok(i) => {
                 let target = self.mappings[i].1;
-                self.mappings.iter().filter(|&&(_, to)| to == target).count()
+                self.mappings
+                    .iter()
+                    .filter(|&&(_, to)| to == target)
+                    .count()
             }
             Err(_) => 0,
         }

@@ -115,8 +115,7 @@ mod tests {
         ob.add_subtype(LabelId(3), LabelId(1));
         ob.add_subtype(LabelId(3), LabelId(2));
         let o = ob.build().unwrap();
-        let c = GenConfig::new([(LabelId(1), LabelId(3)), (LabelId(2), LabelId(3))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(3)), (LabelId(2), LabelId(3))], &o).unwrap();
         let est = CompressEstimator::new(
             &g,
             &SamplingParams {
@@ -144,8 +143,7 @@ mod tests {
         ob.add_subtype(LabelId(3), LabelId(1));
         ob.add_subtype(LabelId(3), LabelId(2));
         let o = ob.build().unwrap();
-        let c = GenConfig::new([(LabelId(1), LabelId(3)), (LabelId(2), LabelId(3))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(3)), (LabelId(2), LabelId(3))], &o).unwrap();
         let support = bgi_graph::stats::LabelSupport::new(&g);
         // alpha = 0: pure distortion.
         let d = construction_cost_with_compress(0.9, &support, &c, 0.0);

@@ -30,10 +30,7 @@ pub fn basic_distortion(config: &GenConfig) -> f64 {
     if config.is_empty() {
         return 0.0;
     }
-    let sum: f64 = config
-        .domain()
-        .map(|l| label_distortion(config, l))
-        .sum();
+    let sum: f64 = config.domain().map(|l| label_distortion(config, l)).sum();
     sum / config.len() as f64
 }
 
@@ -102,8 +99,7 @@ mod tests {
         b.add_subtype(LabelId(0), LabelId(1));
         b.add_subtype(LabelId(0), LabelId(2));
         let o = b.build().unwrap();
-        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         assert!((label_distortion(&c, LabelId(1)) - 0.5).abs() < 1e-12);
         assert!((label_distortion(&c, LabelId(2)) - 0.5).abs() < 1e-12);
         assert!((basic_distortion(&c) - 0.5).abs() < 1e-12);

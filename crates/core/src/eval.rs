@@ -380,8 +380,7 @@ fn distance_verify(
             let mut weight = 0u64;
             for i in 0..picked.len() {
                 for j in i + 1..picked.len() {
-                    weight +=
-                        dist(base, picked[i], picked[j], query.dmax).unwrap() as u64;
+                    weight += dist(base, picked[i], picked[j], query.dmax).unwrap() as u64;
                 }
             }
             results.push(materialize_clique(base, query, picked, weight));
@@ -486,8 +485,7 @@ mod tests {
         ob.add_subtype(LabelId(0), LabelId(1));
         ob.add_subtype(LabelId(0), LabelId(2));
         let o = ob.build().unwrap();
-        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
     }
 
@@ -512,7 +510,10 @@ mod tests {
         b.sort_unstable();
         o.sort_unstable();
         assert_eq!(b, o);
-        assert!(result.answers.iter().all(|a| a.validate(idx.base(), &q.keywords)));
+        assert!(result
+            .answers
+            .iter()
+            .all(|a| a.validate(idx.base(), &q.keywords)));
     }
 
     #[test]
@@ -528,7 +529,11 @@ mod tests {
         opts.realizer = RealizerKind::PathBased;
         let b = eval_at_layer(&idx, &Banks, &layer_index, &q, 1000, 1, &opts);
         let ids = |r: &EvalResult| {
-            let mut v: Vec<_> = r.answers.iter().map(|a| a.identity()).collect();
+            let mut v: Vec<_> = r
+                .answers
+                .iter()
+                .map(bgi_search::AnswerGraph::identity)
+                .collect();
             v.sort();
             v
         };
@@ -540,7 +545,15 @@ mod tests {
         let idx = indexed();
         let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
         let layer_index = Banks.build_index(idx.graph_at(1));
-        let r = eval_at_layer(&idx, &Banks, &layer_index, &q, 2, 1, &EvalOptions::default());
+        let r = eval_at_layer(
+            &idx,
+            &Banks,
+            &layer_index,
+            &q,
+            2,
+            1,
+            &EvalOptions::default(),
+        );
         assert_eq!(r.answers.len(), 2);
     }
 
@@ -599,7 +612,15 @@ mod tests {
         // Query Prof: the Person supernode's Students get pruned.
         let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
         let layer_index = Banks.build_index(idx.graph_at(1));
-        let r = eval_at_layer(&idx, &Banks, &layer_index, &q, 1000, 1, &EvalOptions::default());
+        let r = eval_at_layer(
+            &idx,
+            &Banks,
+            &layer_index,
+            &q,
+            1000,
+            1,
+            &EvalOptions::default(),
+        );
         assert!(r.stats.generalized_answers > 0);
         assert!(r.stats.vertices_pruned > 0);
     }

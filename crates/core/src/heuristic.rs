@@ -42,8 +42,8 @@ pub fn greedy_configuration(
             continue;
         }
         for &sup in ontology.direct_supertypes(l) {
-            let single = GenConfig::new([(l, sup)], ontology)
-                .expect("direct supertype by construction");
+            let single =
+                GenConfig::new([(l, sup)], ontology).expect("direct supertype by construction");
             let cost =
                 construction_cost_capped(estimator, support, &single, params.alpha, RANK_SAMPLES);
             candidates.push((cost, l, sup));

@@ -17,7 +17,6 @@ use bgi_graph::sampling::SamplingParams;
 use bgi_graph::stats::LabelSupport;
 use bgi_graph::{DiGraph, LabelId, Ontology, VId};
 
-
 /// Which summarization formalism quotients each generalized graph.
 ///
 /// The paper adopts maximal bisimulation as its proof-of-concept
@@ -180,17 +179,13 @@ impl BiGIndex {
             let mut mass = vec![0u64; alphabet];
             for (l, &c) in base_counts.iter().enumerate() {
                 let cur = chain[l] as usize;
-                let next = layer
-                    .label_map
-                    .get(cur)
-                    .map(|x| x.0)
-                    .unwrap_or(cur as u32);
+                let next = layer.label_map.get(cur).map_or(cur as u32, |x| x.0);
                 chain[l] = next;
                 mass[next as usize] += c as u64;
             }
             gen_mass.push(mass);
         }
-        BiGIndex {
+        let idx = BiGIndex {
             base,
             ontology,
             layers,
@@ -198,7 +193,18 @@ impl BiGIndex {
             summarizer,
             supports,
             gen_mass,
+        };
+        // Both build paths funnel through here, so this is the single
+        // place the whole hierarchy exists before anyone queries it.
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        {
+            let report = idx.verify();
+            assert!(
+                report.is_clean(),
+                "BiG-index invariant violation:\n{report}"
+            );
         }
+        idx
     }
 
     /// One `χ` application: generalize then summarize.
@@ -216,7 +222,10 @@ impl BiGIndex {
             Summarizer::KBounded(k) => k_bisimulation(&generalized, direction, k),
         };
         let summary = summarize(&generalized, &partition);
-        let supernode_of: Vec<VId> = generalized.vertices().map(|v| summary.supernode_of(v)).collect();
+        let supernode_of: Vec<VId> = generalized
+            .vertices()
+            .map(|v| summary.supernode_of(v))
+            .collect();
         let members: Vec<Vec<VId>> = summary
             .graph
             .vertices()
@@ -342,6 +351,59 @@ impl BiGIndex {
     pub fn total_index_size(&self) -> usize {
         self.layers.iter().map(Layer::size).sum()
     }
+
+    /// Runs the full `bgi-verify` invariant suite against this index
+    /// and returns the structured diagnostic report.
+    ///
+    /// Debug builds (and release builds with the `validate` feature)
+    /// run this automatically at the end of every build and panic on a
+    /// dirty report; call it directly to get the diagnostics without
+    /// the panic (e.g. the `bgi verify` CLI subcommand).
+    pub fn verify(&self) -> bgi_verify::Report {
+        bgi_verify::check_index(self)
+    }
+}
+
+impl bgi_verify::IndexView for BiGIndex {
+    fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn graph_at(&self, m: usize) -> &DiGraph {
+        BiGIndex::graph_at(self, m)
+    }
+
+    fn config_mappings(&self, m: usize) -> &[(LabelId, LabelId)] {
+        self.layer(m).config.mappings()
+    }
+
+    fn label_map(&self, m: usize) -> &[LabelId] {
+        &self.layer(m).label_map
+    }
+
+    fn up(&self, m: usize, v: VId) -> VId {
+        self.layer(m).up(v)
+    }
+
+    fn down(&self, m: usize, s: VId) -> &[VId] {
+        self.layer(m).down(s)
+    }
+
+    fn direction(&self) -> BisimDirection {
+        self.direction
+    }
+
+    fn is_maximal_summarizer(&self) -> bool {
+        matches!(self.summarizer, Summarizer::Maximal)
+    }
+
+    fn support_count(&self, m: usize, l: LabelId) -> u32 {
+        self.supports[m].count(l)
+    }
 }
 
 #[cfg(test)]
@@ -383,7 +445,10 @@ mod tests {
         let sizes = idx.layer_sizes();
         assert_eq!(sizes[0], g.size());
         for w in sizes.windows(2) {
-            assert!(w[1] <= w[0], "layer sizes must be non-increasing: {sizes:?}");
+            assert!(
+                w[1] <= w[0],
+                "layer sizes must be non-increasing: {sizes:?}"
+            );
         }
         assert!(sizes[idx.num_layers()] < sizes[0]);
     }
@@ -466,12 +531,7 @@ mod tests {
             &o,
         )
         .unwrap();
-        let idx = BiGIndex::build_with_configs(
-            g.clone(),
-            o,
-            vec![c1],
-            BisimDirection::Forward,
-        );
+        let idx = BiGIndex::build_with_configs(g.clone(), o, vec![c1], BisimDirection::Forward);
         assert_eq!(idx.num_layers(), 1);
         // All persons collapse per univ-target pattern; graph shrinks a lot.
         assert!(idx.graph_at(1).num_vertices() <= 8);

@@ -46,6 +46,7 @@
 //! assert!(!result.answers.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ans_gen;
@@ -67,3 +68,7 @@ pub use boost::{boost_dkws, Boosted};
 pub use config::GenConfig;
 pub use eval::{EvalOptions, EvalResult, RealizerKind};
 pub use index::{BiGIndex, BuildParams, Summarizer};
+// The invariant checker the index validates itself with at build time
+// (debug builds and the `validate` feature); re-exported so callers can
+// inspect [`bgi_verify::Report`]s from [`BiGIndex::verify`].
+pub use bgi_verify as verify;

@@ -155,8 +155,7 @@ mod tests {
         ob.add_subtype(LabelId(0), LabelId(1));
         ob.add_subtype(LabelId(0), LabelId(2));
         let o = ob.build().unwrap();
-        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
     }
 
@@ -202,7 +201,10 @@ mod tests {
         let idx = setup();
         let updated = idx.ontology_edge_added(LabelId(0), LabelId(4)).unwrap();
         assert_eq!(updated.num_layers(), idx.num_layers());
-        assert_eq!(updated.ontology().direct_supertypes(LabelId(4)), &[LabelId(0)]);
+        assert_eq!(
+            updated.ontology().direct_supertypes(LabelId(4)),
+            &[LabelId(0)]
+        );
     }
 
     #[test]

@@ -111,11 +111,7 @@ pub fn answer_decomposition(answer: &AnswerGraph) -> Vec<GenPath> {
 
 /// Enumerates the concrete realizations of one path against the base
 /// graph (the `ans_graph_gen(pᵢ, A¹)` step of Algo. 4).
-pub fn specialize_path(
-    base: &DiGraph,
-    spec: &SpecializedAnswer,
-    path: &GenPath,
-) -> Vec<Vec<VId>> {
+pub fn specialize_path(base: &DiGraph, spec: &SpecializedAnswer, path: &GenPath) -> Vec<Vec<VId>> {
     let mut partial: Vec<Vec<VId>> = spec.candidates[path.positions[0]]
         .iter()
         .map(|&v| vec![v])
@@ -220,10 +216,11 @@ pub fn path_answer_generation(
         if partial.len() != n {
             continue; // uncovered positions (cannot happen post-decomposition)
         }
-        let assignment: Vec<Option<VId>> =
-            (0..n).map(|i| partial.get(&i).copied()).collect();
+        let assignment: Vec<Option<VId>> = (0..n).map(|i| partial.get(&i).copied()).collect();
         answers.push(crate::ans_gen::materialize_assignment(
-            answer, spec, &assignment,
+            answer,
+            spec,
+            &assignment,
         ));
         stats.answers += 1;
         if answers.len() >= limit {
@@ -319,8 +316,14 @@ mod tests {
         let (via_paths, _) = path_answer_generation(&s.base, &s.answer, &s.spec, usize::MAX);
         let (via_vertices, _) =
             vertex_answer_generation(&s.base, &s.answer, &s.spec, true, usize::MAX);
-        let mut a: Vec<_> = via_paths.iter().map(|x| x.identity()).collect();
-        let mut b: Vec<_> = via_vertices.iter().map(|x| x.identity()).collect();
+        let mut a: Vec<_> = via_paths
+            .iter()
+            .map(bgi_search::AnswerGraph::identity)
+            .collect();
+        let mut b: Vec<_> = via_vertices
+            .iter()
+            .map(bgi_search::AnswerGraph::identity)
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

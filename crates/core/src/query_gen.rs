@@ -96,8 +96,7 @@ mod tests {
         ob.add_subtype(LabelId(0), LabelId(1));
         ob.add_subtype(LabelId(0), LabelId(2));
         let o = ob.build().unwrap();
-        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
     }
 

@@ -124,8 +124,7 @@ mod tests {
 
     fn indexed() -> BiGIndex {
         let (g, o) = setup();
-        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o)
-            .unwrap();
+        let c = GenConfig::new([(LabelId(1), LabelId(0)), (LabelId(2), LabelId(0))], &o).unwrap();
         BiGIndex::build_with_configs(g, o, vec![c], BisimDirection::Forward)
     }
 

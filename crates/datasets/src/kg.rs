@@ -85,7 +85,11 @@ pub fn generate(params: &KgParams) -> Dataset {
         ontology,
         labels,
         levels,
-    } = generate_ontology(&params.branching, params.ontology_jitter, params.seed ^ 0x5EED);
+    } = generate_ontology(
+        &params.branching,
+        params.ontology_jitter,
+        params.seed ^ 0x5EED,
+    );
 
     let height = levels.len() - 1;
     let categories = &levels[1.min(height)];
@@ -202,8 +206,8 @@ pub fn generate(params: &KgParams) -> Dataset {
             if vs.is_empty() {
                 None
             } else {
-                let hubs = ((vs.len() as f64 * params.hub_fraction).ceil() as usize)
-                    .clamp(1, vs.len());
+                let hubs =
+                    ((vs.len() as f64 * params.hub_fraction).ceil() as usize).clamp(1, vs.len());
                 Some(Zipf::new(hubs, params.target_skew))
             }
         })
@@ -292,8 +296,11 @@ mod tests {
     fn sizes_match_params() {
         let ds = generate(&small_params());
         assert_eq!(ds.num_vertices(), 2000);
+        // The per-source degree is `floor(target) + Bernoulli(fract)`,
+        // so |E| matches `avg_out_degree` only in expectation: allow
+        // fluctuation above the target, not just dedup-losses below it.
         let avg = ds.num_edges() as f64 / 2000.0;
-        assert!((1.5..=2.0).contains(&avg), "avg out-degree {avg}");
+        assert!((1.5..=2.1).contains(&avg), "avg out-degree {avg}");
         assert!(ds.graph.check_consistency());
     }
 
@@ -343,9 +350,7 @@ mod tests {
         let ds = generate(&small_params());
         let raw = maximal_bisimulation(&ds.graph, BisimDirection::Forward);
         // Generalize every label to its level-1 category.
-        let mut map: Vec<LabelId> = (0..ds.ontology.num_labels() as u32)
-            .map(LabelId)
-            .collect();
+        let mut map: Vec<LabelId> = (0..ds.ontology.num_labels() as u32).map(LabelId).collect();
         // Shallow levels first so deeper labels chain to the category.
         for level in ds.levels.iter().skip(2) {
             for &l in level {

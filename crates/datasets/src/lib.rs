@@ -22,6 +22,7 @@
 //! keywords that are semantically related (co-occurring within a few
 //! hops) with a minimum support, mirroring Sec. 6.1.3.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod kg;

@@ -55,13 +55,14 @@ pub fn load(dir: &Path) -> Result<Dataset, GraphError> {
                 name = parts.collect::<Vec<_>>().join(" ");
             }
             Some("level") => {
-                let _depth: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| GraphError::Parse {
-                        line: lineno + 1,
-                        message: "expected level depth".into(),
-                    })?;
+                let _depth: usize =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: lineno + 1,
+                            message: "expected level depth".into(),
+                        })?;
                 let level: Result<Vec<LabelId>, GraphError> = parts
                     .map(|n| {
                         labels.get(n).ok_or_else(|| GraphError::Parse {

@@ -246,7 +246,10 @@ mod tests {
         }
         // Keywords co-occur in a forward ball, so a common "root" exists
         // for most queries (the ball's seed reaches all of them).
-        assert!(with_answers >= 2, "only {with_answers} of 4 queries had answers");
+        assert!(
+            with_answers >= 2,
+            "only {with_answers} of 4 queries had answers"
+        );
     }
 
     #[test]

@@ -132,9 +132,7 @@ mod tests {
     fn layer1_ratio(ds: &Dataset) -> f64 {
         // Generalize leaves one level up, then bisimulate — the "default
         // index" first layer.
-        let mut map: Vec<LabelId> = (0..ds.ontology.num_labels() as u32)
-            .map(LabelId)
-            .collect();
+        let mut map: Vec<LabelId> = (0..ds.ontology.num_labels() as u32).map(LabelId).collect();
         if let Some(leaves) = ds.levels.last() {
             for &l in leaves {
                 map[l.index()] = ds.ontology.direct_supertypes(l)[0];

@@ -94,7 +94,11 @@ impl GraphBuilder {
         // Sources within each in-list are already in ascending order because
         // the edge list is sorted by source first.
 
-        let num_labels = if n == 0 { 0 } else { self.max_label as usize + 1 };
+        let num_labels = if n == 0 {
+            0
+        } else {
+            self.max_label as usize + 1
+        };
         DiGraph::from_parts(
             self.labels,
             out_offsets,
@@ -174,10 +178,7 @@ mod tests {
 
     #[test]
     fn from_edges_convenience() {
-        let g = GraphBuilder::from_edges(
-            vec![LabelId(0), LabelId(1)],
-            vec![(VId(0), VId(1))],
-        );
+        let g = GraphBuilder::from_edges(vec![LabelId(0), LabelId(1)], vec![(VId(0), VId(1))]);
         assert_eq!(g.num_vertices(), 2);
         assert_eq!(g.num_edges(), 1);
         assert!(g.check_consistency());

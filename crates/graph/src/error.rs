@@ -39,13 +39,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vid, num_vertices } => {
-                write!(f, "vertex v{vid} out of range (graph has {num_vertices} vertices)")
+                write!(
+                    f,
+                    "vertex v{vid} out of range (graph has {num_vertices} vertices)"
+                )
             }
             GraphError::LabelOutOfRange { label, num_labels } => {
-                write!(f, "label l{label} out of range ({num_labels} labels interned)")
+                write!(
+                    f,
+                    "label l{label} out of range ({num_labels} labels interned)"
+                )
             }
             GraphError::OntologyCycle { on_label } => {
-                write!(f, "ontology graph is not a DAG: cycle through label l{on_label}")
+                write!(
+                    f,
+                    "ontology graph is not a DAG: cycle through label l{on_label}"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -76,11 +85,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::VertexOutOfRange { vid: 9, num_vertices: 3 };
+        let e = GraphError::VertexOutOfRange {
+            vid: 9,
+            num_vertices: 3,
+        };
         assert!(e.to_string().contains("v9"));
         let e = GraphError::OntologyCycle { on_label: 2 };
         assert!(e.to_string().contains("cycle"));
-        let e = GraphError::Parse { line: 4, message: "bad edge".into() };
+        let e = GraphError::Parse {
+            line: 4,
+            message: "bad edge".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 

@@ -177,8 +177,7 @@ impl DiGraph {
             return false;
         }
         // Every out-edge must be mirrored by an in-edge and vice versa.
-        let mut out_pairs: Vec<(u32, u32)> =
-            self.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let mut out_pairs: Vec<(u32, u32)> = self.edges().map(|(u, v)| (u.0, v.0)).collect();
         let mut in_pairs: Vec<(u32, u32)> = self
             .vertices()
             .flat_map(|v| self.in_neighbors(v).iter().map(move |&u| (u.0, v.0)))

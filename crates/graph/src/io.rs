@@ -42,10 +42,7 @@ pub fn write_graph<W: Write>(
 }
 
 /// Reads a graph in the text format, interning labels into `labels`.
-pub fn read_graph<R: BufRead>(
-    r: R,
-    labels: &mut LabelInterner,
-) -> Result<DiGraph, GraphError> {
+pub fn read_graph<R: BufRead>(r: R, labels: &mut LabelInterner) -> Result<DiGraph, GraphError> {
     let mut vertices: Vec<(u32, String)> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
@@ -92,7 +89,9 @@ pub fn read_graph<R: BufRead>(
         if id as usize != i {
             return Err(GraphError::Parse {
                 line: 0,
-                message: format!("vertex ids are not dense: missing or duplicate id {i} (saw {id})"),
+                message: format!(
+                    "vertex ids are not dense: missing or duplicate id {i} (saw {id})"
+                ),
             });
         }
     }
@@ -103,10 +102,16 @@ pub fn read_graph<R: BufRead>(
     }
     for (u, v) in edges {
         if u as usize >= n {
-            return Err(GraphError::VertexOutOfRange { vid: u, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vid: u,
+                num_vertices: n,
+            });
         }
         if v as usize >= n {
-            return Err(GraphError::VertexOutOfRange { vid: v, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vid: v,
+                num_vertices: n,
+            });
         }
         b.add_edge(VId(u), VId(v));
     }
@@ -137,10 +142,7 @@ pub fn write_ontology<W: Write>(
 }
 
 /// Reads an ontology, interning any new labels into `labels`.
-pub fn read_ontology<R: BufRead>(
-    r: R,
-    labels: &mut LabelInterner,
-) -> Result<Ontology, GraphError> {
+pub fn read_ontology<R: BufRead>(r: R, labels: &mut LabelInterner) -> Result<Ontology, GraphError> {
     let mut edges = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;

@@ -32,6 +32,7 @@
 //! assert_eq!(g.in_neighbors(mit), &[alice]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

@@ -137,9 +137,9 @@ impl Ontology {
 
     /// Iterator over all subtype edges as `(supertype, subtype)` pairs.
     pub fn subtype_edges(&self) -> impl Iterator<Item = (LabelId, LabelId)> + '_ {
-        (0..self.num_labels as u32).map(LabelId).flat_map(move |l| {
-            self.direct_subtypes(l).iter().map(move |&sub| (l, sub))
-        })
+        (0..self.num_labels as u32)
+            .map(LabelId)
+            .flat_map(move |l| self.direct_subtypes(l).iter().map(move |&sub| (l, sub)))
     }
 
     /// All (transitive) subtypes of `l`, excluding `l` itself.
@@ -250,10 +250,7 @@ impl OntologyBuilder {
             }
         }
         if topo_order.len() != n {
-            let on_label = (0..n)
-                .find(|&i| in_deg[i] > 0)
-                .map(|i| i as u32)
-                .unwrap_or(0);
+            let on_label = (0..n).find(|&i| in_deg[i] > 0).map_or(0, |i| i as u32);
             return Err(GraphError::OntologyCycle { on_label });
         }
 

@@ -40,7 +40,7 @@ pub fn induced_subgraph(g: &DiGraph, vertices: &[VId]) -> InducedSubgraph {
         remap.insert(v, nv);
         original.push(v);
     }
-    for (&old, &new) in remap.iter() {
+    for (&old, &new) in &remap {
         for &t in g.out_neighbors(old) {
             if let Some(&nt) = remap.get(&t) {
                 b.add_edge(new, nt);

@@ -115,12 +115,7 @@ impl BfsScratch {
 
 /// Single-source hop distances from `s` in `dir`, bounded by `max_depth`.
 /// Returns `(vertex, distance)` pairs for every vertex within the bound.
-pub fn bfs_distances(
-    g: &DiGraph,
-    s: VId,
-    dir: Direction,
-    max_depth: u32,
-) -> Vec<(VId, u32)> {
+pub fn bfs_distances(g: &DiGraph, s: VId, dir: Direction, max_depth: u32) -> Vec<(VId, u32)> {
     let mut scratch = BfsScratch::new(g.num_vertices());
     let mut out = Vec::new();
     scratch.run(g, &[s], dir, max_depth, |v, d| {

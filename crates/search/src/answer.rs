@@ -93,7 +93,11 @@ impl AnswerGraph {
         if self.vertices.is_empty() {
             return false;
         }
-        let idx = |v: VId| self.vertices.binary_search(&v).expect("edge endpoint not in vertex set");
+        let idx = |v: VId| {
+            self.vertices
+                .binary_search(&v)
+                .expect("edge endpoint not in vertex set")
+        };
         let n = self.vertices.len();
         let mut adj = vec![Vec::new(); n];
         for &(u, v) in &self.edges {
@@ -134,7 +138,11 @@ impl AnswerGraph {
 /// Sorts answers by `(score, identity)` for a stable ranking, and
 /// truncates to `k`.
 pub fn rank_and_truncate(mut answers: Vec<AnswerGraph>, k: usize) -> Vec<AnswerGraph> {
-    answers.sort_by(|a, b| a.score.cmp(&b.score).then_with(|| a.identity().cmp(&b.identity())));
+    answers.sort_by(|a, b| {
+        a.score
+            .cmp(&b.score)
+            .then_with(|| a.identity().cmp(&b.identity()))
+    });
     answers.dedup_by(|a, b| a.identity() == b.identity());
     answers.truncate(k);
     answers

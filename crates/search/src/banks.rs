@@ -29,8 +29,7 @@ impl BanksIndex {
     pub fn vertices_with(&self, l: LabelId) -> &[VId] {
         self.label_vertices
             .get(l.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 }
 
@@ -121,10 +120,7 @@ impl KeywordSearch for Banks {
             let reach = backward_reach(g, sources, query.dmax);
             candidates = Some(match candidates {
                 None => reach.keys().copied().collect(),
-                Some(prev) => prev
-                    .into_iter()
-                    .filter(|v| reach.contains_key(v))
-                    .collect(),
+                Some(prev) => prev.into_iter().filter(|v| reach.contains_key(v)).collect(),
             });
             reaches[i] = Some(reach);
             if candidates.as_ref().is_some_and(Vec::is_empty) {
@@ -263,9 +259,7 @@ mod tests {
                 let best = g
                     .vertices()
                     .filter(|&v| g.label(v) == kw)
-                    .filter_map(|v| {
-                        bgi_graph::traversal::shortest_distance(&g, root, v, q.dmax)
-                    })
+                    .filter_map(|v| bgi_graph::traversal::shortest_distance(&g, root, v, q.dmax))
                     .min()
                     .expect("keyword reachable");
                 total += best as u64;

@@ -146,8 +146,7 @@ impl KeywordSearch for Bidirectional {
                 let path = if reach.contains_key(&v) {
                     path_to_keyword(reach, v)
                 } else {
-                    match forward_path(g, v, index.vertices_with(query.keywords[i]), query.dmax)
-                    {
+                    match forward_path(g, v, index.vertices_with(query.keywords[i]), query.dmax) {
                         Some(p) => p,
                         None => {
                             ok = false;
@@ -251,9 +250,7 @@ mod tests {
     fn missing_keyword_is_empty() {
         let g = uniform_random(60, 120, 2, 3);
         let q = KeywordQuery::new(vec![LabelId(0), LabelId(7)], 3);
-        assert!(Bidirectional::default()
-            .search_fresh(&g, &q, 5)
-            .is_empty());
+        assert!(Bidirectional::default().search_fresh(&g, &q, 5).is_empty());
     }
 
     #[test]

@@ -66,10 +66,8 @@ impl BlinksIndex {
 
         for (&label, sources) in &by_label {
             let reach = backward_reach(g, sources, params.prune_dist);
-            let mut entries: Vec<(u16, VId)> = reach
-                .iter()
-                .map(|(&v, &(d, _))| (d as u16, v))
-                .collect();
+            let mut entries: Vec<(u16, VId)> =
+                reach.iter().map(|(&v, &(d, _))| (d as u16, v)).collect();
             // Sort by distance, then block, then vertex: within a
             // distance band the entries of one block are adjacent.
             entries.sort_unstable_by_key(|&(d, v)| (d, partition.block_of(v), v));
@@ -118,7 +116,7 @@ impl BlinksIndex {
 
     /// Blocks containing at least one vertex within the bound of `l`.
     pub fn keyword_blocks(&self, l: LabelId) -> &[u32] {
-        self.kbl.get(&l).map(Vec::as_slice).unwrap_or(&[])
+        self.kbl.get(&l).map_or(&[], Vec::as_slice)
     }
 
     /// Total number of (vertex, keyword) entries — the index's dominant

@@ -37,12 +37,7 @@ impl Blinks {
 
     /// Reconstructs the shortest path from `root` to the nearest
     /// `keyword`-node by greedy descent over the node-keyword map.
-    fn descend_path(
-        g: &DiGraph,
-        index: &BlinksIndex,
-        root: VId,
-        keyword: LabelId,
-    ) -> Vec<VId> {
+    fn descend_path(g: &DiGraph, index: &BlinksIndex, root: VId, keyword: LabelId) -> Vec<VId> {
         let mut path = vec![root];
         let mut cur = root;
         let mut d = index
@@ -135,9 +130,9 @@ impl KeywordSearch for Blinks {
         let mut best_k: std::collections::BinaryHeap<u64> = std::collections::BinaryHeap::new();
         // Record completed roots (exact scores known on completion).
         let complete = |entry: (u8, u64),
-                            v: VId,
-                            roots: &mut Vec<(u64, VId)>,
-                            best_k: &mut std::collections::BinaryHeap<u64>| {
+                        v: VId,
+                        roots: &mut Vec<(u64, VId)>,
+                        best_k: &mut std::collections::BinaryHeap<u64>| {
             if entry.0 as usize == n && block_ok(v) {
                 roots.push((entry.1, v));
                 best_k.push(entry.1);
@@ -148,7 +143,7 @@ impl KeywordSearch for Blinks {
         };
         // Seeds that are already complete (single-keyword queries).
         if n == 1 {
-            for (&v, &e) in hit_count.iter() {
+            for (&v, &e) in &hit_count {
                 complete(e, v, &mut roots, &mut best_k);
             }
         }
@@ -156,16 +151,25 @@ impl KeywordSearch for Blinks {
         // Round-robin backward BFS, one level of one keyword at a time,
         // always advancing the keyword with the smallest current depth.
         loop {
-            // Termination: every unfinished root needs at least one more
-            // step from some keyword, so its score is at least
-            // Σ_i depth_i; stop once the k-th best beats that bound.
+            // Termination: every unfinished root is missing at least one
+            // *active* keyword i, which will contribute at least
+            // depth[i] + 1 to its score (keywords that already reached
+            // it contributed exact, non-negative sums). The sound lower
+            // bound on any future completion is therefore
+            // min_i(depth[i] + 1), not Σ_i depth_i — a root sitting at
+            // distance 0 from all other keywords only needs one more
+            // level from the nearest unfinished frontier.
             let active: Vec<usize> = (0..n)
                 .filter(|&i| !frontiers[i].is_empty() && depth[i] < dmax)
                 .collect();
             if active.is_empty() {
                 break;
             }
-            let bound: u64 = depth.iter().map(|&d| d as u64).sum();
+            let bound: u64 = active
+                .iter()
+                .map(|&i| depth[i] as u64 + 1)
+                .min()
+                .unwrap_or(u64::MAX);
             if best_k.len() >= k && *best_k.peek().unwrap() <= bound {
                 break;
             }

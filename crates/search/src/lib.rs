@@ -21,6 +21,7 @@
 //! `L(v) = q`) and traversal-based (path-preserving summaries keep their
 //! answers), so they run unchanged on summary graphs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answer;

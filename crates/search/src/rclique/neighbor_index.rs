@@ -265,7 +265,10 @@ mod tests {
         let actual = idx.entries.len() * std::mem::size_of::<(VId, u16)>();
         // Sampling the first 64 vertices of a uniform graph should land
         // within 3x of the truth.
-        assert!(est > actual / 3 && est < actual * 3, "est {est}, actual {actual}");
+        assert!(
+            est > actual / 3 && est < actual * 3,
+            "est {est}, actual {actual}"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! each subspace queued with its own best answer.
 
 use super::neighbor_index::{NeighborIndex, NeighborIndexParams};
-use crate::answer::AnswerGraph;
+use crate::answer::{rank_and_truncate, AnswerGraph};
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, VId};
@@ -172,8 +172,7 @@ impl KeywordSearch for RClique {
                 index
                     .label_vertices
                     .get(q.index())
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[])
+                    .map_or(&[][..], Vec::as_slice)
             })
             .collect();
         if content.iter().any(|c| c.is_empty()) {
@@ -250,7 +249,9 @@ impl KeywordSearch for RClique {
         };
 
         let root_space: Vec<Slot> = (0..n)
-            .map(|_| Slot::Open { excluded: Vec::new() })
+            .map(|_| Slot::Open {
+                excluded: Vec::new(),
+            })
             .collect();
         let mut heap: BinaryHeap<Reverse<SpaceItem>> = BinaryHeap::new();
         if let Some((weight, answer)) = best_answer(&root_space) {
@@ -298,7 +299,11 @@ impl KeywordSearch for RClique {
                 }
             }
         }
-        results
+        // `best_answer` is a greedy approximation (exact r-clique is
+        // NP-hard), so a child space can yield a lighter answer than an
+        // already-popped parent; re-rank the emitted answers so the
+        // returned list is non-decreasing in weight.
+        rank_and_truncate(results, k)
     }
 }
 
@@ -367,7 +372,10 @@ mod tests {
         let rc = RClique::default();
         let q = KeywordQuery::new(vec![LabelId(0), LabelId(2)], 4);
         let answers = rc.search_fresh(&g, &q, 10);
-        let mut ids: Vec<_> = answers.iter().map(|a| a.identity()).collect();
+        let mut ids: Vec<_> = answers
+            .iter()
+            .map(crate::answer::AnswerGraph::identity)
+            .collect();
         ids.sort();
         let before = ids.len();
         ids.dedup();

@@ -1,0 +1,389 @@
+//! Workspace automation. Run as `cargo xtask <command>` (the alias is
+//! defined in `.cargo/config.toml`).
+//!
+//! `cargo xtask lint` is the repo's static hygiene gate (a merge gate —
+//! see CONTRIBUTING.md). It enforces, textually and without nightly
+//! tooling:
+//!
+//! 1. every library crate root carries `#![forbid(unsafe_code)]`;
+//! 2. no `unwrap()` / `expect()` / `panic!` in non-test library code,
+//!    ratcheted down through `crates/xtask/lint-allowlist.txt` — a file
+//!    whose budget drops as call sites are removed, and which fails the
+//!    gate when it is *stale* (over **or** under budget) so the count
+//!    only ever shrinks;
+//! 3. no `println!` outside the bench crate and xtask itself (library
+//!    code reports through return values, not stdout);
+//! 4. the root manifest defines a `[workspace.lints]` table and every
+//!    workspace crate inherits it via `[lints] workspace = true`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(cmd) => {
+            eprintln!("unknown xtask command `{cmd}`\n\nusage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Repository root, derived from this crate's manifest dir
+/// (`crates/xtask` → two levels up).
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a grandparent")
+        .to_path_buf()
+}
+
+/// Library crates subject to all gates. `compat/*` shims are exempt
+/// from the panic/println rules (they mirror external crates' APIs,
+/// including panicking contracts) but still must forbid unsafe code.
+const LIB_CRATES: &[&str] = &[
+    "crates/graph",
+    "crates/bisim",
+    "crates/search",
+    "crates/core",
+    "crates/datasets",
+    "crates/verify",
+];
+
+const COMPAT_CRATES: &[&str] = &[
+    "compat/rustc-hash",
+    "compat/rand",
+    "compat/proptest",
+    "compat/criterion",
+];
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut errors: Vec<String> = Vec::new();
+
+    check_forbid_unsafe(&root, &mut errors);
+    check_panic_budget(&root, &mut errors);
+    check_println(&root, &mut errors);
+    check_workspace_lints(&root, &mut errors);
+
+    if errors.is_empty() {
+        println!("xtask lint: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} problem(s)\n", errors.len());
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate 1: #![forbid(unsafe_code)] in every library crate root
+// ---------------------------------------------------------------------------
+
+fn check_forbid_unsafe(root: &Path, errors: &mut Vec<String>) {
+    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for c in LIB_CRATES.iter().chain(COMPAT_CRATES) {
+        roots.push(root.join(c).join("src/lib.rs"));
+    }
+    for path in roots {
+        let rel = rel_str(root, &path);
+        match fs::read_to_string(&path) {
+            Ok(text) if text.contains("#![forbid(unsafe_code)]") => {}
+            Ok(_) => errors.push(format!("{rel}: missing `#![forbid(unsafe_code)]`")),
+            Err(e) => errors.push(format!("{rel}: unreadable ({e})")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate 2: ratcheting unwrap/expect/panic budget in library code
+// ---------------------------------------------------------------------------
+
+const ALLOWLIST: &str = "crates/xtask/lint-allowlist.txt";
+
+fn check_panic_budget(root: &Path, errors: &mut Vec<String>) {
+    // Count call sites per file in non-test library code.
+    let mut actual: BTreeMap<String, usize> = BTreeMap::new();
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    for c in LIB_CRATES {
+        collect_rs(&root.join(c).join("src"), &mut files);
+    }
+    for path in &files {
+        let rel = rel_str(root, path);
+        let Ok(text) = fs::read_to_string(path) else {
+            errors.push(format!("{rel}: unreadable"));
+            continue;
+        };
+        let code = non_test_code(&text);
+        let n = count_occurrences(&code, ".unwrap()")
+            + count_occurrences(&code, ".expect(")
+            + count_occurrences(&code, "panic!(")
+            + count_occurrences(&code, ".unwrap_err()")
+            + count_occurrences(&code, ".expect_err(");
+        if n > 0 {
+            actual.insert(rel, n);
+        }
+    }
+
+    // Compare against the committed budget.
+    let allow_path = root.join(ALLOWLIST);
+    let mut budget: BTreeMap<String, usize> = BTreeMap::new();
+    match fs::read_to_string(&allow_path) {
+        Ok(text) => {
+            for (i, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut it = line.split_whitespace();
+                match (it.next(), it.next().and_then(|n| n.parse().ok())) {
+                    (Some(p), Some(n)) => {
+                        budget.insert(p.to_string(), n);
+                    }
+                    _ => errors.push(format!("{ALLOWLIST}:{}: malformed line `{line}`", i + 1)),
+                }
+            }
+        }
+        Err(e) => {
+            errors.push(format!("{ALLOWLIST}: unreadable ({e})"));
+            return;
+        }
+    }
+
+    for (file, &n) in &actual {
+        match budget.get(file) {
+            None => errors.push(format!(
+                "{file}: {n} unwrap/expect/panic site(s) in library code but no allowlist \
+                 entry — handle the error or add `{file} {n}` to {ALLOWLIST}"
+            )),
+            Some(&b) if n > b => errors.push(format!(
+                "{file}: {n} unwrap/expect/panic site(s), allowlist budget is {b} — \
+                 the budget only ratchets down"
+            )),
+            Some(&b) if n < b => errors.push(format!(
+                "{file}: {n} unwrap/expect/panic site(s), allowlist budget is {b} — \
+                 ratchet the budget down to {n} in {ALLOWLIST}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for file in budget.keys() {
+        if !actual.contains_key(file) {
+            errors.push(format!(
+                "{ALLOWLIST}: stale entry `{file}` — the file is clean (or gone); remove it"
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate 3: println! stays out of library code
+// ---------------------------------------------------------------------------
+
+fn check_println(root: &Path, errors: &mut Vec<String>) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    for c in LIB_CRATES {
+        collect_rs(&root.join(c).join("src"), &mut files);
+    }
+    for path in &files {
+        let Ok(text) = fs::read_to_string(path) else {
+            continue; // already reported by the panic gate
+        };
+        let code = non_test_code(&text);
+        let n = count_occurrences(&code, "println!(") + count_occurrences(&code, "print!(");
+        if n > 0 {
+            errors.push(format!(
+                "{}: {n} print site(s) — library code must not write to stdout \
+                 (bench and xtask are the only printing crates)",
+                rel_str(root, path)
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate 4: [workspace.lints] defined and inherited everywhere
+// ---------------------------------------------------------------------------
+
+fn check_workspace_lints(root: &Path, errors: &mut Vec<String>) {
+    match fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(text) if text.contains("[workspace.lints") => {}
+        Ok(_) => errors.push("Cargo.toml: missing `[workspace.lints]` table".to_string()),
+        Err(e) => errors.push(format!("Cargo.toml: unreadable ({e})")),
+    }
+    let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
+    for c in LIB_CRATES
+        .iter()
+        .chain(COMPAT_CRATES)
+        .chain(&["crates/bench", "crates/xtask"])
+    {
+        manifests.push(root.join(c).join("Cargo.toml"));
+    }
+    for path in manifests {
+        let rel = rel_str(root, &path);
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                let inherits = text
+                    .lines()
+                    .skip_while(|l| l.trim() != "[lints]")
+                    .nth(1)
+                    .is_some_and(|l| l.trim().starts_with("workspace") && l.contains("true"));
+                if !inherits {
+                    errors.push(format!(
+                        "{rel}: missing `[lints]\\nworkspace = true` (workspace lint inheritance)"
+                    ));
+                }
+            }
+            Err(e) => errors.push(format!("{rel}: unreadable ({e})")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text utilities
+// ---------------------------------------------------------------------------
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Strip the parts of a source file the gates should not see: `//` line
+/// comments, string/char literal contents, and everything inside
+/// `#[cfg(test)]`-attributed items (tracked by brace matching). The
+/// result is not valid Rust — it exists only to be substring-counted.
+fn non_test_code(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    // Depth of the brace nesting at which a #[cfg(test)] item started;
+    // while inside, lines are dropped.
+    let mut skip_from: Option<usize> = None;
+    let mut depth: usize = 0;
+    let mut pending_test_attr = false;
+
+    for line in text.lines() {
+        let stripped = strip_line(line);
+        let trimmed = stripped.trim();
+
+        if skip_from.is_none()
+            && (trimmed.starts_with("#[cfg(test)]") || pending_test_attr)
+            && !trimmed.is_empty()
+        {
+            // The attribute may sit on its own line above the item.
+            if trimmed.starts_with("#[") && !trimmed.contains('{') {
+                pending_test_attr = true;
+                continue;
+            }
+            pending_test_attr = false;
+            skip_from = Some(depth);
+        }
+
+        let opens = stripped.matches('{').count();
+        let closes = stripped.matches('}').count();
+        let new_depth = (depth + opens).saturating_sub(closes);
+
+        match skip_from {
+            Some(base) => {
+                // The skipped item ends when its braces close back to
+                // the depth it started at (works for `mod tests { ... }`
+                // and single-line items alike).
+                if new_depth <= base && (closes > 0 || opens == 0) {
+                    skip_from = None;
+                }
+            }
+            None => {
+                let _ = writeln!(out, "{stripped}");
+            }
+        }
+        depth = new_depth;
+    }
+    out
+}
+
+/// Remove `//` comments and blank out string/char literal contents from
+/// one line so `unwrap()` inside a doc comment or format string is not
+/// counted.
+fn strip_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next(); // skip the escaped char
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn count_occurrences(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_line_removes_comments_and_strings() {
+        assert_eq!(strip_line("let x = 1; // x.unwrap()"), "let x = 1; ");
+        assert_eq!(strip_line(r#"let s = "a.unwrap()";"#), r#"let s = "";"#);
+    }
+
+    #[test]
+    fn non_test_code_drops_test_modules() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let code = non_test_code(src);
+        assert_eq!(count_occurrences(&code, ".unwrap()"), 1);
+        assert!(code.contains("fn c()"));
+    }
+}

@@ -119,12 +119,8 @@ fn main() {
 
     // Full BiG-index + boosted query Q1 = {Massachusetts, IvyLeague,
     // California}, d_max = 3 (Example I.1).
-    let index = BiGIndex::build_with_configs(
-        graph,
-        ontology,
-        vec![config],
-        BisimDirection::Forward,
-    );
+    let index =
+        BiGIndex::build_with_configs(graph, ontology, vec![config], BisimDirection::Forward);
     let boosted = Boosted::new(&index, Banks, EvalOptions::default());
     let q1 = KeywordQuery::new(vec![massachusetts, ivy, california], 3);
     let result = boosted.query(&q1, 10);
@@ -135,8 +131,18 @@ fn main() {
     );
     for a in &result.answers {
         let root = a.root.expect("rooted answer");
-        println!("  root = vertex {root:?} (P. Graham = v0), score = {}", a.score);
-        assert_eq!(root, VId(0), "the paper's answer tree is rooted at P. Graham");
+        println!(
+            "  root = vertex {root:?} (P. Graham = v0), score = {}",
+            a.score
+        );
+        assert_eq!(
+            root,
+            VId(0),
+            "the paper's answer tree is rooted at P. Graham"
+        );
     }
-    assert!(!result.answers.is_empty(), "the Fig. 1 answer must be found");
+    assert!(
+        !result.answers.is_empty(),
+        "the Fig. 1 answer must be found"
+    );
 }

@@ -43,7 +43,11 @@ fn main() {
         inc.partition().num_blocks(),
         is_stable(inc.graph(), inc.partition(), BisimDirection::Forward)
     );
-    assert!(is_stable(inc.graph(), inc.partition(), BisimDirection::Forward));
+    assert!(is_stable(
+        inc.graph(),
+        inc.partition(),
+        BisimDirection::Forward
+    ));
 
     // Undo everything: the graph is back to the fan, but the incremental
     // partition is finer than maximal (splits are never merged back).

@@ -38,12 +38,8 @@ fn main() {
     let graph = g.build();
 
     let config = GenConfig::new([(prof, person), (student, person)], &ontology).unwrap();
-    let index = BiGIndex::build_with_configs(
-        graph,
-        ontology,
-        vec![config],
-        BisimDirection::Forward,
-    );
+    let index =
+        BiGIndex::build_with_configs(graph, ontology, vec![config], BisimDirection::Forward);
     println!(
         "initial index: layer sizes {:?} (postdocs not generalized)",
         index.layer_sizes()

@@ -10,13 +10,17 @@
 //! - [`index`] — the BiG-index itself (`big-index`).
 //! - [`datasets`] — synthetic stand-ins for the paper's evaluation
 //!   datasets and query workloads (`bgi-datasets`).
+//! - [`verify`] — whole-index invariant checking with structured
+//!   diagnostic reports (`bgi-verify`).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use bgi_bisim as bisim;
 pub use bgi_datasets as datasets;
 pub use bgi_graph as graph;
 pub use bgi_search as search;
+pub use bgi_verify as verify;
 pub use big_index as index;

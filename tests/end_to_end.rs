@@ -34,12 +34,33 @@ fn default_index(ds: &big_index_repro::datasets::Dataset, max_layers: usize) -> 
         configs.push(config);
         current = probe.graph_at(1).clone();
     }
-    BiGIndex::build_with_configs(
+    let index = BiGIndex::build_with_configs(
         ds.graph.clone(),
         ds.ontology.clone(),
         configs,
         BisimDirection::Forward,
-    )
+    );
+    // Every index these tests query must first survive the full
+    // invariant suite (Defs. 2.1/2.2 and the χ tables).
+    let report = index.verify();
+    assert!(report.is_clean(), "index failed verification:\n{report}");
+    index
+}
+
+#[test]
+fn built_index_passes_full_verification_with_witness_free_report() {
+    use big_index_repro::verify::{Invariant, Status};
+    let ds = DatasetSpec::dbpedia_like(2000).generate();
+    let index = default_index(&ds, 4);
+    let report = index.verify();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.total_violations(), 0);
+    // Maximal summarizer: every invariant applies, nothing skipped.
+    for inv in Invariant::ALL {
+        let c = report.check(inv).expect("all invariants reported");
+        assert_eq!(c.status, Status::Pass, "{inv:?} not Pass:\n{report}");
+        assert!(c.witnesses.is_empty());
+    }
 }
 
 #[test]
@@ -171,8 +192,12 @@ fn exact_equality_with_injective_keywords() {
             &ont,
         )
         .unwrap();
-        let index =
-            BiGIndex::build_with_configs(g.clone(), ont.clone(), vec![config], BisimDirection::Forward);
+        let index = BiGIndex::build_with_configs(
+            g.clone(),
+            ont.clone(),
+            vec![config],
+            BisimDirection::Forward,
+        );
         let boosted = Boosted::new(&index, Banks, EvalOptions::default());
         let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 3);
         let (baseline, _) = boosted.baseline(&q, 100_000);

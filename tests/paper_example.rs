@@ -2,7 +2,9 @@
 //! Examples I.1, 2.1, 4.1–4.3) reproduced end to end.
 
 use big_index_repro::bisim::{maximal_bisimulation, summarize, BisimDirection};
-use big_index_repro::graph::{DiGraph, GraphBuilder, LabelInterner, Ontology, OntologyBuilder, VId};
+use big_index_repro::graph::{
+    DiGraph, GraphBuilder, LabelInterner, Ontology, OntologyBuilder, VId,
+};
 use big_index_repro::index::{BiGIndex, Boosted, EvalOptions, GenConfig, RealizerKind};
 use big_index_repro::search::{Banks, KeywordQuery};
 
@@ -105,6 +107,24 @@ fn hundred_persons_collapse_to_one_supernode() {
     assert_eq!(summary.members(class).len(), 100);
     // Far fewer supernodes than vertices.
     assert!(summary.graph.num_vertices() < 12);
+}
+
+#[test]
+fn paper_example_index_passes_verification() {
+    use big_index_repro::verify::{Invariant, Status};
+    let w = build_world();
+    let index = BiGIndex::build_with_configs(
+        w.graph.clone(),
+        w.ontology,
+        vec![w.config],
+        BisimDirection::Forward,
+    );
+    let report = index.verify();
+    assert!(report.is_clean(), "{report}");
+    // The paper's running example is built with the maximal
+    // summarizer, so even partition stability must hold (not Skipped).
+    let stable = report.check(Invariant::PartitionStable).unwrap();
+    assert_eq!(stable.status, Status::Pass, "{report}");
 }
 
 #[test]

@@ -16,7 +16,7 @@ use big_index_repro::graph::traversal::shortest_distance;
 use big_index_repro::graph::{DiGraph, GraphBuilder, LabelId, Ontology, OntologyBuilder, VId};
 use big_index_repro::index::query_gen::keywords_stay_distinct;
 use big_index_repro::index::{BiGIndex, Boosted, EvalOptions, GenConfig, RealizerKind};
-use big_index_repro::search::{Banks, KeywordQuery};
+use big_index_repro::search::{AnswerGraph, Banks, KeywordQuery};
 use proptest::prelude::*;
 
 /// Number of base labels; each label `i` has supertype `NUM_LABELS + i/2`
@@ -143,7 +143,7 @@ proptest! {
             let opts = EvalOptions { realizer, ..EvalOptions::default() };
             let boosted = Boosted::new(&index, Banks, opts);
             let r = boosted.query_at_layer(&q, 100_000, m);
-            let mut v: Vec<_> = r.answers.iter().map(|a| a.identity()).collect();
+            let mut v: Vec<_> = r.answers.iter().map(AnswerGraph::identity).collect();
             v.sort();
             v
         };

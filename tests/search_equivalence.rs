@@ -32,7 +32,12 @@ fn banks_blinks_bidirectional_agree_on_yago_like() {
         let a = Banks.search(&ds.graph, &banks_index, &query, 100_000);
         let b = blinks.search(&ds.graph, &blinks_index, &query, 100_000);
         let c = Bidirectional::default().search(&ds.graph, &banks_index, &query, 100_000);
-        assert_eq!(root_scores(&a), root_scores(&b), "{}: banks vs blinks", q.id);
+        assert_eq!(
+            root_scores(&a),
+            root_scores(&b),
+            "{}: banks vs blinks",
+            q.id
+        );
         assert_eq!(root_scores(&a), root_scores(&c), "{}: banks vs bidir", q.id);
     }
 }
@@ -77,11 +82,7 @@ fn rclique_answers_satisfy_distance_semantics_on_dataset() {
             for i in 0..picked.len() {
                 for j in i + 1..picked.len() {
                     let d = ni.distance(picked[i], picked[j]);
-                    assert!(
-                        d.is_some() && d.unwrap() <= 3,
-                        "{}: pair beyond r",
-                        q.id
-                    );
+                    assert!(d.is_some() && d.unwrap() <= 3, "{}: pair beyond r", q.id);
                 }
             }
         }
