@@ -7,14 +7,23 @@
 //! bgi workload <dir>                               print the Q1-Q8 workload
 //! bgi query <dir> <kw1,kw2,...> [dmax] [k]         run a boosted BLINKS query
 //! bgi verify <dir> [layers]                        build, then check every index invariant
+//! bgi batch <dir> [--threads N] [--repeat R]       replay the workload through bgi-service
+//! bgi serve <dir> [--threads N] [--tcp ADDR]       serve queries line-by-line (stdio or TCP)
 //! ```
 
 use bgi_datasets::{benchmark_queries, persist, Dataset, DatasetSpec};
 use bgi_search::blinks::{Blinks, BlinksParams};
 use bgi_search::KeywordQuery;
+use bgi_service::{
+    run_batch, IndexSnapshot, QueryError, QueryRequest, Semantics, Service, ServiceConfig,
+};
 use big_index::{Boosted, EvalOptions};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,16 +34,20 @@ fn main() -> ExitCode {
         Some("workload") => cmd_workload(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bgi <gen|stats|build|workload|query|verify> ...\n\
+                "usage: bgi <gen|stats|build|workload|query|verify|batch|serve> ...\n\
                  \n\
                  bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>\n\
                  bgi stats <dir>\n\
                  bgi build <dir> [layers]\n\
                  bgi workload <dir>\n\
                  bgi query <dir> <kw1,kw2,...> [dmax] [k]\n\
-                 bgi verify <dir> [layers]"
+                 bgi verify <dir> [layers]\n\
+                 bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L]\n\
+                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR]"
             );
             return ExitCode::from(2);
         }
@@ -151,6 +164,265 @@ fn cmd_verify(args: &[String]) -> CliResult {
             report.total_violations()
         )
         .into())
+    }
+}
+
+/// Splits `args` into positional arguments and `--key value` flags.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key, value.as_str());
+        } else {
+            positional.push(a.as_str());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+    }
+}
+
+/// Loads `dir`, builds the default index, and wraps it in a verified
+/// serving snapshot.
+fn load_snapshot(
+    dir: &str,
+    layers: usize,
+) -> Result<(Dataset, Arc<IndexSnapshot>), Box<dyn std::error::Error>> {
+    let ds = load(dir)?;
+    let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+    eprintln!(
+        "index: {} layer(s) over {} vertices, built in {took:?}",
+        index.num_layers(),
+        ds.num_vertices()
+    );
+    let snapshot = Arc::new(IndexSnapshot::build_default(index)?);
+    Ok((ds, snapshot))
+}
+
+fn cmd_batch(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args)?;
+    let [dir] = positional.as_slice() else {
+        return Err(
+            "usage: bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--queries Q] [--k K] [--dmax D] [--layers L]"
+                .into(),
+        );
+    };
+    let threads: usize = flag(&flags, "threads", 4)?;
+    let repeat: usize = flag(&flags, "repeat", 3)?;
+    let seed: u64 = flag(&flags, "seed", bgi_bench::setup::DEFAULT_WORKLOAD_SEED)?;
+    let queries: usize = flag(&flags, "queries", 32)?;
+    let k: usize = flag(&flags, "k", 5)?;
+    let dmax: u32 = flag(&flags, "dmax", 4)?;
+    let layers: usize = flag(&flags, "layers", 4)?;
+
+    let (ds, snapshot) = load_snapshot(dir, layers)?;
+    let requests = bgi_bench::experiments::throughput::seeded_requests(&ds, dmax, k, seed, queries);
+    if requests.is_empty() {
+        return Err("workload generator produced no queries for this dataset".into());
+    }
+    let config = ServiceConfig {
+        workers: threads,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(snapshot, config);
+    let report = run_batch(&service, &requests, repeat, threads);
+    println!(
+        "batch: {} queries ({} unique x {repeat}) on {threads} thread(s) in {:?}",
+        report.total,
+        requests.len(),
+        report.wall()
+    );
+    println!(
+        "  served {} ({:.0} q/s), cache hits {}, timeouts {}, failed {}",
+        report.served,
+        report.throughput(),
+        report.cache_hits,
+        report.timeouts,
+        report.failed
+    );
+    println!("{}", service.stats());
+    if report.failed > 0 {
+        return Err(format!("{} queries failed", report.failed).into());
+    }
+    Ok(())
+}
+
+/// Parses one protocol line into a request:
+/// `<bkws|rkws|dkws> <kw1,kw2,...> [dmax=D] [k=K] [layer=M] [deadline_ms=T]`.
+fn parse_request(ds: &Dataset, line: &str) -> Result<QueryRequest, String> {
+    let mut parts = line.split_whitespace();
+    let semantics = parts
+        .next()
+        .and_then(Semantics::parse)
+        .ok_or("expected semantics: bkws | rkws | dkws")?;
+    let kws = parts.next().ok_or("expected comma-separated keywords")?;
+    let keywords: Result<Vec<_>, String> = kws
+        .split(',')
+        .map(|name| {
+            ds.labels
+                .get(name.trim())
+                .ok_or_else(|| format!("unknown keyword '{}'", name.trim()))
+        })
+        .collect();
+    let mut req = QueryRequest::new(semantics, keywords?, 4, 5);
+    for opt in parts {
+        let (key, value) = opt
+            .split_once('=')
+            .ok_or_else(|| format!("bad option '{opt}' (want key=value)"))?;
+        let parse = |v: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad value in '{opt}'"))
+        };
+        match key {
+            "dmax" => req.dmax = parse(value)? as u32,
+            "k" => req.k = parse(value)? as usize,
+            "layer" => req.layer = Some(parse(value)? as usize),
+            "deadline_ms" => req.deadline = Some(Duration::from_millis(parse(value)?)),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(req)
+}
+
+/// Formats a service outcome as one protocol line.
+fn format_response(result: Result<bgi_service::QueryResponse, QueryError>) -> String {
+    match result {
+        Ok(resp) => {
+            let roots: Vec<String> = resp
+                .answers
+                .iter()
+                .map(|a| match a.root {
+                    Some(r) => format!("{}:{}", r.0, a.score),
+                    None => format!("-:{}", a.score),
+                })
+                .collect();
+            format!(
+                "ok answers={} layer={} fell_back={} cache={} us={} roots={}",
+                resp.answers.len(),
+                resp.layer,
+                resp.fell_back,
+                resp.cache_hit,
+                resp.latency.as_micros(),
+                roots.join(";")
+            )
+        }
+        Err(e) => format!("err {e}"),
+    }
+}
+
+/// Handles one protocol line; `None` means the peer asked to quit.
+fn handle_line(ds: &Dataset, service: &Service, line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Some(String::new());
+    }
+    match line {
+        "quit" | "exit" => None,
+        "stats" => Some(
+            service
+                .stats()
+                .to_string()
+                .lines()
+                .map(|l| format!("# {l}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        ),
+        _ => Some(match parse_request(ds, line) {
+            Ok(req) => format_response(service.query(req)),
+            Err(e) => format!("err {e}"),
+        }),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args)?;
+    let [dir] = positional.as_slice() else {
+        return Err("usage: bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR]".into());
+    };
+    let threads: usize = flag(&flags, "threads", 4)?;
+    let layers: usize = flag(&flags, "layers", 4)?;
+    let tcp = flags.get("tcp").copied();
+
+    let (ds, snapshot) = load_snapshot(dir, layers)?;
+    let config = ServiceConfig {
+        workers: threads,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::start_with_logger(
+        snapshot,
+        config,
+        bgi_service::Logger::to(Box::new(std::io::stderr())),
+    ));
+    let ds = Arc::new(ds);
+
+    match tcp {
+        None => {
+            eprintln!(
+                "serving on stdin/stdout with {threads} worker(s); \
+                 one request per line, 'stats' for counters, 'quit' to stop"
+            );
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            for line in stdin.lock().lines() {
+                let line = line?;
+                match handle_line(&ds, &service, &line) {
+                    Some(reply) => {
+                        writeln!(stdout, "{reply}")?;
+                        stdout.flush()?;
+                    }
+                    None => break,
+                }
+            }
+            Ok(())
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)?;
+            eprintln!(
+                "serving on tcp://{} with {threads} worker(s)",
+                listener.local_addr()?
+            );
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("accept failed: {e}");
+                        continue;
+                    }
+                };
+                let service = Arc::clone(&service);
+                let ds = Arc::clone(&ds);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(s) => std::io::BufReader::new(s),
+                        Err(_) => return,
+                    };
+                    let mut writer = stream;
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        match handle_line(&ds, &service, &line) {
+                            Some(reply) => {
+                                if writeln!(writer, "{reply}").is_err() {
+                                    break;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+            Ok(())
+        }
     }
 }
 

@@ -1,0 +1,5 @@
+//! Serving-throughput sweep over worker counts (bgi-service).
+fn main() {
+    let scale = bgi_bench::scale_from_env(8_000);
+    println!("{}", bgi_bench::experiments::throughput::run(scale));
+}

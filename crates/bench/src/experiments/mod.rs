@@ -10,3 +10,4 @@ pub mod layer_sweep;
 pub mod optimizations;
 pub mod query_perf;
 pub mod scaling;
+pub mod throughput;

@@ -1,0 +1,179 @@
+//! Serving throughput: closed-loop batch replay through `bgi-service`
+//! at increasing worker counts, on one shared index snapshot.
+//!
+//! This is the concurrency experiment the paper doesn't run (its
+//! evaluation is single-query latency, Sec. 6): since Algo. 2 is
+//! read-only over the hierarchy, one immutable snapshot should scale
+//! near-linearly until memory bandwidth interferes. The second table
+//! replays the same workload with the answer cache warm, where
+//! throughput is bounded by lookup cost alone.
+
+use crate::harness::{fmt_duration, TableWriter};
+use crate::setup::Workbench;
+use bgi_datasets::queries::related_query_with;
+use bgi_datasets::{Dataset, DatasetSpec};
+use bgi_service::{run_batch, IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Builds a mixed-semantics request workload from a workbench's
+/// Q1–Q8 queries.
+pub fn mixed_requests(wb: &Workbench, k: usize) -> Vec<QueryRequest> {
+    wb.queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            QueryRequest::new(
+                Semantics::ALL[i % Semantics::ALL.len()],
+                q.keywords.clone(),
+                q.dmax,
+                k,
+            )
+        })
+        .collect()
+}
+
+/// Builds up to `want` mixed-semantics requests from one seeded rng
+/// stream — one Tab. 4 batch is only 8 queries, too few to keep a
+/// worker pool busy. Deterministic in `seed`.
+///
+/// Unlike [`benchmark_queries`], this draws each query with a *fixed*
+/// count threshold and no dominance-relaxation ladder: a size that
+/// finds nothing is simply skipped. The ladder exists so the Tab. 4
+/// batch always fills all of Q1–Q8; a throughput workload only needs
+/// *many distinct* queries, and the ladder's exhaustive retries make
+/// generation cost explode on large graphs.
+pub fn seeded_requests(
+    ds: &Dataset,
+    dmax: u32,
+    k: usize,
+    seed: u64,
+    want: usize,
+) -> Vec<QueryRequest> {
+    let min_count = (ds.num_vertices() / 100).max(3) as u32;
+    let sizes = [2usize, 3, 2, 3, 4, 2, 3, 5];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<QueryRequest> = Vec::new();
+    let mut seen: Vec<Vec<bgi_graph::LabelId>> = Vec::new();
+    // Strictest first: each pass admits more labels, so the
+    // deterministic rarest-in-ball pick yields new combinations once a
+    // pass's pool is exhausted. Draw counts are bounded per pass — a
+    // degenerate dataset must not loop forever.
+    let passes = [
+        (min_count, true),
+        ((min_count / 4).max(1), true),
+        (1, true),
+        (min_count, false),
+        (1, false),
+    ];
+    for (threshold, require_dominant) in passes {
+        for draw in 0..(want + 16) {
+            if out.len() >= want {
+                return out;
+            }
+            let size = sizes[draw % sizes.len()];
+            let Some(keywords) =
+                related_query_with(ds, size, dmax, threshold, require_dominant, &mut rng)
+            else {
+                continue;
+            };
+            // Distinct keyword sets only; duplicates across draws
+            // would skew the cold/warm split.
+            let mut kws = keywords.clone();
+            kws.sort_unstable();
+            if seen.contains(&kws) {
+                continue;
+            }
+            seen.push(kws);
+            out.push(QueryRequest::new(
+                Semantics::ALL[out.len() % Semantics::ALL.len()],
+                keywords,
+                dmax,
+                k,
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the sweep and renders the report.
+pub fn run(scale: usize) -> String {
+    let wb = Workbench::prepare(&DatasetSpec::yago_like(scale), 4, 4);
+    let snapshot =
+        Arc::new(IndexSnapshot::build_default(wb.index.clone()).expect("workbench index verifies"));
+    let requests = seeded_requests(&wb.dataset, 4, 5, crate::setup::DEFAULT_WORKLOAD_SEED, 32);
+    let mut out = format!(
+        "serving throughput, {} ({} vertices, {} layers, {} queries x 4 repeats)\n\n",
+        wb.dataset.name,
+        wb.dataset.num_vertices(),
+        wb.index.num_layers(),
+        requests.len()
+    );
+
+    let mut cold = TableWriter::new(&["threads", "served", "wall", "qps", "cache hits"]);
+    let mut warm = TableWriter::new(&["threads", "served", "wall", "qps", "hit rate"]);
+    let mut baseline_qps = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let config = ServiceConfig {
+            workers: threads,
+            ..ServiceConfig::default()
+        };
+        // Fresh service per point: the cold table must not inherit a
+        // warm cache from the previous thread count.
+        let service = Service::start(Arc::clone(&snapshot), config);
+        let report = run_batch(&service, &requests, 4, threads);
+        assert_eq!(report.failed, 0, "throughput run failed queries");
+        let qps = report.throughput();
+        if threads == 1 {
+            baseline_qps = qps;
+        }
+        let speedup = if baseline_qps > 0.0 {
+            qps / baseline_qps
+        } else {
+            0.0
+        };
+        cold.row(&[
+            format!("{threads}"),
+            format!("{}", report.served),
+            fmt_duration(report.wall()),
+            format!("{qps:.0} ({speedup:.2}x)"),
+            format!("{}", report.cache_hits),
+        ]);
+        // Same service again: every distinct query is now cached.
+        let rewarm = run_batch(&service, &requests, 4, threads);
+        assert_eq!(rewarm.failed, 0);
+        let stats = service.stats();
+        warm.row(&[
+            format!("{threads}"),
+            format!("{}", rewarm.served),
+            fmt_duration(rewarm.wall()),
+            format!("{:.0}", rewarm.throughput()),
+            format!("{:.1}%", stats.cache.hit_rate() * 100.0),
+        ]);
+    }
+    out.push_str("cold cache:\n");
+    out.push_str(&cold.render());
+    out.push_str("\nwarm cache (same workload replayed):\n");
+    out.push_str(&warm.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_requests_cover_all_semantics() {
+        let wb = Workbench::prepare(&DatasetSpec::yago_like(1500), 2, 3);
+        let reqs = mixed_requests(&wb, 5);
+        assert!(!reqs.is_empty());
+        if reqs.len() >= 3 {
+            let mut seen = [false; 3];
+            for r in &reqs {
+                seen[r.semantics.index()] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! | Fig. 16, Exp-4 (cost model) | [`experiments::cost_model`] | `exp_cost_model` |
 //! | Figs. 17–18 (optimizations) | [`experiments::optimizations`] | `exp_optimizations` |
 //! | Fig. 19, Exp-6 (layer sweep) | [`experiments::layer_sweep`] | `exp_layer_sweep` |
+//! | Serving throughput (beyond the paper) | [`experiments::throughput`] | `exp_throughput` |
 //!
 //! Scale defaults keep the full suite in laptop range; set `BGI_SCALE`
 //! to raise the vertex counts toward the paper's (2.6M–8M).

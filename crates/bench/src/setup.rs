@@ -5,6 +5,10 @@ use bgi_graph::{DiGraph, Ontology};
 use big_index::{BiGIndex, GenConfig};
 use std::time::{Duration, Instant};
 
+/// The workload seed used when the caller doesn't pick one; fixed so
+/// the benchmark suite is reproducible run to run.
+pub const DEFAULT_WORKLOAD_SEED: u64 = 0xC0FFEE;
+
 /// Reads the experiment scale from `BGI_SCALE` (vertices per dataset),
 /// defaulting to `default`.
 pub fn scale_from_env(default: usize) -> usize {
@@ -85,12 +89,20 @@ pub struct Workbench {
 impl Workbench {
     /// Prepares a workbench for `spec` with `max_layers` index layers
     /// and a Tab. 4-style workload (`d_max`, minimum keyword count
-    /// scaled to the dataset size).
+    /// scaled to the dataset size), using the suite's default workload
+    /// seed.
     pub fn prepare(spec: &DatasetSpec, max_layers: usize, dmax: u32) -> Self {
+        Self::prepare_seeded(spec, max_layers, dmax, DEFAULT_WORKLOAD_SEED)
+    }
+
+    /// [`Workbench::prepare`] with an explicit workload seed, so two
+    /// runs (or two processes) can agree on — or deliberately vary —
+    /// the generated queries.
+    pub fn prepare_seeded(spec: &DatasetSpec, max_layers: usize, dmax: u32, seed: u64) -> Self {
         let dataset = spec.generate();
         let (index, build_time) = default_index(&dataset, max_layers);
         let min_count = (dataset.num_vertices() / 100).max(3) as u32;
-        let queries = benchmark_queries(&dataset, dmax, min_count, 0xC0FFEE);
+        let queries = benchmark_queries(&dataset, dmax, min_count, seed);
         Workbench {
             dataset,
             index,

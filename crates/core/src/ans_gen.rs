@@ -10,7 +10,7 @@
 
 use crate::spec::SpecializedAnswer;
 use bgi_graph::{DiGraph, VId};
-use bgi_search::AnswerGraph;
+use bgi_search::{AnswerGraph, Budget, Interrupted};
 
 /// Statistics of one generation run (for the optimization experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,10 +35,33 @@ pub fn vertex_answer_generation(
     use_spec_order: bool,
     limit: usize,
 ) -> (Vec<AnswerGraph>, GenStats) {
+    // The Err arm is unreachable: an unlimited budget never interrupts.
+    vertex_answer_generation_budgeted(
+        base,
+        answer,
+        spec,
+        use_spec_order,
+        limit,
+        &Budget::unlimited(),
+    )
+    .unwrap_or_default()
+}
+
+/// [`vertex_answer_generation`] under a cooperative [`Budget`]: the DFS
+/// checks the budget once per enumeration step, so a deadline interrupts
+/// even when the candidate cross-product explodes.
+pub fn vertex_answer_generation_budgeted(
+    base: &DiGraph,
+    answer: &AnswerGraph,
+    spec: &SpecializedAnswer,
+    use_spec_order: bool,
+    limit: usize,
+    budget: &Budget,
+) -> Result<(Vec<AnswerGraph>, GenStats), Interrupted> {
     let n = answer.vertices.len();
     let mut stats = GenStats::default();
     if n == 0 || limit == 0 {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
 
     // Specialization order O (Sec. 4.3.2): ascending |χ⁻¹(aᵢ)|.
@@ -76,6 +99,7 @@ pub fn vertex_answer_generation(
     let mut results = Vec::new();
     let mut stack: Vec<usize> = vec![0]; // candidate cursor per depth
     'dfs: loop {
+        budget.check()?;
         let depth = stack.len() - 1;
         let pos = order[depth];
         let cursor = &mut stack[depth];
@@ -121,7 +145,7 @@ pub fn vertex_answer_generation(
             stack.push(0);
         }
     }
-    (results, stats)
+    Ok((results, stats))
 }
 
 /// Builds the concrete [`AnswerGraph`] for a complete assignment.

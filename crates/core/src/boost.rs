@@ -7,10 +7,10 @@
 //! realization, per Sec. 5.2's "identical to Sec. 5.1" answer
 //! generation; see [`boost_dkws`]).
 
-use crate::eval::{eval_at_layer, EvalOptions, EvalResult, RealizerKind};
+use crate::eval::{eval_at_layer, eval_at_layer_budgeted, EvalOptions, EvalResult, RealizerKind};
 use crate::index::BiGIndex;
 use crate::query_gen::optimal_layer;
-use bgi_search::{AnswerGraph, KeywordQuery, KeywordSearch, RClique};
+use bgi_search::{AnswerGraph, Budget, Interrupted, KeywordQuery, KeywordSearch, RClique};
 use std::time::{Duration, Instant};
 
 /// A keyword search algorithm boosted by a BiG-index.
@@ -69,6 +69,26 @@ impl<'a, F: KeywordSearch> Boosted<'a, F> {
         fallback
     }
 
+    /// [`Boosted::query`] under a cooperative [`Budget`]: the whole
+    /// pipeline — including a possible layer-0 fallback — checks the
+    /// budget and returns [`Interrupted`] on a deadline or cancellation.
+    pub fn query_budgeted(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<EvalResult, Interrupted> {
+        let m = self.chosen_layer(query);
+        let attempt = self.query_at_layer_budgeted(query, k, m, budget)?;
+        if m == 0 || !attempt.answers.is_empty() {
+            return Ok(attempt);
+        }
+        let mut fallback = self.query_at_layer_budgeted(query, k, 0, budget)?;
+        fallback.timings.absorb(&attempt.timings);
+        fallback.fell_back = true;
+        Ok(fallback)
+    }
+
     /// Evaluates `query` at an explicit layer `m` (Fig. 19's sweep).
     pub fn query_at_layer(&self, query: &KeywordQuery, k: usize, m: usize) -> EvalResult {
         eval_at_layer(
@@ -79,6 +99,26 @@ impl<'a, F: KeywordSearch> Boosted<'a, F> {
             k,
             m,
             &self.opts,
+        )
+    }
+
+    /// [`Boosted::query_at_layer`] under a cooperative [`Budget`].
+    pub fn query_at_layer_budgeted(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        m: usize,
+        budget: &Budget,
+    ) -> Result<EvalResult, Interrupted> {
+        eval_at_layer_budgeted(
+            self.index,
+            &self.algo,
+            &self.layer_indexes[m],
+            query,
+            k,
+            m,
+            &self.opts,
+            budget,
         )
     }
 

@@ -26,14 +26,14 @@
 //! paper's candidate filtering does; the integration tests pin down both
 //! regimes.
 
-use crate::ans_gen::{vertex_answer_generation, GenStats};
+use crate::ans_gen::{vertex_answer_generation_budgeted, GenStats};
 use crate::index::BiGIndex;
-use crate::path_gen::path_answer_generation;
+use crate::path_gen::path_answer_generation_budgeted;
 use crate::query_gen::{generalize_query, optimal_layer};
-use crate::spec::{specialize_answer, SpecializedAnswer};
+use crate::spec::{specialize_answer_budgeted, SpecializedAnswer};
 use bgi_graph::{DiGraph, VId};
 use bgi_search::answer::rank_and_truncate;
-use bgi_search::{AnswerGraph, KeywordQuery, KeywordSearch};
+use bgi_search::{AnswerGraph, Budget, Interrupted, KeywordQuery, KeywordSearch};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -152,6 +152,44 @@ pub fn eval_at_layer<F: KeywordSearch>(
     m: usize,
     opts: &EvalOptions,
 ) -> EvalResult {
+    match eval_at_layer_budgeted(
+        index,
+        algo,
+        layer_index,
+        query,
+        k,
+        m,
+        opts,
+        &Budget::unlimited(),
+    ) {
+        Ok(r) => r,
+        // Unreachable: an unlimited budget never interrupts.
+        Err(Interrupted) => EvalResult {
+            answers: Vec::new(),
+            layer: m,
+            timings: StepTimings::default(),
+            stats: EvalStats::default(),
+            fell_back: false,
+        },
+    }
+}
+
+/// [`eval_at_layer`] under a cooperative [`Budget`]: every pipeline step
+/// (plugged-in search, specialization, answer generation, distance
+/// verification) checks the budget inside its loops, so a deadline or a
+/// raised cancel flag interrupts the query mid-flight with
+/// [`Interrupted`] instead of running to completion.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_at_layer_budgeted<F: KeywordSearch>(
+    index: &BiGIndex,
+    algo: &F,
+    layer_index: &F::Index,
+    query: &KeywordQuery,
+    k: usize,
+    m: usize,
+    opts: &EvalOptions,
+    budget: &Budget,
+) -> Result<EvalResult, Interrupted> {
     let mut timings = StepTimings::default();
     let mut stats = EvalStats::default();
 
@@ -171,16 +209,16 @@ pub fn eval_at_layer<F: KeywordSearch>(
         // Evaluating on the data graph *is* the baseline; no translation
         // and no overfetch.
         let t = Instant::now();
-        let answers = algo.search(index.graph_at(0), layer_index, &gq, k);
+        let answers = algo.search_budgeted(index.graph_at(0), layer_index, &gq, k, budget)?;
         timings.search = t.elapsed();
         stats.generalized_answers = answers.len();
-        return EvalResult {
+        return Ok(EvalResult {
             answers: rank_and_truncate(answers, k),
             layer: 0,
             timings,
             stats,
             fell_back: false,
-        };
+        });
     }
 
     // Fetch k generalized answers first; if pruning leaves fewer than k
@@ -198,7 +236,8 @@ pub fn eval_at_layer<F: KeywordSearch>(
     loop {
         rounds += 1;
         let t = Instant::now();
-        let generalized = algo.search(index.graph_at(m), layer_index, &gq, fetch);
+        let generalized =
+            algo.search_budgeted(index.graph_at(m), layer_index, &gq, fetch, budget)?;
         timings.search += t.elapsed();
         stats.generalized_answers = generalized.len();
         let exhausted = generalized.len() < fetch;
@@ -210,9 +249,10 @@ pub fn eval_at_layer<F: KeywordSearch>(
         stats.partials_created = 0;
         for ga in &generalized {
             let t = Instant::now();
-            let spec = specialize_answer(index, query, ga, m, opts.early_keyword_spec);
+            let spec =
+                specialize_answer_budgeted(index, query, ga, m, opts.early_keyword_spec, budget);
             timings.spec_prune += t.elapsed();
-            let Some(spec) = spec else {
+            let Some(spec) = spec? else {
                 stats.answers_pruned += 1;
                 continue;
             };
@@ -221,22 +261,34 @@ pub fn eval_at_layer<F: KeywordSearch>(
             let remaining = k.saturating_sub(finals.len()).max(1);
             let t = Instant::now();
             let (realized, gen_stats): (Vec<AnswerGraph>, GenStats) = match opts.realizer {
-                RealizerKind::VertexAtATime => vertex_answer_generation(
+                RealizerKind::VertexAtATime => vertex_answer_generation_budgeted(
                     index.base(),
                     ga,
                     &spec,
                     opts.use_spec_order,
                     remaining,
-                ),
+                    budget,
+                )?,
                 RealizerKind::PathBased => {
-                    path_answer_generation(index.base(), ga, &spec, remaining)
+                    path_answer_generation_budgeted(index.base(), ga, &spec, remaining, budget)?
                 }
-                RealizerKind::DistanceVerify => {
-                    distance_verify(index.base(), query, ga, &spec, remaining, &mut dist_cache)
-                }
+                RealizerKind::DistanceVerify => distance_verify(
+                    index.base(),
+                    query,
+                    ga,
+                    &spec,
+                    remaining,
+                    &mut dist_cache,
+                    budget,
+                )?,
                 RealizerKind::StructuralThenDistance => {
-                    let (structural, st) =
-                        path_answer_generation(index.base(), ga, &spec, remaining);
+                    let (structural, st) = path_answer_generation_budgeted(
+                        index.base(),
+                        ga,
+                        &spec,
+                        remaining,
+                        budget,
+                    )?;
                     if structural.is_empty() {
                         let (verified, vt) = distance_verify(
                             index.base(),
@@ -245,7 +297,8 @@ pub fn eval_at_layer<F: KeywordSearch>(
                             &spec,
                             remaining,
                             &mut dist_cache,
-                        );
+                            budget,
+                        )?;
                         (
                             verified,
                             GenStats {
@@ -274,13 +327,13 @@ pub fn eval_at_layer<F: KeywordSearch>(
         fetch = fetch.saturating_mul(opts.overfetch.max(2));
     }
 
-    EvalResult {
+    Ok(EvalResult {
         answers: rank_and_truncate(finals, k),
         layer: m,
         timings,
         stats,
         fell_back: false,
-    }
+    })
 }
 
 /// Runs `eval_Ont` at the cost-optimal layer (Def. 4.1).
@@ -303,6 +356,7 @@ type DistCache = FxHashMap<VId, FxHashMap<VId, u32>>;
 /// only, then verify all pairwise *undirected* distances on `G⁰` within
 /// `d_max`, scoring by the sum of pairwise distances (boost-dkws,
 /// Sec. 5.2).
+#[allow(clippy::too_many_arguments)]
 fn distance_verify(
     base: &DiGraph,
     query: &KeywordQuery,
@@ -310,7 +364,8 @@ fn distance_verify(
     spec: &SpecializedAnswer,
     limit: usize,
     cache: &mut DistCache,
-) -> (Vec<AnswerGraph>, GenStats) {
+    budget: &Budget,
+) -> Result<(Vec<AnswerGraph>, GenStats), Interrupted> {
     let mut stats = GenStats::default();
     let n = query.len();
     // Candidate sets per keyword: union over the generalized answer's
@@ -322,7 +377,7 @@ fn distance_verify(
         }
     }
     if cands.iter().any(Vec::is_empty) {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
     for c in &mut cands {
         c.sort_unstable();
@@ -370,9 +425,10 @@ fn distance_verify(
         results: &mut Vec<AnswerGraph>,
         stats: &mut GenStats,
         limit: usize,
-    ) {
+        budget: &Budget,
+    ) -> Result<(), Interrupted> {
         if results.len() >= limit {
-            return;
+            return Ok(());
         }
         let depth = picked.len();
         if depth == cands.len() {
@@ -385,22 +441,26 @@ fn distance_verify(
             }
             results.push(materialize_clique(base, query, picked, weight));
             stats.answers += 1;
-            return;
+            return Ok(());
         }
         for &v in &cands[depth] {
+            budget.check()?;
             let ok = picked
                 .iter()
                 .all(|&u| dist(base, u, v, query.dmax).is_some());
             if ok {
                 picked.push(v);
                 stats.partials_created += 1;
-                rec(base, query, cands, picked, dist, results, stats, limit);
+                rec(
+                    base, query, cands, picked, dist, results, stats, limit, budget,
+                )?;
                 picked.pop();
                 if results.len() >= limit {
-                    return;
+                    return Ok(());
                 }
             }
         }
+        Ok(())
     }
     rec(
         base,
@@ -411,8 +471,9 @@ fn distance_verify(
         &mut results,
         &mut stats,
         limit,
-    );
-    (results, stats)
+        budget,
+    )?;
+    Ok((results, stats))
 }
 
 /// Materializes a verified clique answer with undirected witness paths
@@ -604,6 +665,37 @@ mod tests {
         let r = eval_ont(&idx, &Banks, &indexes, &q, 5, &EvalOptions::default());
         assert!(r.layer <= idx.num_layers());
         assert!(!r.answers.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_interrupts_pipeline() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 2);
+        let layer_index = Banks.build_index(idx.graph_at(1));
+        let expired = Budget::with_timeout(Duration::ZERO);
+        let r = eval_at_layer_budgeted(
+            &idx,
+            &Banks,
+            &layer_index,
+            &q,
+            10,
+            1,
+            &EvalOptions::default(),
+            &expired,
+        );
+        assert!(r.is_err(), "an expired budget must interrupt Algo. 2");
+        // The same call with an unlimited budget succeeds.
+        let ok = eval_at_layer_budgeted(
+            &idx,
+            &Banks,
+            &layer_index,
+            &q,
+            10,
+            1,
+            &EvalOptions::default(),
+            &Budget::unlimited(),
+        );
+        assert!(ok.is_ok_and(|r| !r.answers.is_empty()));
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub mod spec;
 
 pub use boost::{boost_dkws, Boosted};
 pub use config::GenConfig;
-pub use eval::{EvalOptions, EvalResult, RealizerKind};
+pub use eval::{
+    eval_at_layer, eval_at_layer_budgeted, eval_ont, EvalOptions, EvalResult, RealizerKind,
+};
 pub use index::{BiGIndex, BuildParams, Summarizer};
 // The invariant checker the index validates itself with at build time
 // (debug builds and the `validate` feature); re-exported so callers can

@@ -11,7 +11,7 @@
 use crate::ans_gen::GenStats;
 use crate::spec::SpecializedAnswer;
 use bgi_graph::{DiGraph, VId};
-use bgi_search::AnswerGraph;
+use bgi_search::{AnswerGraph, Budget, Interrupted};
 use rustc_hash::FxHashMap;
 
 /// A decomposed path: positions (indices into the answer's vertex list)
@@ -112,6 +112,18 @@ pub fn answer_decomposition(answer: &AnswerGraph) -> Vec<GenPath> {
 /// Enumerates the concrete realizations of one path against the base
 /// graph (the `ans_graph_gen(pᵢ, A¹)` step of Algo. 4).
 pub fn specialize_path(base: &DiGraph, spec: &SpecializedAnswer, path: &GenPath) -> Vec<Vec<VId>> {
+    // The Err arm is unreachable: an unlimited budget never interrupts.
+    specialize_path_budgeted(base, spec, path, &Budget::unlimited()).unwrap_or_default()
+}
+
+/// [`specialize_path`] under a cooperative [`Budget`]: checks once per
+/// partial path grown.
+pub fn specialize_path_budgeted(
+    base: &DiGraph,
+    spec: &SpecializedAnswer,
+    path: &GenPath,
+    budget: &Budget,
+) -> Result<Vec<Vec<VId>>, Interrupted> {
     let mut partial: Vec<Vec<VId>> = spec.candidates[path.positions[0]]
         .iter()
         .map(|&v| vec![v])
@@ -120,6 +132,7 @@ pub fn specialize_path(base: &DiGraph, spec: &SpecializedAnswer, path: &GenPath)
         let next_pos = path.positions[i + 1];
         let mut grown = Vec::new();
         for p in &partial {
+            budget.check()?;
             let last = *p.last().unwrap();
             for &c in &spec.candidates[next_pos] {
                 let ok = if fwd {
@@ -148,7 +161,7 @@ pub fn specialize_path(base: &DiGraph, spec: &SpecializedAnswer, path: &GenPath)
     if path.positions.len() > 1 && path.positions[0] == *path.positions.last().unwrap() {
         partial.retain(|p| p[0] == *p.last().unwrap());
     }
-    partial
+    Ok(partial)
 }
 
 /// Full Algo. 4: decompose, specialize each path, and join on shared
@@ -160,22 +173,34 @@ pub fn path_answer_generation(
     spec: &SpecializedAnswer,
     limit: usize,
 ) -> (Vec<AnswerGraph>, GenStats) {
+    // The Err arm is unreachable: an unlimited budget never interrupts.
+    path_answer_generation_budgeted(base, answer, spec, limit, &Budget::unlimited())
+        .unwrap_or_default()
+}
+
+/// [`path_answer_generation`] under a cooperative [`Budget`]: checks
+/// inside the per-path specialization and the join loops.
+pub fn path_answer_generation_budgeted(
+    base: &DiGraph,
+    answer: &AnswerGraph,
+    spec: &SpecializedAnswer,
+    limit: usize,
+    budget: &Budget,
+) -> Result<(Vec<AnswerGraph>, GenStats), Interrupted> {
     let n = answer.vertices.len();
     let mut stats = GenStats::default();
     if n == 0 || limit == 0 {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
     let paths = answer_decomposition(answer);
     // Specialize every path, then join the most selective first.
-    let mut realized: Vec<(GenPath, Vec<Vec<VId>>)> = paths
-        .into_iter()
-        .map(|p| {
-            let r = specialize_path(base, spec, &p);
-            (p, r)
-        })
-        .collect();
+    let mut realized: Vec<(GenPath, Vec<Vec<VId>>)> = Vec::with_capacity(paths.len());
+    for p in paths {
+        let r = specialize_path_budgeted(base, spec, &p, budget)?;
+        realized.push((p, r));
+    }
     if realized.iter().any(|(_, r)| r.is_empty()) {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
     realized.sort_by_key(|(_, r)| r.len());
 
@@ -185,6 +210,7 @@ pub fn path_answer_generation(
         let mut next: Vec<FxHashMap<usize, VId>> = Vec::new();
         for partial in &partials {
             for r in realizations {
+                budget.check()?;
                 // Path qualification (Def. 4.3): every position shared
                 // with the partial must agree.
                 let agrees = path
@@ -207,7 +233,7 @@ pub fn path_answer_generation(
         }
         partials = next;
         if partials.is_empty() {
-            return (Vec::new(), stats);
+            return Ok((Vec::new(), stats));
         }
     }
 
@@ -227,7 +253,7 @@ pub fn path_answer_generation(
             break;
         }
     }
-    (answers, stats)
+    Ok((answers, stats))
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! carries larger candidate sets down the hierarchy.
 
 use crate::index::BiGIndex;
-use bgi_search::{AnswerGraph, KeywordQuery};
+use bgi_search::{AnswerGraph, Budget, Interrupted, KeywordQuery};
 
 /// A generalized answer specialized down to the data graph: per
 /// generalized-answer vertex, its surviving layer-0 candidates.
@@ -50,6 +50,29 @@ pub fn specialize_answer(
     m: usize,
     early_keyword_spec: bool,
 ) -> Option<SpecializedAnswer> {
+    // The Err arm is unreachable: an unlimited budget never interrupts.
+    specialize_answer_budgeted(
+        index,
+        query,
+        answer,
+        m,
+        early_keyword_spec,
+        &Budget::unlimited(),
+    )
+    .unwrap_or_default()
+}
+
+/// [`specialize_answer`] under a cooperative [`Budget`]: the walk down
+/// the hierarchy checks the budget per answer vertex per layer, so a
+/// deadline interrupts even when supernodes expand to huge member sets.
+pub fn specialize_answer_budgeted(
+    index: &BiGIndex,
+    query: &KeywordQuery,
+    answer: &AnswerGraph,
+    m: usize,
+    early_keyword_spec: bool,
+    budget: &Budget,
+) -> Result<Option<SpecializedAnswer>, Interrupted> {
     let nverts = answer.vertices.len();
     // isKey: which keyword does each generalized vertex match?
     let mut key_of: Vec<Option<usize>> = vec![None; nverts];
@@ -71,6 +94,7 @@ pub fn specialize_answer(
         for (i, cands) in candidates.iter_mut().enumerate() {
             let mut next = Vec::with_capacity(cands.len());
             for &s in cands.iter() {
+                budget.check()?;
                 next.extend_from_slice(index.spec_step(s, l));
             }
             // Prop. 4.1: keyword vertices must specialize to labels that
@@ -83,18 +107,18 @@ pub fn specialize_answer(
                     next.retain(|&v| lower.label(v) == want);
                     pruned += before - next.len();
                     if next.is_empty() {
-                        return None; // the whole answer is unrealizable
+                        return Ok(None); // the whole answer is unrealizable
                     }
                 }
             }
             *cands = next;
         }
     }
-    Some(SpecializedAnswer {
+    Ok(Some(SpecializedAnswer {
         candidates,
         key_of,
         pruned,
-    })
+    }))
 }
 
 #[cfg(test)]

@@ -1,0 +1,109 @@
+//! Persistence fidelity: a saved-and-reloaded dataset must be
+//! *index-equivalent* to the original — building a BiG-index over it
+//! passes every `bgi-verify` invariant — and damaged files must fail
+//! with a typed error, never a panic.
+
+use bgi_datasets::{persist, DatasetSpec};
+use bgi_graph::GraphError;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bgi_persist_it_{name}"))
+}
+
+#[test]
+fn roundtrip_dataset_builds_a_clean_index() {
+    let ds = DatasetSpec::yago_like(600).generate();
+    let dir = tmp("fidelity");
+    persist::save(&ds, &dir).expect("save");
+    let loaded = persist::load(&dir).expect("load");
+    fs::remove_dir_all(&dir).ok();
+
+    // Same shape...
+    assert_eq!(loaded.graph.num_vertices(), ds.graph.num_vertices());
+    assert_eq!(loaded.graph.num_edges(), ds.graph.num_edges());
+    assert_eq!(loaded.ontology.num_edges(), ds.ontology.num_edges());
+
+    // ...and the reloaded dataset supports the full index pipeline:
+    // every invariant (layer structure, χ tables, Prop. 4.1
+    // distance bounds) holds on an index built from it.
+    let params = big_index::BuildParams {
+        max_layers: 2,
+        ..big_index::BuildParams::default()
+    };
+    let index = big_index::BiGIndex::build(loaded.graph.clone(), loaded.ontology.clone(), &params);
+    let report = index.verify();
+    assert!(
+        report.is_clean(),
+        "index over reloaded dataset violates invariants:\n{report}"
+    );
+}
+
+#[test]
+fn truncated_graph_file_is_a_typed_error() {
+    let ds = DatasetSpec::yago_like(300).generate();
+    let dir = tmp("truncated");
+    persist::save(&ds, &dir).expect("save");
+    // Cut graph.txt mid-record: drop the trailing half of the file and
+    // leave a dangling partial line.
+    let path = dir.join("graph.txt");
+    let text = fs::read_to_string(&path).expect("read back");
+    let cut = text.len() / 2;
+    let boundary = text[..cut].rfind('\n').unwrap_or(0);
+    // Keep a partial record after the last full line to emulate a
+    // torn write.
+    fs::write(&path, &text[..boundary + 2]).expect("truncate");
+    let err = persist::load(&dir);
+    fs::remove_dir_all(&dir).ok();
+    assert!(err.is_err(), "truncated graph.txt must not load");
+}
+
+#[test]
+fn corrupt_record_is_a_parse_error_with_line_number() {
+    let ds = DatasetSpec::yago_like(300).generate();
+    let dir = tmp("corrupt");
+    persist::save(&ds, &dir).expect("save");
+    let path = dir.join("ontology.txt");
+    let mut text = fs::read_to_string(&path).expect("read back");
+    text.push_str("zzz this is not a record\n");
+    fs::write(&path, text).expect("corrupt");
+    let err = persist::load(&dir);
+    fs::remove_dir_all(&dir).ok();
+    match err {
+        Err(GraphError::Parse { line, .. }) => assert!(line > 0),
+        other => panic!("expected GraphError::Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_meta_label_is_a_parse_error() {
+    let ds = DatasetSpec::yago_like(300).generate();
+    let dir = tmp("meta");
+    persist::save(&ds, &dir).expect("save");
+    let path = dir.join("meta.txt");
+    let mut text = fs::read_to_string(&path).expect("read back");
+    text.push_str("level 99 NoSuchLabelAnywhere\n");
+    fs::write(&path, text).expect("corrupt");
+    let err = persist::load(&dir);
+    fs::remove_dir_all(&dir).ok();
+    match err {
+        Err(GraphError::Parse { message, .. }) => {
+            assert!(message.contains("NoSuchLabelAnywhere"), "{message}");
+        }
+        other => panic!("expected GraphError::Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_files_are_io_errors() {
+    let dir = tmp("missing");
+    fs::create_dir_all(&dir).expect("mkdir");
+    // Directory exists but holds no dataset files.
+    let err = persist::load(&dir);
+    fs::remove_dir_all(&dir).ok();
+    match err {
+        Err(GraphError::Io(_)) => {}
+        other => panic!("expected GraphError::Io, got {other:?}"),
+    }
+}

@@ -8,6 +8,7 @@
 //! reached from every keyword set within the bound is an answer root.
 
 use crate::answer::{rank_and_truncate, AnswerGraph};
+use crate::cancel::{Budget, Interrupted};
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, LabelId, VId};
@@ -39,6 +40,16 @@ impl BanksIndex {
 pub(crate) type ReachTable = FxHashMap<VId, (u32, Option<VId>)>;
 
 pub(crate) fn backward_reach(g: &DiGraph, sources: &[VId], dmax: u32) -> ReachTable {
+    // The Err arm is unreachable: an unlimited budget never interrupts.
+    backward_reach_budgeted(g, sources, dmax, &Budget::unlimited()).unwrap_or_default()
+}
+
+pub(crate) fn backward_reach_budgeted(
+    g: &DiGraph,
+    sources: &[VId],
+    dmax: u32,
+    budget: &Budget,
+) -> Result<ReachTable, Interrupted> {
     let mut reach: ReachTable = FxHashMap::default();
     let mut queue = VecDeque::new();
     for &s in sources {
@@ -48,6 +59,7 @@ pub(crate) fn backward_reach(g: &DiGraph, sources: &[VId], dmax: u32) -> ReachTa
         }
     }
     while let Some(v) = queue.pop_front() {
+        budget.check()?;
         let d = reach[&v].0;
         if d >= dmax {
             continue;
@@ -59,7 +71,7 @@ pub(crate) fn backward_reach(g: &DiGraph, sources: &[VId], dmax: u32) -> ReachTa
             }
         }
     }
-    reach
+    Ok(reach)
 }
 
 /// Reconstructs the root-to-keyword path from a `backward_reach` table.
@@ -95,8 +107,34 @@ impl KeywordSearch for Banks {
         query: &KeywordQuery,
         k: usize,
     ) -> Vec<AnswerGraph> {
+        // An unlimited budget never interrupts.
+        self.search_impl(g, index, query, k, &Budget::unlimited())
+            .unwrap_or_default()
+    }
+
+    fn search_budgeted(
+        &self,
+        g: &DiGraph,
+        index: &BanksIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+        self.search_impl(g, index, query, k, budget)
+    }
+}
+
+impl Banks {
+    fn search_impl(
+        &self,
+        g: &DiGraph,
+        index: &BanksIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
         if query.is_empty() || k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Backward expansion from every keyword's vertex set, smallest
         // set first (BANKS' strategy); if any keyword is absent there is
@@ -108,7 +146,7 @@ impl KeywordSearch for Banks {
             .map(|(i, &q)| (i, index.vertices_with(q)))
             .collect();
         if keyword_sets.iter().any(|(_, s)| s.is_empty()) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         keyword_sets.sort_by_key(|(_, s)| s.len());
 
@@ -117,19 +155,20 @@ impl KeywordSearch for Banks {
         // smallest keyword set's reach and intersect incrementally.
         let mut candidates: Option<Vec<VId>> = None;
         for &(i, sources) in &keyword_sets {
-            let reach = backward_reach(g, sources, query.dmax);
+            let reach = backward_reach_budgeted(g, sources, query.dmax, budget)?;
             candidates = Some(match candidates {
                 None => reach.keys().copied().collect(),
                 Some(prev) => prev.into_iter().filter(|v| reach.contains_key(v)).collect(),
             });
             reaches[i] = Some(reach);
             if candidates.as_ref().is_some_and(Vec::is_empty) {
-                return Vec::new();
+                return Ok(Vec::new());
             }
         }
 
         let mut answers = Vec::new();
         for root in candidates.unwrap_or_default() {
+            budget.check()?;
             let mut vertices = Vec::new();
             let mut edges = Vec::new();
             let mut keyword_matches = vec![Vec::new(); query.len()];
@@ -153,7 +192,7 @@ impl KeywordSearch for Banks {
                 score,
             ));
         }
-        rank_and_truncate(answers, k)
+        Ok(rank_and_truncate(answers, k))
     }
 }
 

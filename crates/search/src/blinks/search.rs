@@ -16,6 +16,7 @@
 
 use super::index::{BlinksIndex, BlinksParams};
 use crate::answer::{rank_and_truncate, AnswerGraph};
+use crate::cancel::{Budget, Interrupted};
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, LabelId, VId};
@@ -76,8 +77,34 @@ impl KeywordSearch for Blinks {
         query: &KeywordQuery,
         k: usize,
     ) -> Vec<AnswerGraph> {
+        // An unlimited budget never interrupts.
+        self.search_impl(g, index, query, k, &Budget::unlimited())
+            .unwrap_or_default()
+    }
+
+    fn search_budgeted(
+        &self,
+        g: &DiGraph,
+        index: &BlinksIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+        self.search_impl(g, index, query, k, budget)
+    }
+}
+
+impl Blinks {
+    fn search_impl(
+        &self,
+        g: &DiGraph,
+        index: &BlinksIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
         if query.is_empty() || k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let dmax = query.dmax.min(index.prune_dist());
         let n = query.len();
@@ -89,7 +116,7 @@ impl KeywordSearch for Blinks {
         let mut dists: Vec<FxHashMap<VId, u32>> = vec![FxHashMap::default(); n];
         for (i, &q) in query.keywords.iter().enumerate() {
             let Some(list) = index.keyword_node_list(q) else {
-                return Vec::new();
+                return Ok(Vec::new());
             };
             let mut queue = std::collections::VecDeque::new();
             for &(d, v) in list.iter().take_while(|&&(d, _)| d == 0) {
@@ -98,7 +125,7 @@ impl KeywordSearch for Blinks {
                 queue.push_back(v);
             }
             if queue.is_empty() {
-                return Vec::new();
+                return Ok(Vec::new());
             }
             frontiers.push(queue);
         }
@@ -181,6 +208,7 @@ impl KeywordSearch for Blinks {
             let level = frontiers[i].len();
             let next_depth = depth[i] + 1;
             for _ in 0..level {
+                budget.check()?;
                 let u = frontiers[i].pop_front().unwrap();
                 for &w in g.in_neighbors(u) {
                     if dists[i].contains_key(&w) {
@@ -202,24 +230,29 @@ impl KeywordSearch for Blinks {
         // Materialize answers for the best roots.
         roots.sort_unstable();
         roots.truncate(k);
-        let answers = roots
-            .into_iter()
-            .map(|(score, root)| {
-                let mut vertices = Vec::new();
-                let mut edges = Vec::new();
-                let mut keyword_matches = vec![Vec::new(); n];
-                for (i, &q) in query.keywords.iter().enumerate() {
-                    let path = Self::descend_path(g, index, root, q);
-                    for w in path.windows(2) {
-                        edges.push((w[0], w[1]));
-                    }
-                    keyword_matches[i].push(*path.last().unwrap());
-                    vertices.extend(path);
+        let mut answers = Vec::with_capacity(roots.len());
+        for (score, root) in roots {
+            budget.check()?;
+            let mut vertices = Vec::new();
+            let mut edges = Vec::new();
+            let mut keyword_matches = vec![Vec::new(); n];
+            for (i, &q) in query.keywords.iter().enumerate() {
+                let path = Self::descend_path(g, index, root, q);
+                for w in path.windows(2) {
+                    edges.push((w[0], w[1]));
                 }
-                AnswerGraph::new(vertices, edges, keyword_matches, Some(root), score)
-            })
-            .collect();
-        rank_and_truncate(answers, k)
+                keyword_matches[i].push(*path.last().unwrap());
+                vertices.extend(path);
+            }
+            answers.push(AnswerGraph::new(
+                vertices,
+                edges,
+                keyword_matches,
+                Some(root),
+                score,
+            ));
+        }
+        Ok(rank_and_truncate(answers, k))
     }
 }
 

@@ -1,0 +1,243 @@
+//! Cooperative query budgets: deadlines and cancellation.
+//!
+//! A [`Budget`] is threaded through the hot loops of the search
+//! algorithms and BiG-index's specialization / answer-generation
+//! pipeline so a long-running query can be abandoned mid-flight — the
+//! serving layer (`bgi-service`) uses it to enforce per-request
+//! deadlines without preemption. Checks are *cooperative*: each loop
+//! calls [`Budget::is_exhausted`] (or the `Result`-flavoured
+//! [`Budget::check`]) at its head, and the clock read is amortized over
+//! [`CHECK_PERIOD`] calls so an unlimited budget costs two branch
+//! predictions per iteration.
+//!
+//! A budget combines two independent stop conditions:
+//!
+//! - a **deadline** (`Instant`), for per-query timeouts; and
+//! - a shared **cancel flag** (`Arc<AtomicBool>`), for external
+//!   cancellation (client disconnect, service shutdown).
+//!
+//! Budgets are cheap to clone and are owned by one worker thread at a
+//! time (the amortization counter is a `Cell`, so `Budget` is `Send`
+//! but deliberately not `Sync`; share the *flag*, not the budget).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many exhaustion checks share one `Instant::now()` read.
+///
+/// Once a budget observes exhaustion it latches, so the worst case is
+/// overshooting a deadline by `CHECK_PERIOD` loop iterations.
+pub const CHECK_PERIOD: u32 = 64;
+
+/// The error a budgeted operation returns when its budget ran out.
+///
+/// Deliberately carries no payload: the interrupted computation's
+/// partial results are meaningless under every plugged-in semantics
+/// (top-k sets are only correct when the enumeration ran to its own
+/// termination condition), so interruption discards them wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("query interrupted: budget exhausted (deadline or cancellation)")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// A cooperative execution budget: optional deadline plus optional
+/// shared cancel flag.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    // Calls remaining until the next clock read; starts at 0 so the
+    // very first check always consults the clock (a 0 ms deadline must
+    // trip immediately).
+    countdown: Cell<u32>,
+    // Latched once exhaustion is observed: checks after the first hit
+    // are branch-only.
+    expired: Cell<bool>,
+}
+
+impl Budget {
+    /// A budget that never runs out (the default).
+    pub const fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            cancel: None,
+            countdown: Cell::new(0),
+            expired: Cell::new(false),
+        }
+    }
+
+    /// A budget expiring `timeout` from now. A zero timeout is already
+    /// expired — the first check fails.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        // Saturate rather than wrap on absurd timeouts.
+        match Instant::now().checked_add(timeout) {
+            Some(at) => Self::with_deadline(at),
+            None => Self::unlimited(),
+        }
+    }
+
+    /// A budget expiring at the absolute instant `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            ..Self::unlimited()
+        }
+    }
+
+    /// Attaches a shared cancel flag; setting the flag to `true` (from
+    /// any thread) exhausts the budget at its next check.
+    #[must_use]
+    pub fn cancelled_by(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// The deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True if neither a deadline nor a cancel flag is attached — no
+    /// check can ever fail.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Cooperative check: true once the deadline passed or the cancel
+    /// flag was raised. Amortizes clock reads over [`CHECK_PERIOD`]
+    /// calls; once exhausted, stays exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        if self.expired.get() {
+            return true;
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                self.expired.set(true);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let left = self.countdown.get();
+            if left == 0 {
+                self.countdown.set(CHECK_PERIOD);
+                if Instant::now() >= deadline {
+                    self.expired.set(true);
+                    return true;
+                }
+            } else {
+                self.countdown.set(left - 1);
+            }
+        }
+        false
+    }
+
+    /// Like [`Budget::is_exhausted`] but reads the clock unconditionally
+    /// — for coarse checkpoints (phase boundaries) where amortization
+    /// would delay detection by a whole phase.
+    pub fn is_exhausted_now(&self) -> bool {
+        self.countdown.set(0);
+        self.is_exhausted()
+    }
+
+    /// `Result`-flavoured [`Budget::is_exhausted`] for `?` threading.
+    pub fn check(&self) -> Result<(), Interrupted> {
+        if self.is_exhausted() {
+            Err(Interrupted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `Result`-flavoured [`Budget::is_exhausted_now`].
+    pub fn check_now(&self) -> Result<(), Interrupted> {
+        if self.is_exhausted_now() {
+            Err(Interrupted)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(!b.is_exhausted());
+        }
+        assert!(b.check().is_ok());
+        assert!(b.is_unlimited());
+    }
+
+    #[test]
+    fn zero_timeout_trips_on_first_check() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(b.is_exhausted());
+        assert_eq!(b.check(), Err(Interrupted));
+    }
+
+    #[test]
+    fn exhaustion_latches() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(b.is_exhausted());
+        // Stays exhausted on every subsequent check.
+        for _ in 0..100 {
+            assert!(b.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        for _ in 0..1000 {
+            assert!(!b.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn cancel_flag_exhausts_from_another_handle() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().cancelled_by(Arc::clone(&flag));
+        assert!(!b.is_exhausted());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn amortization_still_catches_deadline() {
+        let b = Budget::with_timeout(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(10));
+        // Within CHECK_PERIOD calls the clock must be consulted.
+        let tripped = (0..=CHECK_PERIOD).any(|_| b.is_exhausted());
+        assert!(tripped);
+    }
+
+    #[test]
+    fn check_now_bypasses_amortization() {
+        let b = Budget::with_timeout(Duration::from_millis(2));
+        assert!(!b.is_exhausted()); // consumes the first clock read
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.is_exhausted_now());
+    }
+
+    #[test]
+    fn clone_shares_flag_not_latch() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let a = Budget::unlimited().cancelled_by(Arc::clone(&flag));
+        let b = a.clone();
+        flag.store(true, Ordering::Relaxed);
+        assert!(a.is_exhausted());
+        assert!(b.is_exhausted());
+    }
+}

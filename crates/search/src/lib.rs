@@ -20,6 +20,10 @@
 //! the exact surface BiG-index needs: they are label-based (match
 //! `L(v) = q`) and traversal-based (path-preserving summaries keep their
 //! answers), so they run unchanged on summary graphs.
+//!
+//! For deadline-bound serving, every algorithm also supports
+//! *cooperative* interruption through [`cancel::Budget`] — see
+//! [`semantics::KeywordSearch::search_budgeted`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@ pub mod answer;
 pub mod banks;
 pub mod bidirectional;
 pub mod blinks;
+pub mod cancel;
 pub mod query;
 pub mod rclique;
 pub mod semantics;
@@ -36,6 +41,7 @@ pub use answer::AnswerGraph;
 pub use banks::Banks;
 pub use bidirectional::Bidirectional;
 pub use blinks::Blinks;
+pub use cancel::{Budget, Interrupted};
 pub use query::KeywordQuery;
 pub use rclique::RClique;
 pub use semantics::KeywordSearch;

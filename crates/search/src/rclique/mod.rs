@@ -20,4 +20,4 @@ pub mod neighbor_index;
 pub mod search;
 
 pub use neighbor_index::{NeighborIndex, NeighborIndexParams};
-pub use search::RClique;
+pub use search::{RClique, RCliqueIndex};

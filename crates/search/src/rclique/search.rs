@@ -13,6 +13,7 @@
 
 use super::neighbor_index::{NeighborIndex, NeighborIndexParams};
 use crate::answer::{rank_and_truncate, AnswerGraph};
+use crate::cancel::{Budget, Interrupted};
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, VId};
@@ -160,8 +161,34 @@ impl KeywordSearch for RClique {
         query: &KeywordQuery,
         k: usize,
     ) -> Vec<AnswerGraph> {
+        // An unlimited budget never interrupts.
+        self.search_impl(g, index, query, k, &Budget::unlimited())
+            .unwrap_or_default()
+    }
+
+    fn search_budgeted(
+        &self,
+        g: &DiGraph,
+        index: &RCliqueIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+        self.search_impl(g, index, query, k, budget)
+    }
+}
+
+impl RClique {
+    fn search_impl(
+        &self,
+        g: &DiGraph,
+        index: &RCliqueIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
         if query.is_empty() || k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let r = query.dmax.min(index.neighbor.radius());
         // Per-query content node lists (the search space SP).
@@ -176,7 +203,7 @@ impl KeywordSearch for RClique {
             })
             .collect();
         if content.iter().any(|c| c.is_empty()) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let n = query.len();
 
@@ -191,14 +218,15 @@ impl KeywordSearch for RClique {
                     .collect(),
             }
         };
-        let best_answer = |space: &[Slot]| -> Option<(u64, Vec<VId>)> {
+        let best_answer = |space: &[Slot]| -> Result<Option<(u64, Vec<VId>)>, Interrupted> {
             let cand_lists: Vec<Vec<VId>> = (0..n).map(|i| candidates(space, i)).collect();
             if cand_lists.iter().any(Vec::is_empty) {
-                return None;
+                return Ok(None);
             }
             let pivot = (0..n).min_by_key(|&i| cand_lists[i].len()).unwrap();
             let mut best: Option<(u64, Vec<VId>)> = None;
             for &u in &cand_lists[pivot] {
+                budget.check()?;
                 let mut picked = vec![u; n];
                 let mut feasible = true;
                 for j in 0..n {
@@ -245,7 +273,7 @@ impl KeywordSearch for RClique {
                     best = Some((weight, picked));
                 }
             }
-            best
+            Ok(best)
         };
 
         let root_space: Vec<Slot> = (0..n)
@@ -254,7 +282,7 @@ impl KeywordSearch for RClique {
             })
             .collect();
         let mut heap: BinaryHeap<Reverse<SpaceItem>> = BinaryHeap::new();
-        if let Some((weight, answer)) = best_answer(&root_space) {
+        if let Some((weight, answer)) = best_answer(&root_space)? {
             heap.push(Reverse(SpaceItem {
                 weight,
                 answer,
@@ -263,6 +291,7 @@ impl KeywordSearch for RClique {
         }
         let mut results = Vec::new();
         while let Some(Reverse(item)) = heap.pop() {
+            budget.check()?;
             results.push(Self::materialize(g, r, &item.answer, item.weight));
             if results.len() >= k {
                 break;
@@ -290,7 +319,7 @@ impl KeywordSearch for RClique {
                         child.push(slot.clone());
                     }
                 }
-                if let Some((weight, answer)) = best_answer(&child) {
+                if let Some((weight, answer)) = best_answer(&child)? {
                     heap.push(Reverse(SpaceItem {
                         weight,
                         answer,
@@ -303,7 +332,7 @@ impl KeywordSearch for RClique {
         // NP-hard), so a child space can yield a lighter answer than an
         // already-popped parent; re-rank the emitted answers so the
         // returned list is non-decreasing in weight.
-        rank_and_truncate(results, k)
+        Ok(rank_and_truncate(results, k))
     }
 }
 

@@ -8,6 +8,7 @@
 //! index for the layer is rebuilt by [`KeywordSearch::build_index`].
 
 use crate::answer::AnswerGraph;
+use crate::cancel::{Budget, Interrupted};
 use crate::query::KeywordQuery;
 use bgi_graph::DiGraph;
 
@@ -31,6 +32,26 @@ pub trait KeywordSearch {
         query: &KeywordQuery,
         k: usize,
     ) -> Vec<AnswerGraph>;
+
+    /// [`KeywordSearch::search`] under a cooperative [`Budget`]: the
+    /// algorithm checks the budget inside its expansion/enumeration
+    /// loops and returns [`Interrupted`] (discarding partial results —
+    /// a truncated top-k is not a correct top-k) once it is exhausted.
+    ///
+    /// The default implementation checks once up front and then runs
+    /// uninterruptible; the built-in algorithms override it with
+    /// in-loop checks.
+    fn search_budgeted(
+        &self,
+        g: &DiGraph,
+        index: &Self::Index,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+        budget.check_now()?;
+        Ok(self.search(g, index, query, k))
+    }
 
     /// Convenience: build the index and search in one call.
     fn search_fresh(&self, g: &DiGraph, query: &KeywordQuery, k: usize) -> Vec<AnswerGraph> {

@@ -1,0 +1,74 @@
+//! Cooperative-budget behavior of the three plugged-in semantics:
+//! an exhausted budget interrupts mid-search, an unlimited budget (or
+//! a generous deadline) reproduces the plain `search` results exactly.
+
+use bgi_graph::generate::uniform_random;
+use bgi_graph::LabelId;
+use bgi_search::{Banks, Blinks, Budget, Interrupted, KeywordQuery, KeywordSearch, RClique};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn check_semantics<F: KeywordSearch>(algo: &F) {
+    let g = uniform_random(200, 600, 5, 42);
+    let index = algo.build_index(&g);
+    let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 4);
+
+    // Zero deadline: interrupted, never hangs.
+    let expired = Budget::with_timeout(Duration::ZERO);
+    assert_eq!(
+        algo.search_budgeted(&g, &index, &q, 10, &expired),
+        Err(Interrupted),
+        "{}: zero budget must interrupt",
+        algo.name()
+    );
+
+    // Pre-raised cancel flag: interrupted.
+    let flag = Arc::new(AtomicBool::new(true));
+    let cancelled = Budget::unlimited().cancelled_by(Arc::clone(&flag));
+    assert_eq!(
+        algo.search_budgeted(&g, &index, &q, 10, &cancelled),
+        Err(Interrupted),
+        "{}: raised cancel flag must interrupt",
+        algo.name()
+    );
+    flag.store(false, Ordering::Relaxed);
+
+    // Unlimited and generous budgets agree with plain search.
+    let plain = algo.search(&g, &index, &q, 10);
+    let unlimited = algo
+        .search_budgeted(&g, &index, &q, 10, &Budget::unlimited())
+        .expect("unlimited budget never interrupts");
+    let generous = algo
+        .search_budgeted(
+            &g,
+            &index,
+            &q,
+            10,
+            &Budget::with_timeout(Duration::from_secs(600)),
+        )
+        .expect("generous budget should not interrupt this tiny search");
+    let key = |answers: &[bgi_search::AnswerGraph]| {
+        answers
+            .iter()
+            .map(|a| (a.root, a.score))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&plain), key(&unlimited), "{}", algo.name());
+    assert_eq!(key(&plain), key(&generous), "{}", algo.name());
+}
+
+#[test]
+fn banks_respects_budget() {
+    check_semantics(&Banks);
+}
+
+#[test]
+fn blinks_respects_budget() {
+    check_semantics(&Blinks::default());
+}
+
+#[test]
+fn rclique_respects_budget() {
+    check_semantics(&RClique::default());
+}

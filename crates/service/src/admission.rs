@@ -1,0 +1,230 @@
+//! Admission control: a bounded MPMC job queue.
+//!
+//! The service accepts work through a fixed-capacity queue. When the
+//! queue is full the submission is *refused immediately* with a typed
+//! rejection rather than blocked — callers see back-pressure as
+//! `QueryError::Overloaded` and can retry, shed, or route elsewhere.
+//! This keeps worst-case memory bounded and keeps queueing delay (and
+//! therefore deadline burn) visible instead of unbounded.
+//!
+//! Built on `Mutex<VecDeque>` + `Condvar` only — the crate adds no
+//! dependencies beyond std.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the item was shed.
+    Full,
+    /// The queue has been closed (service shutdown).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue that sheds on
+/// overflow and wakes blocked consumers on close.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Maximum queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Tries to enqueue `item`; refuses instantly when full or closed.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work, ever" — the consumer should
+    /// exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`];
+    /// consumers drain what's left, then [`BoundedQueue::pop`] returns
+    /// `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the queue and returns everything still queued, so the
+    /// caller can fail pending work instead of silently dropping it.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut state = self.lock();
+        state.closed = true;
+        let drained = state.items.drain(..).collect();
+        drop(state);
+        self.not_empty.notify_all();
+        drained
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok(), "space frees after pop");
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_consumers() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1).is_ok());
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1), "queued work drains after close");
+        assert_eq!(q.pop(), None, "then consumers see end-of-work");
+    }
+
+    #[test]
+    fn close_and_drain_returns_pending() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.close_and_drain(), vec![1, 2]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().ok().flatten(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::<u64>::new(1024));
+        let producers = 4;
+        let per = 200u64;
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        while q.push(t * per + i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                s.spawn(move || {
+                    while let Some(v) = q.pop() {
+                        consumed
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(v);
+                    }
+                });
+            }
+            // Producers finish first (scope ordering is not guaranteed,
+            // so poll until everything was pushed), then close.
+            loop {
+                let got = consumed
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len();
+                if got as u64 == producers * per {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            q.close();
+        });
+        let mut got = match Arc::try_unwrap(consumed) {
+            Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(_) => Vec::new(),
+        };
+        got.sort_unstable();
+        let want: Vec<u64> = (0..producers * per).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,112 @@
+//! Closed-loop batch driver.
+//!
+//! [`run_batch`] replays a workload through a [`Service`] from
+//! `clients` concurrent threads, each submitting its next request only
+//! after the previous one answered (a classic closed loop). Shed
+//! submissions ([`QueryError::Overloaded`]) are retried after a yield —
+//! back-pressure slows the batch down, it never loses queries — so a
+//! clean run reports zero failures by construction.
+//!
+//! With `repeat > 1` the workload is replayed that many times; repeats
+//! re-ask identical (normalized) queries, so they land in the answer
+//! cache and the report's `cache_hits` climbs.
+
+use crate::request::{QueryError, QueryRequest};
+use crate::service::Service;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a batch run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Requests issued (workload size × repeats).
+    pub total: u64,
+    /// Requests answered with answers.
+    pub served: u64,
+    /// Served requests answered from the cache.
+    pub cache_hits: u64,
+    /// Requests that hit their deadline.
+    pub timeouts: u64,
+    /// Requests refused for any other reason.
+    pub failed: u64,
+    /// Wall-clock time for the whole batch, in microseconds.
+    pub wall_us: u64,
+}
+
+impl BatchReport {
+    /// Wall-clock duration of the batch.
+    pub fn wall(&self) -> Duration {
+        Duration::from_micros(self.wall_us)
+    }
+
+    /// Served queries per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.served as f64 / (self.wall_us as f64 / 1e6)
+        }
+    }
+}
+
+/// Replays `requests` `repeat` times through `service` from `clients`
+/// closed-loop threads.
+pub fn run_batch(
+    service: &Service,
+    requests: &[QueryRequest],
+    repeat: usize,
+    clients: usize,
+) -> BatchReport {
+    if requests.is_empty() || repeat == 0 {
+        return BatchReport::default();
+    }
+    let total = requests.len() * repeat;
+    let next = AtomicUsize::new(0);
+    let served = AtomicU64::new(0);
+    let cache_hits = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let request = requests[i % requests.len()].clone();
+                loop {
+                    match service.query(request.clone()) {
+                        Ok(resp) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            if resp.cache_hit {
+                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                        Err(QueryError::Overloaded) => {
+                            // Back-pressure: yield and retry, never drop.
+                            std::thread::yield_now();
+                        }
+                        Err(QueryError::Timeout) => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    BatchReport {
+        total: total as u64,
+        served: served.into_inner(),
+        cache_hits: cache_hits.into_inner(),
+        timeouts: timeouts.into_inner(),
+        failed: failed.into_inner(),
+        wall_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+    }
+}

@@ -1,0 +1,370 @@
+//! Sharded LRU answer cache.
+//!
+//! Keyword queries are heavily repeated in serving workloads, and
+//! BiG-index answers are immutable for a given snapshot — a perfect
+//! cache target. The key is the *normalized* request (sorted deduped
+//! keyword set, semantics, `k`, layer override, `d_max`); the value is
+//! the complete execution outcome behind an `Arc`, so hits clone a
+//! pointer, not answer graphs.
+//!
+//! The map is split into shards, each behind its own mutex, so
+//! concurrent workers rarely contend. Recency is tracked by a per-shard
+//! logical tick: a hit refreshes the entry's tick, and insertion into a
+//! full shard evicts the smallest tick (exact LRU per shard, O(shard
+//! capacity) scan on eviction — shards are small by construction).
+//!
+//! When the served index is swapped the whole cache is invalidated and
+//! the *generation* counter bumps; in-flight results computed against
+//! the old snapshot carry the old generation and are refused by
+//! [`AnswerCache::insert_at`], so a stale answer can never outlive the
+//! swap.
+
+use crate::request::{QueryRequest, Semantics};
+use crate::snapshot::ExecOutcome;
+use bgi_graph::LabelId;
+use rustc_hash::FxHashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The normalized cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    semantics: Semantics,
+    /// Sorted, deduplicated keywords — `{a, b}` and `{b, a, b}` are the
+    /// same query (Sec. 2 defines `Q` as a set).
+    keywords: Vec<LabelId>,
+    dmax: u32,
+    k: usize,
+    layer: Option<usize>,
+}
+
+impl CacheKey {
+    /// Normalizes a request into its cache key.
+    pub fn of(req: &QueryRequest) -> CacheKey {
+        let mut keywords = req.keywords.clone();
+        keywords.sort_unstable();
+        keywords.dedup();
+        CacheKey {
+            semantics: req.semantics,
+            keywords,
+            dmax: req.dmax,
+            k: req.k,
+            layer: req.layer,
+        }
+    }
+}
+
+struct Shard {
+    map: FxHashMap<CacheKey, (u64, Arc<ExecOutcome>)>,
+    tick: u64,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by LRU on insert.
+    pub evictions: u64,
+    /// Entries dropped by [`AnswerCache::invalidate_all`] (index swaps).
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded LRU answer cache.
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl AnswerCache {
+    /// A cache of `shards` shards holding at most `capacity` entries in
+    /// total (rounded up to a multiple of the shard count). Zero values
+    /// are clamped to 1.
+    pub fn new(shards: usize, capacity: usize) -> AnswerCache {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards);
+        AnswerCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: FxHashMap::default(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (for tests and sizing).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key lives in.
+    pub fn shard_of(&self, key: &CacheKey) -> usize {
+        let hasher = BuildHasherDefault::<rustc_hash::FxHasher>::default();
+        (hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    /// The current cache generation; bumped by every
+    /// [`AnswerCache::invalidate_all`]. Read it *before* resolving the
+    /// snapshot a result is computed against, and pass it back to
+    /// [`AnswerCache::insert_at`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<ExecOutcome>> {
+        let mut shard = self.lock_shard(self.shard_of(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some((last_used, value)) => {
+                *last_used = tick;
+                let value = Arc::clone(value);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a result computed while the cache was at `generation`.
+    /// If the generation has moved on (the index was swapped while the
+    /// query ran), the stale result is silently dropped.
+    pub fn insert_at(&self, generation: u64, key: CacheKey, value: Arc<ExecOutcome>) {
+        let idx = self.shard_of(&key);
+        let mut shard = self.lock_shard(idx);
+        // Checked under the shard lock: invalidate_all takes every
+        // shard lock before bumping, so a stale writer can't slip in
+        // after its shard was cleared.
+        if self.generation.load(Ordering::Acquire) != generation {
+            return;
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            // Exact LRU within the shard: evict the oldest tick.
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone());
+            if let Some(old_key) = oldest {
+                shard.map.remove(&old_key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, (tick, value));
+    }
+
+    /// Drops every entry and bumps the generation. Called on index
+    /// swap: answers from the previous hierarchy must never be served
+    /// against the new one.
+    pub fn invalidate_all(&self) {
+        // Hold all shard locks across the generation bump so in-flight
+        // insert_at calls (which check the generation under their shard
+        // lock) cannot interleave a stale write.
+        let mut guards: Vec<_> = self.shards.iter().map(|s| Self::lock(s)).collect();
+        let dropped: usize = guards.iter().map(|g| g.map.len()).sum();
+        for g in &mut guards {
+            g.map.clear();
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+        drop(guards);
+        self.invalidated
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).map.len()).sum()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        Self::lock(&self.shards[idx])
+    }
+
+    /// Lock a shard, recovering from poisoning: the cache holds plain
+    /// data, so a panicking peer cannot leave it logically broken.
+    fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(kws: &[u32], k: usize) -> CacheKey {
+        CacheKey::of(&QueryRequest::new(
+            Semantics::Bkws,
+            kws.iter().map(|&l| LabelId(l)).collect(),
+            3,
+            k,
+        ))
+    }
+
+    fn value(layer: usize) -> Arc<ExecOutcome> {
+        Arc::new(ExecOutcome {
+            answers: Vec::new(),
+            layer,
+            fell_back: false,
+        })
+    }
+
+    #[test]
+    fn key_normalizes_keyword_sets() {
+        assert_eq!(key(&[2, 1, 2], 5), key(&[1, 2], 5));
+        assert_ne!(key(&[1, 2], 5), key(&[1, 2], 6));
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let c = AnswerCache::new(4, 64);
+        let g = c.generation();
+        assert!(c.get(&key(&[1], 5)).is_none());
+        c.insert_at(g, key(&[1], 5), value(1));
+        let got = c.get(&key(&[1], 5)).expect("cached");
+        assert_eq!(got.layer, 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard, capacity 2, so eviction order is fully observable.
+        let c = AnswerCache::new(1, 2);
+        let g = c.generation();
+        c.insert_at(g, key(&[1], 1), value(0));
+        c.insert_at(g, key(&[2], 1), value(0));
+        // Touch key 1 so key 2 becomes the LRU.
+        assert!(c.get(&key(&[1], 1)).is_some());
+        c.insert_at(g, key(&[3], 1), value(0));
+        assert!(c.get(&key(&[1], 1)).is_some(), "recently used survives");
+        assert!(c.get(&key(&[2], 1)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(&[3], 1)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let c = AnswerCache::new(1, 2);
+        let g = c.generation();
+        c.insert_at(g, key(&[1], 1), value(0));
+        c.insert_at(g, key(&[2], 1), value(0));
+        c.insert_at(g, key(&[1], 1), value(7));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(&[1], 1)).map(|v| v.layer), Some(7));
+        assert!(c.get(&key(&[2], 1)).is_some());
+    }
+
+    #[test]
+    fn sharding_spreads_keys() {
+        let c = AnswerCache::new(8, 1024);
+        let mut used = vec![false; c.num_shards()];
+        for i in 0..256 {
+            used[c.shard_of(&key(&[i], 5))] = true;
+        }
+        let populated = used.iter().filter(|&&b| b).count();
+        assert!(
+            populated >= c.num_shards() / 2,
+            "256 distinct keys hit only {populated}/{} shards",
+            c.num_shards()
+        );
+    }
+
+    #[test]
+    fn invalidation_drops_everything_and_bumps_generation() {
+        let c = AnswerCache::new(4, 64);
+        let g = c.generation();
+        for i in 0..10 {
+            c.insert_at(g, key(&[i], 5), value(0));
+        }
+        assert_eq!(c.len(), 10);
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidated, 10);
+        assert_ne!(c.generation(), g);
+        // A stale writer (computed against the old generation) is refused.
+        c.insert_at(g, key(&[99], 5), value(0));
+        assert!(c.is_empty(), "stale insert after invalidation refused");
+        // A current writer is accepted.
+        c.insert_at(c.generation(), key(&[99], 5), value(0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_counters_lose_no_updates() {
+        let c = std::sync::Arc::new(AnswerCache::new(4, 1024));
+        let threads = 8;
+        let per_thread = 200u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    let g = c.generation();
+                    for i in 0..per_thread {
+                        let k = key(&[t as u32 * 1000 + i as u32], 5);
+                        assert!(c.get(&k).is_none()); // distinct keys: all misses
+                        c.insert_at(g, k.clone(), value(0));
+                        assert!(c.get(&k).is_some()); // now a hit
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.misses, threads as u64 * per_thread);
+        assert_eq!(s.hits, threads as u64 * per_thread);
+    }
+}

@@ -1,0 +1,154 @@
+//! Single-flight request coalescing.
+//!
+//! Without it, N concurrent submissions of the same uncached query all
+//! miss the cache and compute the answer N times — pure waste, since
+//! the snapshot is immutable and every computation yields the same
+//! result. [`SingleFlight`] lets exactly one worker (the *leader*)
+//! execute per distinct cache key while the others wait for the
+//! leader to finish and then re-read the cache.
+//!
+//! The protocol is deliberately decoupled from the cache itself: a
+//! follower woken by the leader's departure re-checks the cache and,
+//! when the entry is absent (the leader erred, or a snapshot swap made
+//! its insert stale), joins again — possibly becoming the new leader.
+//! That keeps the failure path self-healing without the flight table
+//! ever holding results.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Outcome of [`SingleFlight::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flight {
+    /// The caller owns the key and must compute, then [`SingleFlight::leave`].
+    Leader,
+    /// Another caller held the key and has since left; re-check the
+    /// cache (and `join` again on a miss).
+    Coalesced,
+    /// The deadline expired while waiting for the leader.
+    TimedOut,
+}
+
+/// A set of in-flight computation keys with leader election.
+pub struct SingleFlight<K> {
+    inflight: Mutex<HashSet<K>>,
+    departed: Condvar,
+}
+
+impl<K: Eq + Hash + Clone> SingleFlight<K> {
+    /// An empty flight table.
+    pub fn new() -> SingleFlight<K> {
+        SingleFlight {
+            inflight: Mutex::new(HashSet::new()),
+            departed: Condvar::new(),
+        }
+    }
+
+    /// Claims `key` or waits for its current leader to leave.
+    ///
+    /// Returns [`Flight::Leader`] when the caller claimed the key —
+    /// it *must* call [`SingleFlight::leave`] when done, on every
+    /// path. Returns [`Flight::Coalesced`] once a prior leader left,
+    /// or [`Flight::TimedOut`] when `deadline` passed first.
+    pub fn join(&self, key: &K, deadline: Option<Instant>) -> Flight {
+        let mut guard = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        if !guard.contains(key) {
+            guard.insert(key.clone());
+            return Flight::Leader;
+        }
+        while guard.contains(key) {
+            match deadline {
+                None => {
+                    guard = self
+                        .departed
+                        .wait(guard)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Flight::TimedOut;
+                    }
+                    let (g, _timeout) = self
+                        .departed
+                        .wait_timeout(guard, dl - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard = g;
+                }
+            }
+        }
+        Flight::Coalesced
+    }
+
+    /// Releases a key claimed via [`Flight::Leader`] and wakes every
+    /// waiter so they can re-check the cache.
+    pub fn leave(&self, key: &K) {
+        let mut guard = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.remove(key);
+        drop(guard);
+        self.departed.notify_all();
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for SingleFlight<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn first_joiner_leads_distinct_keys_dont_block() {
+        let f: SingleFlight<u32> = SingleFlight::new();
+        assert_eq!(f.join(&1, None), Flight::Leader);
+        assert_eq!(f.join(&2, None), Flight::Leader);
+        f.leave(&1);
+        f.leave(&2);
+        // Released keys can be claimed again.
+        assert_eq!(f.join(&1, None), Flight::Leader);
+        f.leave(&1);
+    }
+
+    #[test]
+    fn waiter_coalesces_when_leader_leaves() {
+        let f: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        assert_eq!(f.join(&7, None), Flight::Leader);
+        let releaser = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                f.leave(&7);
+            })
+        };
+        // The key is held right now, so this blocks until the helper
+        // releases it.
+        assert_eq!(f.join(&7, None), Flight::Coalesced);
+        releaser.join().unwrap();
+    }
+
+    #[test]
+    fn waiter_times_out_when_leader_stalls() {
+        let f: SingleFlight<u32> = SingleFlight::new();
+        assert_eq!(f.join(&7, None), Flight::Leader);
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert_eq!(f.join(&7, Some(deadline)), Flight::TimedOut);
+        f.leave(&7);
+    }
+
+    #[test]
+    fn expired_deadline_still_leads_on_a_free_key() {
+        // A free key never waits, so even an already-expired deadline
+        // claims it — deadline pre-checks belong to the caller.
+        let f: SingleFlight<u32> = SingleFlight::new();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(f.join(&9, Some(past)), Flight::Leader);
+        f.leave(&9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Service diagnostics without `println!`.
+//!
+//! Library code in this workspace never prints (enforced by
+//! `cargo xtask lint`); the service instead writes through a
+//! [`Logger`], which is *silent by default* and only emits when handed
+//! a writer (the `bgi serve` front-end passes stderr). Write failures
+//! are swallowed — logging must never take the service down.
+
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+/// A shareable, optional line writer.
+#[derive(Default)]
+pub struct Logger {
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl Logger {
+    /// A logger that discards everything.
+    pub fn disabled() -> Logger {
+        Logger::default()
+    }
+
+    /// A logger writing lines to `sink`.
+    pub fn to(sink: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            sink: Mutex::new(Some(sink)),
+        }
+    }
+
+    /// Writes one line (a newline is appended). Errors are ignored.
+    pub fn line(&self, message: &str) {
+        let mut guard = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(sink) = guard.as_mut() {
+            let _ = writeln!(sink, "{message}");
+        }
+    }
+
+    /// True when a writer is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.sink
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A Vec<u8> sink shared with the test.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_logger_is_silent_and_cheap() {
+        let log = Logger::disabled();
+        assert!(!log.is_enabled());
+        log.line("nobody hears this");
+    }
+
+    #[test]
+    fn enabled_logger_writes_lines() {
+        let cap = Capture::default();
+        let log = Logger::to(Box::new(cap.clone()));
+        assert!(log.is_enabled());
+        log.line("hello");
+        log.line("world");
+        let got = cap.0.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        assert_eq!(String::from_utf8_lossy(&got), "hello\nworld\n");
+    }
+}

@@ -1,0 +1,196 @@
+//! The service's request/response surface.
+//!
+//! A [`QueryRequest`] names one of the three plugged-in semantics
+//! (Sec. 5 of the paper), the keyword set, and per-request knobs:
+//! top-`k`, an optional layer override (instead of the Def. 4.1
+//! cost-optimal layer), and an optional deadline. Responses carry the
+//! final ranked answers plus enough provenance (layer, fallback, cache
+//! hit, latency) for clients and benchmarks to reason about them.
+
+use bgi_graph::LabelId;
+use bgi_search::AnswerGraph;
+use std::time::Duration;
+
+/// Which plugged-in keyword search semantics evaluates the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// `bkws` — backward keyword search (BANKS-style, Sec. 5.1).
+    Bkws,
+    /// `rkws` — ranked keyword search (BLINKS-style, Sec. 5.1).
+    Rkws,
+    /// `dkws` — distance-based keyword search (r-clique, Sec. 5.2).
+    Dkws,
+}
+
+impl Semantics {
+    /// All semantics, in stable display order.
+    pub const ALL: [Semantics; 3] = [Semantics::Bkws, Semantics::Rkws, Semantics::Dkws];
+
+    /// The wire/CLI name (`bkws` / `rkws` / `dkws`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Semantics::Bkws => "bkws",
+            Semantics::Rkws => "rkws",
+            Semantics::Dkws => "dkws",
+        }
+    }
+
+    /// Parses a wire/CLI name; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<Semantics> {
+        match s {
+            "bkws" => Some(Semantics::Bkws),
+            "rkws" => Some(Semantics::Rkws),
+            "dkws" => Some(Semantics::Dkws),
+            _ => None,
+        }
+    }
+
+    /// Dense index for per-semantics counters.
+    pub fn index(self) -> usize {
+        match self {
+            Semantics::Bkws => 0,
+            Semantics::Rkws => 1,
+            Semantics::Dkws => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One keyword query to serve.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The plugged-in semantics to evaluate with.
+    pub semantics: Semantics,
+    /// Query keywords (interned labels).
+    pub keywords: Vec<LabelId>,
+    /// Distance bound `d_max`.
+    pub dmax: u32,
+    /// Number of answers wanted (top-`k`).
+    pub k: usize,
+    /// Evaluate at this layer instead of the cost-optimal one.
+    pub layer: Option<usize>,
+    /// Per-request deadline, measured from *submission* — a request
+    /// that waits out its deadline in the admission queue times out
+    /// without ever running.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A request with the common defaults: cost-optimal layer, no
+    /// deadline.
+    pub fn new(semantics: Semantics, keywords: Vec<LabelId>, dmax: u32, k: usize) -> Self {
+        QueryRequest {
+            semantics,
+            keywords,
+            dmax,
+            k,
+            layer: None,
+            deadline: None,
+        }
+    }
+}
+
+/// A successfully served query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// Final answers, ranked best-first, at most `k`.
+    pub answers: Vec<AnswerGraph>,
+    /// The layer the query was evaluated at.
+    pub layer: usize,
+    /// True if a summary-layer attempt produced nothing and the query
+    /// was re-evaluated on the data graph.
+    pub fell_back: bool,
+    /// True if the response came from the answer cache.
+    pub cache_hit: bool,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+}
+
+/// Why a query was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The per-request deadline expired (in the queue or mid-execution).
+    Timeout,
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The service is shutting down.
+    Shutdown,
+    /// The request carried no keywords.
+    EmptyQuery,
+    /// The layer override exceeds the hierarchy height.
+    InvalidLayer {
+        /// The layer the request asked for.
+        requested: usize,
+        /// Layers available (`0..=num_layers`).
+        num_layers: usize,
+    },
+    /// Two query keywords generalize to one label at the requested
+    /// layer (Def. 4.1 condition 1) — the layer cannot evaluate this
+    /// query.
+    MergedKeywords {
+        /// The offending layer.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Timeout => f.write_str("deadline exceeded"),
+            QueryError::Overloaded => f.write_str("admission queue full; request shed"),
+            QueryError::Shutdown => f.write_str("service shutting down"),
+            QueryError::EmptyQuery => f.write_str("query has no keywords"),
+            QueryError::InvalidLayer {
+                requested,
+                num_layers,
+            } => write!(
+                f,
+                "layer {requested} out of range (index has layers 0..={num_layers})"
+            ),
+            QueryError::MergedKeywords { layer } => write!(
+                f,
+                "query keywords merge at layer {layer} (Def. 4.1); \
+                 use a lower layer or the cost-optimal choice"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics_roundtrip() {
+        for s in Semantics::ALL {
+            assert_eq!(Semantics::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Semantics::parse("nope"), None);
+    }
+
+    #[test]
+    fn semantics_indexes_are_dense() {
+        let mut seen = [false; 3];
+        for s in Semantics::ALL {
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = QueryError::InvalidLayer {
+            requested: 9,
+            num_layers: 2,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(QueryError::Timeout.to_string().contains("deadline"));
+    }
+}

@@ -1,0 +1,318 @@
+//! The serving engine: a worker pool over a shared index snapshot.
+//!
+//! [`Service`] owns everything the pipeline needs — the admission
+//! queue, the answer cache, the stats registry, and an `Arc`-swappable
+//! [`IndexSnapshot`] — plus a fixed pool of `std::thread` workers.
+//! Submission is non-blocking ([`Service::submit`] returns a reply
+//! channel or a typed rejection); [`Service::query`] is the blocking
+//! convenience wrapper.
+//!
+//! ## Deadlines
+//!
+//! A request's deadline is measured from *submission*: the
+//! `bgi_search::Budget` handed to the executing worker is anchored at
+//! the enqueue instant, so time spent waiting in the admission queue
+//! burns deadline too. A request whose deadline expires before a
+//! worker picks it up — including the degenerate 0 ms deadline — gets
+//! a [`QueryError::Timeout`] response without ever touching the index.
+//!
+//! ## Snapshot swaps
+//!
+//! [`Service::swap_snapshot`] installs a new verified snapshot for all
+//! subsequent queries, then invalidates the answer cache. In-flight
+//! queries finish against the snapshot they started with (their `Arc`
+//! keeps it alive); their results are *not* cached, because the cache
+//! generation they captured at start no longer matches (see
+//! [`crate::cache`]).
+
+use crate::admission::{BoundedQueue, PushError};
+use crate::cache::{AnswerCache, CacheKey};
+use crate::flight::{Flight, SingleFlight};
+use crate::log::Logger;
+use crate::request::{QueryError, QueryRequest, QueryResponse};
+use crate::snapshot::IndexSnapshot;
+use crate::stats::{ServiceStats, StatsRegistry};
+use bgi_search::Budget;
+use std::sync::mpsc;
+use std::sync::{Arc, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing and policy knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission queue depth; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Answer-cache shard count.
+    pub cache_shards: usize,
+    /// Answer-cache total capacity (entries).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
+            queue_capacity: 256,
+            cache_shards: 8,
+            cache_capacity: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One queued unit of work: the request, its submission instant (the
+/// deadline anchor), and where to send the outcome.
+struct Job {
+    request: QueryRequest,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
+}
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    snapshot: RwLock<Arc<IndexSnapshot>>,
+    queue: BoundedQueue<Job>,
+    cache: AnswerCache,
+    flight: SingleFlight<CacheKey>,
+    stats: StatsRegistry,
+    log: Logger,
+    default_deadline: Option<Duration>,
+}
+
+impl Shared {
+    fn current_snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The worker loop body for one job.
+    fn serve(&self, job: Job) {
+        let deadline = job
+            .request
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| job.submitted + d);
+        let budget = match deadline {
+            Some(dl) => Budget::with_deadline(dl),
+            None => Budget::unlimited(),
+        };
+        // Deadline may have burned away in the queue (or be 0 to begin
+        // with): answer Timeout without touching the index.
+        if budget.is_exhausted_now() {
+            self.stats.record_timeout();
+            let _ = job.reply.send(Err(QueryError::Timeout));
+            return;
+        }
+        let key = CacheKey::of(&job.request);
+        // Cache-check / leader-election loop: a miss elects a single
+        // leader per key (crate::flight); coalesced waiters re-check
+        // the cache once the leader is done instead of recomputing.
+        let mut waited = false;
+        let generation = loop {
+            // Generation *before* snapshot: see crate::cache for why
+            // this order makes a concurrent swap unable to strand a
+            // stale entry.
+            let generation = self.cache.generation();
+            if let Some(hit) = self.cache.get(&key) {
+                if waited {
+                    self.stats.record_coalesced();
+                }
+                let latency = job.submitted.elapsed();
+                self.stats
+                    .record_served(job.request.semantics, latency, hit.fell_back);
+                let _ = job.reply.send(Ok(QueryResponse {
+                    answers: hit.answers.clone(),
+                    layer: hit.layer,
+                    fell_back: hit.fell_back,
+                    cache_hit: true,
+                    latency,
+                }));
+                return;
+            }
+            match self.flight.join(&key, deadline) {
+                Flight::Leader => break generation,
+                // A leader just finished this key: re-read the cache.
+                // If the leader failed (or its insert went stale under
+                // a swap), the re-read misses and we join again.
+                Flight::Coalesced => waited = true,
+                Flight::TimedOut => {
+                    self.stats.record_timeout();
+                    let _ = job.reply.send(Err(QueryError::Timeout));
+                    return;
+                }
+            }
+        };
+        let snapshot = self.current_snapshot();
+        let result = snapshot.execute(&job.request, &budget);
+        match result {
+            Ok(outcome) => {
+                let outcome = Arc::new(outcome);
+                // Insert *before* leaving the flight, so a woken
+                // follower's cache re-read finds the entry instead of
+                // electing itself leader and recomputing.
+                self.cache
+                    .insert_at(generation, key.clone(), Arc::clone(&outcome));
+                self.flight.leave(&key);
+                let latency = job.submitted.elapsed();
+                self.stats
+                    .record_served(job.request.semantics, latency, outcome.fell_back);
+                let _ = job.reply.send(Ok(QueryResponse {
+                    answers: outcome.answers.clone(),
+                    layer: outcome.layer,
+                    fell_back: outcome.fell_back,
+                    cache_hit: false,
+                    latency,
+                }));
+            }
+            Err(err) => {
+                // Nothing to insert, but the key must still be
+                // released so waiters can retry (and likely become the
+                // next leader) instead of stalling.
+                self.flight.leave(&key);
+                match err {
+                    QueryError::Timeout => self.stats.record_timeout(),
+                    _ => self.stats.record_invalid(),
+                }
+                self.log
+                    .line(&format!("query refused ({}): {err}", job.request.semantics));
+                let _ = job.reply.send(Err(err));
+            }
+        }
+    }
+}
+
+/// A running query-serving engine. Dropping it shuts the pool down
+/// (pending requests get [`QueryError::Shutdown`]).
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts `config.workers` threads serving `snapshot`. Taking an
+    /// `Arc` lets callers keep (or share) a handle to the same
+    /// immutable snapshot — e.g. several services over one index.
+    pub fn start(snapshot: Arc<IndexSnapshot>, config: ServiceConfig) -> Service {
+        Self::start_with_logger(snapshot, config, Logger::disabled())
+    }
+
+    /// [`Service::start`] with diagnostics routed to `log`.
+    pub fn start_with_logger(
+        snapshot: Arc<IndexSnapshot>,
+        config: ServiceConfig,
+        log: Logger,
+    ) -> Service {
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(snapshot),
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: AnswerCache::new(config.cache_shards, config.cache_capacity),
+            flight: SingleFlight::new(),
+            stats: StatsRegistry::new(),
+            log,
+            default_deadline: config.default_deadline,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        shared.serve(job);
+                    }
+                })
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// Submits `request` without blocking. On admission the reply
+    /// channel eventually yields exactly one result; a full queue sheds
+    /// the request with [`QueryError::Overloaded`] instead.
+    pub fn submit(
+        &self,
+        request: QueryRequest,
+    ) -> Result<mpsc::Receiver<Result<QueryResponse, QueryError>>, QueryError> {
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            submitted: Instant::now(),
+            reply,
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => Ok(rx),
+            Err(PushError::Full) => {
+                self.shared.stats.record_overloaded();
+                Err(QueryError::Overloaded)
+            }
+            Err(PushError::Closed) => Err(QueryError::Shutdown),
+        }
+    }
+
+    /// Submits and waits for the response.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, QueryError> {
+        let rx = self.submit(request)?;
+        match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(QueryError::Shutdown),
+        }
+    }
+
+    /// Installs a new snapshot for all subsequent queries and
+    /// invalidates the answer cache. In-flight queries complete
+    /// against the snapshot they started with.
+    pub fn swap_snapshot(&self, snapshot: Arc<IndexSnapshot>) {
+        {
+            let mut guard = self
+                .shared
+                .snapshot
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *guard = snapshot;
+        }
+        // Snapshot first, then invalidate: a worker that cached its
+        // generation before this bump can no longer insert.
+        self.shared.cache.invalidate_all();
+        self.shared.stats.record_swap();
+        self.shared
+            .log
+            .line("index snapshot swapped; cache invalidated");
+    }
+
+    /// The snapshot queries currently run against.
+    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
+        self.shared.current_snapshot()
+    }
+
+    /// Point-in-time service statistics (counters, latency
+    /// percentiles, cache health).
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.shared.stats.snapshot();
+        stats.cache = self.shared.cache.stats();
+        stats
+    }
+
+    /// Current admission-queue depth (for monitoring and tests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Stops accepting work, fails whatever is still queued with
+    /// [`QueryError::Shutdown`], and joins the workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        for job in self.shared.queue.close_and_drain() {
+            let _ = job.reply.send(Err(QueryError::Shutdown));
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

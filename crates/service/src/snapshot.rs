@@ -1,0 +1,252 @@
+//! The immutable unit the service shares across workers: a verified
+//! BiG-index plus every plugged-in algorithm's per-layer index.
+//!
+//! Algo. 2 is read-only over the hierarchy, so one `Arc<IndexSnapshot>`
+//! serves any number of concurrent queries without locking. Snapshot
+//! construction runs `bgi_verify::check_index` first and *refuses* a
+//! hierarchy whose invariants (Defs. 2.1/2.2, Prop. 4.1) don't hold —
+//! a serving process never answers from a broken index.
+
+use crate::request::{QueryError, QueryRequest, Semantics};
+use bgi_search::banks::BanksIndex;
+use bgi_search::blinks::{BlinksIndex, BlinksParams};
+use bgi_search::rclique::RCliqueIndex;
+use bgi_search::{
+    AnswerGraph, Banks, Blinks, Budget, Interrupted, KeywordQuery, KeywordSearch, RClique,
+};
+use big_index::eval::eval_at_layer_budgeted;
+use big_index::query_gen::{keywords_stay_distinct, optimal_layer};
+use big_index::{BiGIndex, EvalOptions, RealizerKind};
+
+/// Why a snapshot could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// `bgi_verify::check_index` found invariant violations; the index
+    /// must not be served.
+    DirtyIndex {
+        /// Total violations across all checked invariants.
+        violations: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::DirtyIndex { violations } => write!(
+                f,
+                "index failed verification with {violations} invariant violation(s); \
+                 refusing to serve it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Construction-time knobs for a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotConfig {
+    /// BLINKS index parameters (block size, `τ_prune`).
+    pub blinks: BlinksParams,
+    /// r-clique algorithm parameters (radius, memory budget).
+    pub rclique: RClique,
+    /// Evaluation options for Algo. 2. The realizer is overridden per
+    /// semantics at query time (`StructuralThenDistance` for `dkws`).
+    pub eval: EvalOptions,
+}
+
+/// The outcome of executing one request against a snapshot.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Final answers, ranked best-first.
+    pub answers: Vec<AnswerGraph>,
+    /// The layer the query was evaluated at.
+    pub layer: usize,
+    /// True if the summary-layer attempt realized nothing and the
+    /// query was re-run on the data graph.
+    pub fell_back: bool,
+}
+
+/// A verified, immutable BiG-index with all three semantics' per-layer
+/// indexes prebuilt — the paper's "boosted" setting (Sec. 5), where
+/// query time never includes index construction.
+pub struct IndexSnapshot {
+    index: BiGIndex,
+    banks: Vec<BanksIndex>,
+    blinks_algo: Blinks,
+    blinks: Vec<BlinksIndex>,
+    rclique_algo: RClique,
+    rclique: Vec<RCliqueIndex>,
+    eval: EvalOptions,
+}
+
+impl IndexSnapshot {
+    /// Verifies `index` and prebuilds every algorithm's index on every
+    /// layer. Fails with [`SnapshotError::DirtyIndex`] when
+    /// `bgi_verify::check_index` reports any violation.
+    pub fn build(index: BiGIndex, config: SnapshotConfig) -> Result<IndexSnapshot, SnapshotError> {
+        let report = index.verify();
+        if !report.is_clean() {
+            return Err(SnapshotError::DirtyIndex {
+                violations: report.total_violations(),
+            });
+        }
+        let blinks_algo = Blinks::new(config.blinks);
+        let rclique_algo = config.rclique;
+        let layers = 0..=index.num_layers();
+        let banks = layers
+            .clone()
+            .map(|m| Banks.build_index(index.graph_at(m)))
+            .collect();
+        let blinks = layers
+            .clone()
+            .map(|m| blinks_algo.build_index(index.graph_at(m)))
+            .collect();
+        let rclique = layers
+            .map(|m| rclique_algo.build_index(index.graph_at(m)))
+            .collect();
+        Ok(IndexSnapshot {
+            index,
+            banks,
+            blinks_algo,
+            blinks,
+            rclique_algo,
+            rclique,
+            eval: config.eval,
+        })
+    }
+
+    /// [`IndexSnapshot::build`] with default parameters.
+    pub fn build_default(index: BiGIndex) -> Result<IndexSnapshot, SnapshotError> {
+        Self::build(index, SnapshotConfig::default())
+    }
+
+    /// The underlying BiG-index.
+    pub fn index(&self) -> &BiGIndex {
+        &self.index
+    }
+
+    /// Number of summary layers (`h`; the hierarchy is `0..=h`).
+    pub fn num_layers(&self) -> usize {
+        self.index.num_layers()
+    }
+
+    /// Executes one request under `budget`. Validation errors
+    /// ([`QueryError::EmptyQuery`], [`QueryError::InvalidLayer`],
+    /// [`QueryError::MergedKeywords`]) are typed; budget exhaustion
+    /// maps to [`QueryError::Timeout`].
+    pub fn execute(&self, req: &QueryRequest, budget: &Budget) -> Result<ExecOutcome, QueryError> {
+        let query = KeywordQuery::new(req.keywords.clone(), req.dmax);
+        if query.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let mut opts = self.eval;
+        if req.semantics == Semantics::Dkws {
+            // boost-dkws (Sec. 5.2): structural realization first, with
+            // distance verification as the per-answer fallback.
+            opts.realizer = RealizerKind::StructuralThenDistance;
+        }
+        // Layer override, validated; otherwise the Def. 4.1 chooser
+        // (which only considers layers keeping keywords distinct).
+        let explicit = req.layer.is_some();
+        let m = match req.layer {
+            Some(m) => {
+                if m > self.index.num_layers() {
+                    return Err(QueryError::InvalidLayer {
+                        requested: m,
+                        num_layers: self.index.num_layers(),
+                    });
+                }
+                if !keywords_stay_distinct(&self.index, &query, m) {
+                    return Err(QueryError::MergedKeywords { layer: m });
+                }
+                m
+            }
+            None => optimal_layer(&self.index, &query, opts.beta),
+        };
+        let run = match req.semantics {
+            Semantics::Bkws => self.run(
+                &Banks,
+                &self.banks,
+                &query,
+                req.k,
+                m,
+                explicit,
+                &opts,
+                budget,
+            ),
+            Semantics::Rkws => self.run(
+                &self.blinks_algo,
+                &self.blinks,
+                &query,
+                req.k,
+                m,
+                explicit,
+                &opts,
+                budget,
+            ),
+            Semantics::Dkws => self.run(
+                &self.rclique_algo,
+                &self.rclique,
+                &query,
+                req.k,
+                m,
+                explicit,
+                &opts,
+                budget,
+            ),
+        };
+        run.map_err(|Interrupted| QueryError::Timeout)
+    }
+
+    /// Algo. 2 at layer `m` with the `Boosted::query` empty-answer
+    /// fallback: when the layer was *chosen* (not requested) and
+    /// realizes nothing, retry on the data graph so no baseline-findable
+    /// answer is lost to distortion. An explicit layer override skips
+    /// the fallback — layer sweeps want the layer they asked for.
+    #[allow(clippy::too_many_arguments)]
+    fn run<F: KeywordSearch>(
+        &self,
+        algo: &F,
+        layer_indexes: &[F::Index],
+        query: &KeywordQuery,
+        k: usize,
+        m: usize,
+        explicit_layer: bool,
+        opts: &EvalOptions,
+        budget: &Budget,
+    ) -> Result<ExecOutcome, Interrupted> {
+        let attempt = eval_at_layer_budgeted(
+            &self.index,
+            algo,
+            &layer_indexes[m],
+            query,
+            k,
+            m,
+            opts,
+            budget,
+        )?;
+        if m == 0 || explicit_layer || !attempt.answers.is_empty() {
+            return Ok(ExecOutcome {
+                answers: attempt.answers,
+                layer: attempt.layer,
+                fell_back: false,
+            });
+        }
+        let fallback = eval_at_layer_budgeted(
+            &self.index,
+            algo,
+            &layer_indexes[0],
+            query,
+            k,
+            0,
+            opts,
+            budget,
+        )?;
+        Ok(ExecOutcome {
+            answers: fallback.answers,
+            layer: 0,
+            fell_back: true,
+        })
+    }
+}

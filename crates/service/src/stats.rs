@@ -1,0 +1,266 @@
+//! Lock-free service accounting.
+//!
+//! Workers record every outcome into atomic counters plus a
+//! power-of-two-bucket latency histogram (microsecond resolution). No
+//! mutex sits on the hot path; [`StatsRegistry::snapshot`] assembles a
+//! consistent-enough [`ServiceStats`] view on demand, including
+//! p50/p95/p99 estimates read off the histogram.
+
+use crate::request::Semantics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1)) µs`, except bucket 0 which also holds sub-µs
+/// samples and the last bucket which is unbounded above. 40 buckets
+/// reach ~2^39 µs ≈ 6.4 days — effectively unbounded for a query.
+const BUCKETS: usize = 40;
+
+/// Live counters shared by all workers.
+pub struct StatsRegistry {
+    served: AtomicU64,
+    per_semantics: [AtomicU64; 3],
+    timeouts: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_invalid: AtomicU64,
+    fallbacks: AtomicU64,
+    coalesced: AtomicU64,
+    index_swaps: AtomicU64,
+    latency_us: [AtomicU64; BUCKETS],
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        StatsRegistry::new()
+    }
+}
+
+impl StatsRegistry {
+    /// A zeroed registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry {
+            served: AtomicU64::new(0),
+            per_semantics: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            timeouts: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            index_swaps: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one successfully served query.
+    pub fn record_served(&self, semantics: Semantics, latency: Duration, fell_back: bool) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.per_semantics[semantics.index()].fetch_add(1, Ordering::Relaxed);
+        if fell_back {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_us[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a deadline expiry (queued or mid-execution).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shed submission (admission queue full).
+    pub fn record_overloaded(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request refused for being malformed (empty keyword
+    /// set, bad layer, merged keywords).
+    pub fn record_invalid(&self) {
+        self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query answered from cache after waiting out another
+    /// worker's in-flight computation of the same key.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an index snapshot swap.
+    pub fn record_swap(&self) {
+        self.index_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Representative latency for bucket `i`: its geometric-ish
+    /// midpoint, `1.5 * 2^i` µs.
+    fn bucket_mid_us(i: usize) -> u64 {
+        (1u64 << i) + (1u64 << i) / 2
+    }
+
+    /// A point-in-time view of everything recorded so far.
+    pub fn snapshot(&self) -> ServiceStats {
+        let hist: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = hist.iter().sum();
+        let pct = |p: f64| -> Duration {
+            if total == 0 {
+                return Duration::ZERO;
+            }
+            // ceil(total * p) samples must lie at or below the answer.
+            let rank = ((total as f64 * p).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for (i, &count) in hist.iter().enumerate() {
+                seen += count;
+                if seen >= rank {
+                    return Duration::from_micros(Self::bucket_mid_us(i));
+                }
+            }
+            Duration::from_micros(Self::bucket_mid_us(BUCKETS - 1))
+        };
+        ServiceStats {
+            served: self.served.load(Ordering::Relaxed),
+            per_semantics: [
+                self.per_semantics[0].load(Ordering::Relaxed),
+                self.per_semantics[1].load(Ordering::Relaxed),
+                self.per_semantics[2].load(Ordering::Relaxed),
+            ],
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            index_swaps: self.index_swaps.load(Ordering::Relaxed),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            cache: crate::cache::CacheStats::default(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of service health.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Queries answered (cache hits included).
+    pub served: u64,
+    /// Served counts by [`Semantics::index`] order: bkws, rkws, dkws.
+    pub per_semantics: [u64; 3],
+    /// Requests that hit their deadline.
+    pub timeouts: u64,
+    /// Requests shed at admission.
+    pub rejected_overload: u64,
+    /// Requests refused as malformed.
+    pub rejected_invalid: u64,
+    /// Served queries whose summary-layer attempt fell back to layer 0.
+    pub fallbacks: u64,
+    /// Served queries that coalesced onto another worker's in-flight
+    /// computation of the same key instead of recomputing.
+    pub coalesced: u64,
+    /// Index snapshot swaps performed.
+    pub index_swaps: u64,
+    /// Median served latency (histogram estimate).
+    pub p50: Duration,
+    /// 95th-percentile served latency (histogram estimate).
+    pub p95: Duration,
+    /// 99th-percentile served latency (histogram estimate).
+    pub p99: Duration,
+    /// Answer-cache counters at snapshot time.
+    pub cache: crate::cache::CacheStats,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} (bkws {}, rkws {}, dkws {}), fallbacks {}",
+            self.served,
+            self.per_semantics[0],
+            self.per_semantics[1],
+            self.per_semantics[2],
+            self.fallbacks
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:?}  p95 {:?}  p99 {:?}",
+            self.p50, self.p95, self.p99
+        )?;
+        writeln!(
+            f,
+            "timeouts {}, shed {}, invalid {}, index swaps {}",
+            self.timeouts, self.rejected_overload, self.rejected_invalid, self.index_swaps
+        )?;
+        write!(
+            f,
+            "cache: {} entries, {} hits / {} misses ({:.1}% hit rate), {} coalesced, \
+             {} evicted, {} invalidated",
+            self.cache.entries,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.coalesced,
+            self.cache.evictions,
+            self.cache.invalidated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(StatsRegistry::bucket(0), 0);
+        assert_eq!(StatsRegistry::bucket(1), 0);
+        assert_eq!(StatsRegistry::bucket(2), 1);
+        assert_eq!(StatsRegistry::bucket(3), 1);
+        assert_eq!(StatsRegistry::bucket(4), 2);
+        assert_eq!(StatsRegistry::bucket(1024), 10);
+        assert_eq!(StatsRegistry::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let r = StatsRegistry::new();
+        // 90 fast queries (~100 µs), 10 slow (~100 ms).
+        for _ in 0..90 {
+            r.record_served(Semantics::Bkws, Duration::from_micros(100), false);
+        }
+        for _ in 0..10 {
+            r.record_served(Semantics::Rkws, Duration::from_millis(100), false);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.served, 100);
+        assert_eq!(s.per_semantics, [90, 10, 0]);
+        assert!(s.p50 < Duration::from_millis(1), "p50 {:?}", s.p50);
+        assert!(s.p95 > Duration::from_millis(10), "p95 {:?}", s.p95);
+        assert!(s.p99 >= s.p95);
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_zero() {
+        let s = StatsRegistry::new().snapshot();
+        assert_eq!(s.served, 0);
+        assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let r = StatsRegistry::new();
+        r.record_served(Semantics::Dkws, Duration::from_micros(50), true);
+        r.record_timeout();
+        let text = r.snapshot().to_string();
+        assert!(text.contains("served 1"));
+        assert!(text.contains("timeouts 1"));
+        assert!(text.contains("hit rate"));
+    }
+}

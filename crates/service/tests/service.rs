@@ -1,0 +1,192 @@
+//! End-to-end service tests: a real dataset, a real BiG-index, and the
+//! full admission → cache → execution pipeline.
+
+use bgi_datasets::{benchmark_queries, Dataset, DatasetSpec};
+use bgi_service::{
+    run_batch, IndexSnapshot, QueryError, QueryRequest, Semantics, Service, ServiceConfig,
+};
+use big_index::{BiGIndex, BuildParams};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn index_of(ds: &Dataset) -> BiGIndex {
+    let params = BuildParams {
+        max_layers: 2,
+        ..BuildParams::default()
+    };
+    BiGIndex::build(ds.graph.clone(), ds.ontology.clone(), &params)
+}
+
+/// Dataset and snapshot are expensive to build; every test shares one.
+fn shared() -> &'static (Dataset, Arc<IndexSnapshot>) {
+    static SHARED: OnceLock<(Dataset, Arc<IndexSnapshot>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let ds = DatasetSpec::yago_like(1200).generate();
+        let snapshot =
+            Arc::new(IndexSnapshot::build_default(index_of(&ds)).expect("verified index"));
+        (ds, snapshot)
+    })
+}
+
+/// A small mixed-semantics workload from the benchmark generator.
+fn workload(ds: &Dataset) -> Vec<QueryRequest> {
+    let queries = benchmark_queries(ds, 3, 5, 42);
+    assert!(!queries.is_empty(), "workload generator came up empty");
+    let mut out = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let semantics = Semantics::ALL[i % Semantics::ALL.len()];
+        out.push(QueryRequest::new(semantics, q.keywords.clone(), q.dmax, 5));
+    }
+    out
+}
+
+fn small_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_shards: 4,
+        cache_capacity: 256,
+        default_deadline: None,
+    }
+}
+
+#[test]
+fn batch_serves_everything_with_cache_hits() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(4));
+    let requests = workload(ds);
+    let report = run_batch(&service, &requests, 3, 4);
+    assert_eq!(report.failed, 0, "no query may fail: {report:?}");
+    assert_eq!(report.timeouts, 0, "no deadline set, so no timeouts");
+    assert_eq!(report.served, report.total);
+    assert!(
+        report.cache_hits > 0,
+        "repeated workload must hit the cache: {report:?}"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.served, report.served);
+    assert_eq!(stats.per_semantics.iter().sum::<u64>(), report.served);
+    assert!(stats.cache.hits >= report.cache_hits);
+    assert!(stats.p50 > Duration::ZERO);
+    assert!(stats.p99 >= stats.p50);
+}
+
+#[test]
+fn zero_deadline_returns_timeout_not_hang() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(2));
+    let mut req = workload(ds).remove(0);
+    req.deadline = Some(Duration::ZERO);
+    assert_eq!(service.query(req), Err(QueryError::Timeout));
+    assert_eq!(service.stats().timeouts, 1);
+}
+
+#[test]
+fn generous_deadline_still_serves() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(2));
+    let mut req = workload(ds).remove(0);
+    req.deadline = Some(Duration::from_secs(60));
+    let resp = service.query(req).expect("fits the deadline");
+    assert!(!resp.cache_hit);
+}
+
+#[test]
+fn overload_sheds_with_typed_rejection() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(
+        Arc::clone(snapshot),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..small_config(1)
+        },
+    );
+    let requests = workload(ds);
+    let mut receivers = Vec::new();
+    let mut shed = 0u32;
+    // Far more submissions than a 1-deep queue with 1 worker can hold.
+    for i in 0..200 {
+        match service.submit(requests[i % requests.len()].clone()) {
+            Ok(rx) => receivers.push(rx),
+            Err(QueryError::Overloaded) => shed += 1,
+            Err(other) => panic!("unexpected rejection: {other:?}"),
+        }
+    }
+    assert!(shed > 0, "a 1-deep queue must shed under a 200-burst");
+    assert_eq!(service.stats().rejected_overload, u64::from(shed));
+    // Everything admitted still completes.
+    for rx in receivers {
+        assert!(rx.recv().expect("worker replies").is_ok());
+    }
+}
+
+#[test]
+fn malformed_requests_get_typed_errors() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(1));
+    let empty = QueryRequest::new(Semantics::Bkws, Vec::new(), 3, 5);
+    assert_eq!(service.query(empty), Err(QueryError::EmptyQuery));
+    let mut bad_layer = workload(ds).remove(0);
+    bad_layer.layer = Some(99);
+    match service.query(bad_layer) {
+        Err(QueryError::InvalidLayer { requested: 99, .. }) => {}
+        other => panic!("expected InvalidLayer, got {other:?}"),
+    }
+    assert_eq!(service.stats().rejected_invalid, 2);
+}
+
+#[test]
+fn explicit_layer_is_respected() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(1));
+    let mut req = workload(ds).remove(0);
+    req.layer = Some(0);
+    let resp = service.query(req).expect("layer 0 always valid");
+    assert_eq!(resp.layer, 0);
+    assert!(!resp.fell_back, "explicit layer never falls back");
+}
+
+#[test]
+fn swap_invalidates_cache_and_counts() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(2));
+    let req = workload(ds).remove(0);
+    let first = service.query(req.clone()).expect("served");
+    assert!(!first.cache_hit);
+    let second = service.query(req.clone()).expect("served");
+    assert!(second.cache_hit, "identical query must hit the cache");
+    let rebuilt = IndexSnapshot::build_default(snapshot.index().clone()).expect("same index");
+    service.swap_snapshot(Arc::new(rebuilt));
+    let third = service.query(req).expect("served");
+    assert!(!third.cache_hit, "swap must invalidate the cache");
+    let stats = service.stats();
+    assert_eq!(stats.index_swaps, 1);
+    assert!(stats.cache.invalidated >= 1);
+}
+
+#[test]
+fn equivalent_keyword_orderings_share_a_cache_entry() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(1));
+    let mut req = workload(ds)
+        .into_iter()
+        .find(|r| r.keywords.len() >= 2)
+        .expect("a multi-keyword query");
+    let resp = service.query(req.clone()).expect("served");
+    assert!(!resp.cache_hit);
+    req.keywords.reverse();
+    let resp = service.query(req).expect("served");
+    assert!(resp.cache_hit, "keyword order must not affect the key");
+}
+
+#[test]
+fn shutdown_fails_pending_and_is_idempotent() {
+    let (ds, snapshot) = shared();
+    let mut service = Service::start(Arc::clone(snapshot), small_config(2));
+    let req = workload(ds).remove(0);
+    let _ = service.query(req.clone());
+    service.shutdown();
+    service.shutdown();
+    assert_eq!(service.query(req), Err(QueryError::Shutdown));
+}

@@ -60,6 +60,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/core",
     "crates/datasets",
     "crates/verify",
+    "crates/service",
 ];
 
 const COMPAT_CRATES: &[&str] = &[
