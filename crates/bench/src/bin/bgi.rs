@@ -9,21 +9,30 @@
 //! bgi verify <dir> [layers]                        build, then check every index invariant
 //! bgi batch <dir> [--threads N] [--repeat R]       replay the workload through bgi-service
 //! bgi serve <dir> [--threads N] [--tcp ADDR]       serve queries line-by-line (stdio or TCP)
+//! bgi save-index <dir> <store> [--layers L]        build the index once, persist it crash-safely
+//! bgi load-index <store>                           recover + verify, skipping construction
+//! bgi reload <store>                               dry-run recovery check (what would serve?)
 //! ```
+//!
+//! `bgi serve <dir> --store <store>` boots from the persisted index
+//! instead of rebuilding, and accepts a `reload` protocol line that
+//! hot-swaps to the newest on-disk generation (rolling back to the
+//! running snapshot if recovery or verification fails).
 
 use bgi_datasets::{benchmark_queries, persist, Dataset, DatasetSpec};
 use bgi_search::blinks::{Blinks, BlinksParams};
-use bgi_search::KeywordQuery;
+use bgi_search::{KeywordQuery, RClique};
 use bgi_service::{
     run_batch, IndexSnapshot, QueryError, QueryRequest, Semantics, Service, ServiceConfig,
 };
+use bgi_store::{IndexBundle, Store};
 use big_index::{Boosted, EvalOptions};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,9 +45,12 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("save-index") => cmd_save_index(&args[1..]),
+        Some("load-index") => cmd_load_index(&args[1..]),
+        Some("reload") => cmd_reload(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bgi <gen|stats|build|workload|query|verify|batch|serve> ...\n\
+                "usage: bgi <gen|stats|build|workload|query|verify|batch|serve|save-index|load-index|reload> ...\n\
                  \n\
                  bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>\n\
                  bgi stats <dir>\n\
@@ -47,7 +59,10 @@ fn main() -> ExitCode {
                  bgi query <dir> <kw1,kw2,...> [dmax] [k]\n\
                  bgi verify <dir> [layers]\n\
                  bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L]\n\
-                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR]"
+                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S]\n\
+                 bgi save-index <dir> <store> [--layers L]\n\
+                 bgi load-index <store>\n\
+                 bgi reload <store>"
             );
             return ExitCode::from(2);
         }
@@ -322,7 +337,12 @@ fn format_response(result: Result<bgi_service::QueryResponse, QueryError>) -> St
 }
 
 /// Handles one protocol line; `None` means the peer asked to quit.
-fn handle_line(ds: &Dataset, service: &Service, line: &str) -> Option<String> {
+fn handle_line(
+    ds: &Dataset,
+    service: &Service,
+    store: Option<&Store>,
+    line: &str,
+) -> Option<String> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Some(String::new());
@@ -338,6 +358,15 @@ fn handle_line(ds: &Dataset, service: &Service, line: &str) -> Option<String> {
                 .collect::<Vec<_>>()
                 .join("\n"),
         ),
+        "reload" => Some(match store {
+            None => "err no --store configured; reload unavailable".to_string(),
+            Some(store) => match service.reload_from_disk(store) {
+                Ok(generation) => format!("ok reloaded generation={generation}"),
+                // The old snapshot keeps serving; the rollback is
+                // already counted in the stats.
+                Err(e) => format!("err reload rolled back: {e}"),
+            },
+        }),
         _ => Some(match parse_request(ds, line) {
             Ok(req) => format_response(service.query(req)),
             Err(e) => format!("err {e}"),
@@ -345,16 +374,58 @@ fn handle_line(ds: &Dataset, service: &Service, line: &str) -> Option<String> {
     }
 }
 
+/// Stops admitting, drains in-flight work against its deadlines, and
+/// flushes a final stats line to stderr — the graceful-shutdown tail of
+/// every `bgi serve` exit path (stdin EOF, `quit`, listener close).
+fn graceful_shutdown(service: Arc<Service>) {
+    eprintln!("shutting down: draining in-flight requests…");
+    match Arc::try_unwrap(service) {
+        Ok(mut service) => {
+            let drained = service.drain(Duration::from_secs(10));
+            if !drained {
+                eprintln!("grace period expired with requests still pending");
+            }
+            eprintln!("final stats:\n{}", service.stats());
+        }
+        // Connection handler threads still hold the service (TCP); the
+        // drop path will shut it down — report final stats regardless.
+        Err(service) => eprintln!("final stats:\n{}", service.stats()),
+    }
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dir] = positional.as_slice() else {
-        return Err("usage: bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR]".into());
+        return Err(
+            "usage: bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S]".into(),
+        );
     };
     let threads: usize = flag(&flags, "threads", 4)?;
     let layers: usize = flag(&flags, "layers", 4)?;
     let tcp = flags.get("tcp").copied();
+    let store = match flags.get("store") {
+        Some(store_dir) => Some(Store::open(Path::new(store_dir))?),
+        None => None,
+    };
 
-    let (ds, snapshot) = load_snapshot(dir, layers)?;
+    // With a store, boot from the newest persisted generation — no
+    // hierarchy construction. Without one, build from the dataset.
+    let (ds, snapshot) = match &store {
+        Some(store) => {
+            let ds = load(dir)?;
+            let t = Instant::now();
+            let (generation, bundle) = store.load_latest()?;
+            let snapshot = Arc::new(IndexSnapshot::from_bundle(bundle)?);
+            eprintln!(
+                "recovered index generation {generation} ({} layer(s)) in {:?}; \
+                 hierarchy construction skipped",
+                snapshot.num_layers(),
+                t.elapsed()
+            );
+            (ds, snapshot)
+        }
+        None => load_snapshot(dir, layers)?,
+    };
     let config = ServiceConfig {
         workers: threads,
         ..ServiceConfig::default()
@@ -370,13 +441,16 @@ fn cmd_serve(args: &[String]) -> CliResult {
         None => {
             eprintln!(
                 "serving on stdin/stdout with {threads} worker(s); \
-                 one request per line, 'stats' for counters, 'quit' to stop"
+                 one request per line, 'stats' for counters, 'reload' to hot-swap, \
+                 'quit' to stop"
             );
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout();
+            // Loop ends on `quit`/`exit` or stdin EOF — both funnel into
+            // the graceful drain below.
             for line in stdin.lock().lines() {
                 let line = line?;
-                match handle_line(&ds, &service, &line) {
+                match handle_line(&ds, &service, store.as_ref(), &line) {
                     Some(reply) => {
                         writeln!(stdout, "{reply}")?;
                         stdout.flush()?;
@@ -384,6 +458,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
                     None => break,
                 }
             }
+            stdout.flush()?;
+            graceful_shutdown(service);
             Ok(())
         }
         Some(addr) => {
@@ -392,16 +468,20 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 "serving on tcp://{} with {threads} worker(s)",
                 listener.local_addr()?
             );
+            let store = store.map(Arc::new);
             for stream in listener.incoming() {
                 let stream = match stream {
                     Ok(s) => s,
                     Err(e) => {
-                        eprintln!("accept failed: {e}");
-                        continue;
+                        // The listener is gone (socket closed, fd limit,
+                        // interrupt): stop admitting and drain.
+                        eprintln!("listener closed: {e}");
+                        break;
                     }
                 };
                 let service = Arc::clone(&service);
                 let ds = Arc::clone(&ds);
+                let store = store.clone();
                 std::thread::spawn(move || {
                     let reader = match stream.try_clone() {
                         Ok(s) => std::io::BufReader::new(s),
@@ -410,7 +490,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                     let mut writer = stream;
                     for line in reader.lines() {
                         let Ok(line) = line else { break };
-                        match handle_line(&ds, &service, &line) {
+                        match handle_line(&ds, &service, store.as_deref(), &line) {
                             Some(reply) => {
                                 if writeln!(writer, "{reply}").is_err() {
                                     break;
@@ -421,8 +501,102 @@ fn cmd_serve(args: &[String]) -> CliResult {
                     }
                 });
             }
+            graceful_shutdown(service);
             Ok(())
         }
+    }
+}
+
+/// Default serving parameters for a persisted bundle — kept in lockstep
+/// with [`IndexSnapshot::build_default`] so `serve --store` behaves like
+/// `serve` with a freshly built index.
+fn default_bundle(index: big_index::BiGIndex) -> IndexBundle {
+    IndexBundle::build(
+        index,
+        BlinksParams::default(),
+        RClique::default(),
+        EvalOptions::default(),
+    )
+}
+
+fn cmd_save_index(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args)?;
+    let [dataset_dir, store_dir] = positional.as_slice() else {
+        return Err("usage: bgi save-index <dataset-dir> <store-dir> [--layers L]".into());
+    };
+    let layers: usize = flag(&flags, "layers", 4)?;
+    let ds = load(dataset_dir)?;
+    let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+    eprintln!("built {} layer(s) in {took:?}", index.num_layers());
+    let t = Instant::now();
+    let bundle = default_bundle(index);
+    let store = Store::open(Path::new(store_dir))?;
+    let generation = store.save(&bundle)?;
+    println!(
+        "saved generation {generation} ({} layer(s), every per-layer search index \
+         prebuilt) to {store_dir} in {:?}",
+        bundle.num_layers(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_load_index(args: &[String]) -> CliResult {
+    let (positional, _flags) = parse_flags(args)?;
+    let [store_dir] = positional.as_slice() else {
+        return Err("usage: bgi load-index <store-dir>".into());
+    };
+    let store = Store::open(Path::new(store_dir))?;
+    let t = Instant::now();
+    let (generation, bundle) = store.load_latest()?;
+    // The same admission gate serving uses: verify + layer coverage.
+    let snapshot = IndexSnapshot::from_bundle(bundle)?;
+    println!(
+        "recovered generation {generation} in {:?}; hierarchy construction skipped",
+        t.elapsed()
+    );
+    for (m, size) in snapshot.index().layer_sizes().iter().enumerate() {
+        println!("  L{m}: |G| = {size}");
+    }
+    let quarantined = store.quarantined();
+    if !quarantined.is_empty() {
+        println!(
+            "{} quarantined generation(s) held for post-mortem",
+            quarantined.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_reload(args: &[String]) -> CliResult {
+    let (positional, _flags) = parse_flags(args)?;
+    let [store_dir] = positional.as_slice() else {
+        return Err("usage: bgi reload <store-dir>".into());
+    };
+    let store = Store::open(Path::new(store_dir))?;
+    // Dry-run recovery: what would a serving process swap to right now?
+    match store.load_latest() {
+        Ok((generation, bundle)) => {
+            let report = bundle.index.verify();
+            println!(
+                "would serve generation {generation}: {} layer(s), verify {}",
+                bundle.num_layers(),
+                if report.is_clean() { "clean" } else { "DIRTY" }
+            );
+            let quarantined = store.quarantined();
+            if !quarantined.is_empty() {
+                println!(
+                    "{} quarantined generation(s) held for post-mortem",
+                    quarantined.len()
+                );
+            }
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err("recovered bundle fails verification; a reload would roll back".into())
+            }
+        }
+        Err(e) => Err(format!("store is not recoverable: {e}").into()),
     }
 }
 

@@ -58,7 +58,7 @@ pub enum RealizerKind {
 }
 
 /// Tuning knobs for `eval_Ont`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalOptions {
     /// `β` of the query-generalization cost model (Formula 4).
     pub beta: f64,

@@ -155,7 +155,49 @@ impl BiGIndex {
         Self::assemble(g, ontology, layers, direction, summarizer)
     }
 
+    /// Reassembles an index from previously built parts — the
+    /// persistence path (`bgi-store`) round-trips the hierarchy through
+    /// this. The derived tables (per-layer label supports and
+    /// generalization masses) are recomputed, so only the expensive
+    /// artifacts — summary graphs, configurations, and the `χ`/`Bisim⁻¹`
+    /// correspondence — need to be stored.
+    ///
+    /// Unlike the build paths this does *not* assert the invariant suite
+    /// (a corrupted on-disk index must surface as a typed error, not a
+    /// panic): callers are expected to run [`BiGIndex::verify`] and
+    /// refuse a dirty report themselves.
+    pub fn from_parts(
+        base: DiGraph,
+        ontology: Ontology,
+        layers: Vec<Layer>,
+        direction: BisimDirection,
+        summarizer: Summarizer,
+    ) -> Self {
+        Self::assemble_unchecked(base, ontology, layers, direction, summarizer)
+    }
+
     fn assemble(
+        base: DiGraph,
+        ontology: Ontology,
+        layers: Vec<Layer>,
+        direction: BisimDirection,
+        summarizer: Summarizer,
+    ) -> Self {
+        let idx = Self::assemble_unchecked(base, ontology, layers, direction, summarizer);
+        // Both build paths funnel through here, so this is the single
+        // place the whole hierarchy exists before anyone queries it.
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        {
+            let report = idx.verify();
+            assert!(
+                report.is_clean(),
+                "BiG-index invariant violation:\n{report}"
+            );
+        }
+        idx
+    }
+
+    fn assemble_unchecked(
         base: DiGraph,
         ontology: Ontology,
         layers: Vec<Layer>,
@@ -185,7 +227,7 @@ impl BiGIndex {
             }
             gen_mass.push(mass);
         }
-        let idx = BiGIndex {
+        BiGIndex {
             base,
             ontology,
             layers,
@@ -193,18 +235,7 @@ impl BiGIndex {
             summarizer,
             supports,
             gen_mass,
-        };
-        // Both build paths funnel through here, so this is the single
-        // place the whole hierarchy exists before anyone queries it.
-        #[cfg(any(debug_assertions, feature = "validate"))]
-        {
-            let report = idx.verify();
-            assert!(
-                report.is_clean(),
-                "BiG-index invariant violation:\n{report}"
-            );
         }
-        idx
     }
 
     /// One `χ` application: generalize then summarize.
@@ -263,6 +294,12 @@ impl BiGIndex {
     /// The summarization formalism the index was built with.
     pub fn summarizer(&self) -> Summarizer {
         self.summarizer
+    }
+
+    /// All layers `1..=h` in order (persistence export; [`BiGIndex::layer`]
+    /// is the 1-indexed lookup).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
     }
 
     /// Layer `i` for `1 ≤ i ≤ h`.
@@ -363,6 +400,22 @@ impl BiGIndex {
         bgi_verify::check_index(self)
     }
 }
+
+/// Equality over the stored parts only — the derived tables
+/// (`supports`, `gen_mass`) are functions of these, so comparing them
+/// would be redundant. This is what the persistence round-trip tests
+/// assert.
+impl PartialEq for BiGIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.base == other.base
+            && self.ontology == other.ontology
+            && self.layers == other.layers
+            && self.direction == other.direction
+            && self.summarizer == other.summarizer
+    }
+}
+
+impl Eq for BiGIndex {}
 
 impl bgi_verify::IndexView for BiGIndex {
     fn ontology(&self) -> &Ontology {

@@ -10,7 +10,7 @@ use crate::config::GenConfig;
 use bgi_graph::{DiGraph, LabelId, VId};
 
 /// Layer `i ≥ 1` of a BiG-index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layer {
     /// The configuration `C^i` applied to `G^{i-1}`.
     pub config: GenConfig,
@@ -58,6 +58,18 @@ impl Layer {
     /// Number of vertices in the layer below.
     pub fn num_lower_vertices(&self) -> usize {
         self.supernode_of.len()
+    }
+
+    /// The full `χ` table: `table[v] = supernode of v` for every vertex
+    /// of `G^{i-1}` (persistence export; [`Layer::up`] is the lookup).
+    pub fn supernode_table(&self) -> &[VId] {
+        &self.supernode_of
+    }
+
+    /// The full `Bisim⁻¹ ∘ Spec` table: member lists indexed by
+    /// supernode (persistence export; [`Layer::down`] is the lookup).
+    pub fn member_lists(&self) -> &[Vec<VId>] {
+        &self.members
     }
 
     /// The layer's size `|G^i|` (`|V| + |E|`).

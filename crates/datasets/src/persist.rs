@@ -14,18 +14,46 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-/// Saves `ds` into `dir` (created if missing).
+/// Writes `name` inside `dir` atomically: content goes to `name.tmp`,
+/// is flushed and fsynced, and only then renamed over the final path.
+/// A crash mid-write leaves the previous file (or no file) — never a
+/// half-written one a later [`load`] would trip over.
+fn write_atomic(
+    dir: &Path,
+    name: &str,
+    fill: impl FnOnce(&mut BufWriter<File>) -> Result<(), GraphError>,
+) -> Result<(), GraphError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut writer = BufWriter::new(File::create(&tmp)?);
+    fill(&mut writer)?;
+    writer.flush()?;
+    writer.get_ref().sync_all()?;
+    std::fs::rename(&tmp, dir.join(name))?;
+    Ok(())
+}
+
+/// Saves `ds` into `dir` (created if missing). Each file is written
+/// atomically (tmp + fsync + rename), and the directory itself is
+/// fsynced last so the renames are durable as a set.
 pub fn save(ds: &Dataset, dir: &Path) -> Result<(), GraphError> {
     std::fs::create_dir_all(dir)?;
-    let graph_file = BufWriter::new(File::create(dir.join("graph.txt"))?);
-    write_graph(&ds.graph, &ds.labels, graph_file)?;
-    let ont_file = BufWriter::new(File::create(dir.join("ontology.txt"))?);
-    write_ontology(&ds.ontology, &ds.labels, ont_file)?;
-    let mut meta = BufWriter::new(File::create(dir.join("meta.txt"))?);
-    writeln!(meta, "name {}", ds.name)?;
-    for (d, level) in ds.levels.iter().enumerate() {
-        let names: Vec<&str> = level.iter().map(|&l| ds.labels.name(l)).collect();
-        writeln!(meta, "level {} {}", d, names.join(" "))?;
+    write_atomic(dir, "graph.txt", |w| write_graph(&ds.graph, &ds.labels, w))?;
+    write_atomic(dir, "ontology.txt", |w| {
+        write_ontology(&ds.ontology, &ds.labels, w)
+    })?;
+    write_atomic(dir, "meta.txt", |meta| {
+        writeln!(meta, "name {}", ds.name)?;
+        for (d, level) in ds.levels.iter().enumerate() {
+            let names: Vec<&str> = level.iter().map(|&l| ds.labels.name(l)).collect();
+            writeln!(meta, "level {} {}", d, names.join(" "))?;
+        }
+        Ok(())
+    })?;
+    // Directory fsync makes the three renames durable; on filesystems
+    // where opening a directory for sync is unsupported, the rename
+    // ordering above is still crash-consistent per file.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
     }
     Ok(())
 }
@@ -115,6 +143,27 @@ mod tests {
                 ds.labels.name(ds.graph.label(v))
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_over_existing_dataset_is_atomic_per_file() {
+        let small = DatasetSpec::yago_like(300).generate();
+        let large = DatasetSpec::yago_like(600).generate();
+        let dir = std::env::temp_dir().join("bgi_persist_test_overwrite");
+        save(&large, &dir).unwrap();
+        save(&small, &dir).unwrap();
+        // The overwrite fully replaced every file (no stale tail from
+        // the larger predecessor) and left no temp droppings behind.
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), small.graph.num_vertices());
+        assert_eq!(loaded.graph.num_edges(), small.graph.num_edges());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,6 +6,7 @@
 //! out-edges. Both are offset/target arrays, so neighbor iteration is a
 //! contiguous slice with no per-vertex allocation.
 
+use crate::error::GraphError;
 use crate::ids::{LabelId, VId};
 
 /// A directed graph with one label per vertex, stored as dual CSR.
@@ -44,6 +45,85 @@ impl DiGraph {
             in_sources,
             num_labels,
         }
+    }
+
+    /// Reassembles a graph from raw dual-CSR arrays, as produced by
+    /// [`DiGraph::csr_parts`] — the persistence path
+    /// (`bgi-store`) round-trips graphs through this so a loaded graph
+    /// is bit-identical to the saved one. All structural invariants are
+    /// re-validated; inconsistent input (torn or corrupted on-disk
+    /// data) is refused with a typed error, never a panic.
+    pub fn from_csr(
+        labels: Vec<LabelId>,
+        out_offsets: Vec<u32>,
+        out_targets: Vec<VId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<VId>,
+        num_labels: usize,
+    ) -> Result<Self, GraphError> {
+        let n = labels.len();
+        let malformed = |message: &str| GraphError::Parse {
+            line: 0,
+            message: format!("inconsistent CSR graph: {message}"),
+        };
+        if out_offsets.len() != n + 1 || in_offsets.len() != n + 1 {
+            return Err(malformed("offset array length != |V| + 1"));
+        }
+        if out_offsets.first() != Some(&0) || in_offsets.first() != Some(&0) {
+            return Err(malformed("offsets must start at 0"));
+        }
+        if out_offsets.windows(2).any(|w| w[0] > w[1]) || in_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(malformed("offsets must be non-decreasing"));
+        }
+        if out_offsets[n] as usize != out_targets.len()
+            || in_offsets[n] as usize != in_sources.len()
+        {
+            return Err(malformed("final offset != edge array length"));
+        }
+        for &l in &labels {
+            if l.index() >= num_labels {
+                return Err(GraphError::LabelOutOfRange {
+                    label: l.0,
+                    num_labels,
+                });
+            }
+        }
+        for &v in out_targets.iter().chain(&in_sources) {
+            if v.index() >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vid: v.0,
+                    num_vertices: n,
+                });
+            }
+        }
+        let g = DiGraph {
+            labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            num_labels,
+        };
+        // Mirror check: every out-edge has its in-edge and vice versa.
+        if !g.check_consistency() {
+            return Err(malformed("in/out adjacency is not a mirror pair"));
+        }
+        Ok(g)
+    }
+
+    /// The raw dual-CSR arrays backing this graph, in
+    /// [`DiGraph::from_csr`] argument order:
+    /// `(labels, out_offsets, out_targets, in_offsets, in_sources)`.
+    #[allow(clippy::type_complexity)]
+    pub fn csr_parts(&self) -> (&[LabelId], &[u32], &[VId], &[u32], &[VId]) {
+        (
+            &self.labels,
+            &self.out_offsets,
+            &self.out_targets,
+            &self.in_offsets,
+            &self.in_sources,
+        )
     }
 
     /// Number of vertices `|V|`.
@@ -276,6 +356,73 @@ mod tests {
     #[test]
     fn consistency_holds() {
         assert!(diamond().check_consistency());
+    }
+
+    #[test]
+    fn csr_roundtrip_is_identical() {
+        let g = diamond();
+        let (labels, oo, ot, io, is) = g.csr_parts();
+        let g2 = DiGraph::from_csr(
+            labels.to_vec(),
+            oo.to_vec(),
+            ot.to_vec(),
+            io.to_vec(),
+            is.to_vec(),
+            g.alphabet_size(),
+        )
+        .expect("round-trip");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_csr_rejects_torn_input() {
+        let g = diamond();
+        let (labels, oo, ot, io, is) = g.csr_parts();
+        // Truncated edge array (simulates a short write).
+        assert!(DiGraph::from_csr(
+            labels.to_vec(),
+            oo.to_vec(),
+            ot[..ot.len() - 1].to_vec(),
+            io.to_vec(),
+            is.to_vec(),
+            g.alphabet_size(),
+        )
+        .is_err());
+        // Out-of-range vertex id.
+        let mut bad = ot.to_vec();
+        bad[0] = VId(99);
+        assert!(DiGraph::from_csr(
+            labels.to_vec(),
+            oo.to_vec(),
+            bad,
+            io.to_vec(),
+            is.to_vec(),
+            g.alphabet_size(),
+        )
+        .is_err());
+        // Mirror violation: swap two in-sources so adjacency no longer
+        // matches.
+        let mut bad_in = is.to_vec();
+        bad_in[0] = VId(3);
+        assert!(DiGraph::from_csr(
+            labels.to_vec(),
+            oo.to_vec(),
+            ot.to_vec(),
+            io.to_vec(),
+            bad_in,
+            g.alphabet_size(),
+        )
+        .is_err());
+        // Label beyond the declared alphabet.
+        assert!(DiGraph::from_csr(
+            labels.to_vec(),
+            oo.to_vec(),
+            ot.to_vec(),
+            io.to_vec(),
+            is.to_vec(),
+            1,
+        )
+        .is_err());
     }
 
     #[test]

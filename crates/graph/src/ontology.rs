@@ -15,7 +15,7 @@ use rustc_hash::FxHashSet;
 ///
 /// Labels not mentioned in any subtype edge are valid "isolated" types:
 /// they have no supertypes and generalize only to themselves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ontology {
     num_labels: usize,
     // CSR: direct supertypes of each label (parents).

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 pub struct Banks;
 
 /// BANKS' only index: the inverted label → vertices table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BanksIndex {
     label_vertices: Vec<Vec<VId>>,
 }
@@ -31,6 +31,17 @@ impl BanksIndex {
         self.label_vertices
             .get(l.index())
             .map_or(&[], Vec::as_slice)
+    }
+
+    /// The full inverted table, indexed by label (persistence export).
+    pub fn label_lists(&self) -> &[Vec<VId>] {
+        &self.label_vertices
+    }
+
+    /// Reassembles an index from a previously built inverted table
+    /// (the persistence path).
+    pub fn from_parts(label_vertices: Vec<Vec<VId>>) -> Self {
+        BanksIndex { label_vertices }
     }
 }
 

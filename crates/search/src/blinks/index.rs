@@ -19,7 +19,7 @@ use bgi_graph::{DiGraph, LabelId, VId};
 use rustc_hash::FxHashMap;
 
 /// Tuning parameters for the bi-level index.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlinksParams {
     /// Target partition block size (the paper's experiments use 1000).
     pub block_size: usize,
@@ -38,7 +38,7 @@ impl Default for BlinksParams {
 }
 
 /// The bi-level index over one graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlinksIndex {
     partition: GraphPartition,
     prune_dist: u32,
@@ -91,6 +91,46 @@ impl BlinksIndex {
             nkm,
             kbl,
         }
+    }
+
+    /// Reassembles an index from its partition and keyword-node lists
+    /// (the persistence path). `NKM` and `KBL` are fully derivable from
+    /// `KNL` and the partition, so only those two need to be stored;
+    /// the derived maps are rebuilt here. Entries of each list must
+    /// already be in the build's `(dist, block, vertex)` order —
+    /// persisting and restoring them verbatim preserves it.
+    pub fn from_parts(
+        partition: GraphPartition,
+        prune_dist: u32,
+        knl: FxHashMap<LabelId, Vec<(u16, VId)>>,
+    ) -> Self {
+        let mut nkm: FxHashMap<(VId, LabelId), u16> = FxHashMap::default();
+        let mut kbl: FxHashMap<LabelId, Vec<u32>> = FxHashMap::default();
+        for (&label, entries) in &knl {
+            let mut blocks: Vec<u32> = entries
+                .iter()
+                .map(|&(_, v)| partition.block_of(v))
+                .collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            for &(d, v) in entries {
+                nkm.insert((v, label), d);
+            }
+            kbl.insert(label, blocks);
+        }
+        BlinksIndex {
+            partition,
+            prune_dist,
+            knl,
+            nkm,
+            kbl,
+        }
+    }
+
+    /// The full keyword-node-list table (persistence export;
+    /// [`BlinksIndex::keyword_node_list`] is the per-label lookup).
+    pub fn knl_table(&self) -> &FxHashMap<LabelId, Vec<(u16, VId)>> {
+        &self.knl
     }
 
     /// The pruning threshold the index was built with.

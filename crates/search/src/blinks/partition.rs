@@ -10,7 +10,7 @@ use bgi_graph::{DiGraph, VId};
 use std::collections::VecDeque;
 
 /// A partition of graph vertices into contiguous blocks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphPartition {
     block_of: Vec<u32>,
     num_blocks: usize,
@@ -21,6 +21,21 @@ impl GraphPartition {
     #[inline]
     pub fn block_of(&self, v: VId) -> u32 {
         self.block_of[v.index()]
+    }
+
+    /// The full block-assignment table (persistence export).
+    pub fn block_table(&self) -> &[u32] {
+        &self.block_of
+    }
+
+    /// Reassembles a partition from its block-assignment table (the
+    /// persistence path). `num_blocks` must cover every id in the table;
+    /// decoders validate this before calling.
+    pub fn from_parts(block_of: Vec<u32>, num_blocks: usize) -> Self {
+        GraphPartition {
+            block_of,
+            num_blocks,
+        }
     }
 
     /// Number of blocks.

@@ -30,7 +30,7 @@ impl Default for NeighborIndexParams {
 }
 
 /// Per-vertex bounded undirected neighborhoods with distances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborIndex {
     radius: u32,
     // CSR layout: entries[offsets[v]..offsets[v+1]] = (neighbor, dist),
@@ -123,6 +123,23 @@ impl NeighborIndex {
         }
         let avg = total as f64 / sample as f64;
         (avg * n as f64) as usize * std::mem::size_of::<(VId, u16)>()
+    }
+
+    /// Reassembles an index from its CSR arrays (the persistence path).
+    /// Offsets must be non-decreasing and cover `entries`; decoders
+    /// validate this before calling.
+    pub fn from_parts(radius: u32, offsets: Vec<u64>, entries: Vec<(VId, u16)>) -> Self {
+        NeighborIndex {
+            radius,
+            offsets,
+            entries,
+        }
+    }
+
+    /// The CSR arrays `(offsets, entries)` (persistence export;
+    /// [`NeighborIndex::neighbors`] is the per-vertex lookup).
+    pub fn csr_parts(&self) -> (&[u64], &[(VId, u16)]) {
+        (&self.offsets, &self.entries)
     }
 
     /// The distance bound the index was built with.

@@ -22,7 +22,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// The r-clique keyword search algorithm.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RClique {
     /// Distance bound `r` used for the neighbor index (experiments: 4).
     pub radius: u32,
@@ -40,11 +40,26 @@ impl Default for RClique {
 }
 
 /// Index: the neighbor lists plus the inverted label table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RCliqueIndex {
     /// Bounded undirected distances.
     pub neighbor: NeighborIndex,
     label_vertices: Vec<Vec<VId>>,
+}
+
+impl RCliqueIndex {
+    /// Reassembles an index from its parts (the persistence path).
+    pub fn from_parts(neighbor: NeighborIndex, label_vertices: Vec<Vec<VId>>) -> Self {
+        RCliqueIndex {
+            neighbor,
+            label_vertices,
+        }
+    }
+
+    /// The inverted label table (persistence export).
+    pub fn label_lists(&self) -> &[Vec<VId>] {
+        &self.label_vertices
+    }
 }
 
 /// One slot of a search (sub)space.

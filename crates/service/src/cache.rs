@@ -275,8 +275,8 @@ mod tests {
         let g = c.generation();
         assert!(c.get(&key(&[1], 5)).is_none());
         c.insert_at(g, key(&[1], 5), value(1));
-        let got = c.get(&key(&[1], 5)).expect("cached");
-        assert_eq!(got.layer, 1);
+        let got = c.get(&key(&[1], 5));
+        assert_eq!(got.map(|v| v.layer), Some(1));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }

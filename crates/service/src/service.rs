@@ -31,8 +31,11 @@ use crate::flight::{Flight, SingleFlight};
 use crate::log::Logger;
 use crate::request::{QueryError, QueryRequest, QueryResponse};
 use crate::snapshot::IndexSnapshot;
+use crate::snapshot::SnapshotError;
 use crate::stats::{ServiceStats, StatsRegistry};
 use bgi_search::Budget;
+use bgi_store::{Store, StoreError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -82,6 +85,9 @@ struct Shared {
     stats: StatsRegistry,
     log: Logger,
     default_deadline: Option<Duration>,
+    /// Jobs currently being executed by a worker (not queued ones);
+    /// [`Service::drain`] waits for this to hit zero.
+    active: AtomicU64,
 }
 
 impl Shared {
@@ -214,13 +220,16 @@ impl Service {
             stats: StatsRegistry::new(),
             log,
             default_deadline: config.default_deadline,
+            active: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     while let Some(job) = shared.queue.pop() {
+                        shared.active.fetch_add(1, Ordering::AcqRel);
                         shared.serve(job);
+                        shared.active.fetch_sub(1, Ordering::AcqRel);
                     }
                 })
             })
@@ -281,9 +290,53 @@ impl Service {
             .line("index snapshot swapped; cache invalidated");
     }
 
+    /// Hot-reloads the index from `store`, gated on recovery and
+    /// verification: the newest complete generation is loaded, verified
+    /// (twice — the store's own gate plus the snapshot's), and only then
+    /// swapped in. On *any* failure — no loadable generation, I/O,
+    /// corruption, verification — the running snapshot keeps serving
+    /// untouched and the rollback is counted in
+    /// [`ServiceStats::reload_rollbacks`]: degraded-but-serving, never
+    /// down.
+    ///
+    /// Returns the generation number now being served.
+    pub fn reload_from_disk(&self, store: &Store) -> Result<u64, ReloadError> {
+        let attempt =
+            store
+                .load_latest()
+                .map_err(ReloadError::Store)
+                .and_then(|(generation, bundle)| {
+                    IndexSnapshot::from_bundle(bundle)
+                        .map(|snapshot| (generation, snapshot))
+                        .map_err(ReloadError::Snapshot)
+                });
+        match attempt {
+            Ok((generation, snapshot)) => {
+                self.swap_snapshot(Arc::new(snapshot));
+                self.shared.stats.record_reload();
+                self.shared
+                    .log
+                    .line(&format!("reloaded index generation {generation} from disk"));
+                Ok(generation)
+            }
+            Err(err) => {
+                self.shared.stats.record_reload_rollback();
+                self.shared.log.line(&format!(
+                    "reload failed ({err}); rolled back to the running snapshot"
+                ));
+                Err(err)
+            }
+        }
+    }
+
     /// The snapshot queries currently run against.
     pub fn snapshot(&self) -> Arc<IndexSnapshot> {
         self.shared.current_snapshot()
+    }
+
+    /// Jobs currently executing on a worker (queued jobs not included).
+    pub fn active_jobs(&self) -> u64 {
+        self.shared.active.load(Ordering::Acquire)
     }
 
     /// Point-in-time service statistics (counters, latency
@@ -297,6 +350,29 @@ impl Service {
     /// Current admission-queue depth (for monitoring and tests).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Graceful shutdown: stops admitting new work, then waits up to
+    /// `grace` for the queue to empty and every in-flight query to
+    /// finish (each bounded by its own deadline). Whatever is still
+    /// queued when the grace period expires is failed with
+    /// [`QueryError::Shutdown`]; workers are then joined.
+    ///
+    /// Returns `true` when everything drained inside the grace period.
+    pub fn drain(&mut self, grace: Duration) -> bool {
+        self.shared.queue.close();
+        let deadline = Instant::now() + grace;
+        let drained = loop {
+            if self.shared.queue.is_empty() && self.active_jobs() == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        self.shutdown();
+        drained
     }
 
     /// Stops accepting work, fails whatever is still queued with
@@ -314,5 +390,34 @@ impl Service {
 impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Why a [`Service::reload_from_disk`] left the old snapshot serving.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The store produced no loadable generation (empty, all corrupt,
+    /// or persistent I/O failure after retries).
+    Store(StoreError),
+    /// The loaded bundle failed snapshot admission (dirty hierarchy or
+    /// layer-coverage mismatch).
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Store(e) => write!(f, "store recovery failed: {e}"),
+            ReloadError::Snapshot(e) => write!(f, "loaded bundle refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Store(e) => Some(e),
+            ReloadError::Snapshot(e) => Some(e),
+        }
     }
 }

@@ -27,6 +27,17 @@ pub enum SnapshotError {
         /// Total violations across all checked invariants.
         violations: usize,
     },
+    /// A deserialized bundle's per-layer index vectors don't cover the
+    /// hierarchy (`h + 1` layers each).
+    LayerMismatch {
+        /// Which per-layer vector is wrong (`"banks"`, `"blinks"`,
+        /// `"rclique"`).
+        what: &'static str,
+        /// Layers the hierarchy has (`h + 1`).
+        expected: usize,
+        /// Layers the vector actually covers.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -36,6 +47,15 @@ impl std::fmt::Display for SnapshotError {
                 f,
                 "index failed verification with {violations} invariant violation(s); \
                  refusing to serve it"
+            ),
+            SnapshotError::LayerMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "bundle's {what} indexes cover {got} layer(s) but the hierarchy has \
+                 {expected}; refusing to serve it"
             ),
         }
     }
@@ -119,6 +139,47 @@ impl IndexSnapshot {
     /// [`IndexSnapshot::build`] with default parameters.
     pub fn build_default(index: BiGIndex) -> Result<IndexSnapshot, SnapshotError> {
         Self::build(index, SnapshotConfig::default())
+    }
+
+    /// Assembles a snapshot from a deserialized [`bgi_store::IndexBundle`]
+    /// *without rebuilding anything* — the prebuilt per-layer indexes are
+    /// adopted as-is, which is what makes `load-index` skip hierarchy
+    /// construction entirely.
+    ///
+    /// The hierarchy is still re-verified here (the store verifies on
+    /// load, but a snapshot never trusts its producer), and the bundle's
+    /// per-layer vectors must cover every layer `0..=h`.
+    pub fn from_bundle(bundle: bgi_store::IndexBundle) -> Result<IndexSnapshot, SnapshotError> {
+        let report = bundle.index.verify();
+        if !report.is_clean() {
+            return Err(SnapshotError::DirtyIndex {
+                violations: report.total_violations(),
+            });
+        }
+        let expected = bundle.index.num_layers() + 1;
+        let lengths = [
+            ("banks", bundle.banks.len()),
+            ("blinks", bundle.blinks.len()),
+            ("rclique", bundle.rclique.len()),
+        ];
+        for (what, got) in lengths {
+            if got != expected {
+                return Err(SnapshotError::LayerMismatch {
+                    what,
+                    expected,
+                    got,
+                });
+            }
+        }
+        Ok(IndexSnapshot {
+            index: bundle.index,
+            banks: bundle.banks,
+            blinks_algo: Blinks::new(bundle.blinks_params),
+            blinks: bundle.blinks,
+            rclique_algo: bundle.rclique_params,
+            rclique: bundle.rclique,
+            eval: bundle.eval,
+        })
     }
 
     /// The underlying BiG-index.

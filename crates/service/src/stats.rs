@@ -26,6 +26,8 @@ pub struct StatsRegistry {
     fallbacks: AtomicU64,
     coalesced: AtomicU64,
     index_swaps: AtomicU64,
+    reloads: AtomicU64,
+    reload_rollbacks: AtomicU64,
     latency_us: [AtomicU64; BUCKETS],
 }
 
@@ -47,6 +49,8 @@ impl StatsRegistry {
             fallbacks: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             index_swaps: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reload_rollbacks: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -87,6 +91,19 @@ impl StatsRegistry {
     /// Records an index snapshot swap.
     pub fn record_swap(&self) {
         self.index_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful reload from disk (which also counts as a
+    /// swap, recorded separately by the swap itself).
+    pub fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a reload attempt that failed and rolled back to the
+    /// running snapshot — the service is serving, but possibly from an
+    /// older index than the operator intended.
+    pub fn record_reload_rollback(&self) {
+        self.reload_rollbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     fn bucket(us: u64) -> usize {
@@ -139,6 +156,8 @@ impl StatsRegistry {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             index_swaps: self.index_swaps.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_rollbacks: self.reload_rollbacks.load(Ordering::Relaxed),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -167,6 +186,11 @@ pub struct ServiceStats {
     pub coalesced: u64,
     /// Index snapshot swaps performed.
     pub index_swaps: u64,
+    /// Successful reloads from disk.
+    pub reloads: u64,
+    /// Reload attempts that failed and kept the running snapshot — the
+    /// degraded-but-serving signal an operator watches for.
+    pub reload_rollbacks: u64,
     /// Median served latency (histogram estimate).
     pub p50: Duration,
     /// 95th-percentile served latency (histogram estimate).
@@ -195,8 +219,13 @@ impl std::fmt::Display for ServiceStats {
         )?;
         writeln!(
             f,
-            "timeouts {}, shed {}, invalid {}, index swaps {}",
-            self.timeouts, self.rejected_overload, self.rejected_invalid, self.index_swaps
+            "timeouts {}, shed {}, invalid {}, index swaps {}, reloads {}, rollbacks {}",
+            self.timeouts,
+            self.rejected_overload,
+            self.rejected_invalid,
+            self.index_swaps,
+            self.reloads,
+            self.reload_rollbacks
         )?;
         write!(
             f,

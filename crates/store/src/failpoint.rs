@@ -1,0 +1,174 @@
+//! Deterministic fault injection for store I/O.
+//!
+//! Every I/O primitive in `fsio` passes a *label* through
+//! [`Failpoints::check`] before acting. A disabled registry (the
+//! production default) is a no-op; an enabled one counts hits per label
+//! and fires armed plans at exact `(label, nth-hit)` coordinates, which
+//! is what lets the crash-matrix suite enumerate every labeled point of
+//! a save and kill the write there, deterministically.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return a transient I/O error (`ErrorKind::Interrupted`) — the
+    /// retry policy is expected to absorb these.
+    Transient,
+    /// Write only a prefix of the buffer, then die: models a crash in
+    /// the middle of a `write(2)`. Only meaningful on write labels.
+    Torn,
+    /// Die before the operation takes effect: models a crash between
+    /// two I/O operations.
+    Crash,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Armed plans: `(label, nth-hit)` → action, consumed on fire.
+    plans: HashMap<(String, u64), FailAction>,
+    /// Total hits seen per label (1-based coordinates for plans).
+    hits: HashMap<String, u64>,
+    /// Labels in first-hit order, for catalog assertions.
+    order: Vec<String>,
+}
+
+/// A shared, thread-safe failpoint registry.
+///
+/// Cloning shares the registry (it is an `Arc` inside), so a store and
+/// the test driving it observe the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct Failpoints {
+    // `None` = disabled: checks compile down to a branch on a niche.
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Failpoints {
+    /// The production registry: every check is a no-op.
+    pub fn disabled() -> Self {
+        Failpoints { inner: None }
+    }
+
+    /// An enabled registry that records hits and can arm plans.
+    pub fn enabled() -> Self {
+        Failpoints {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// True when fault injection is active.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Arms `action` to fire on the `nth` hit (1-based) of `label`.
+    /// One-shot: the plan is consumed when it fires. No-op when
+    /// disabled.
+    pub fn arm(&self, label: &str, nth: u64, action: FailAction) {
+        if let Some(inner) = &self.inner {
+            let mut g = lock(inner);
+            g.plans.insert((label.to_string(), nth.max(1)), action);
+        }
+    }
+
+    /// Records a hit of `label` and returns the armed action, if any.
+    /// Called by every `fsio` primitive.
+    pub(crate) fn check(&self, label: &str) -> Option<FailAction> {
+        let inner = self.inner.as_ref()?;
+        let mut g = lock(inner);
+        let n = {
+            let e = g.hits.entry(label.to_string()).or_insert(0);
+            *e += 1;
+            *e
+        };
+        if n == 1 {
+            g.order.push(label.to_string());
+        }
+        g.plans.remove(&(label.to_string(), n))
+    }
+
+    /// Every label hit so far, in first-hit order — the failpoint
+    /// catalog a run actually exercised.
+    pub fn labels_seen(&self) -> Vec<String> {
+        match &self.inner {
+            Some(inner) => lock(inner).order.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of hits recorded for `label`.
+    pub fn hits(&self, label: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => lock(inner).hits.get(label).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Clears counters and unfired plans, keeping the registry enabled.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            let mut g = lock(inner);
+            *g = Inner::default();
+        }
+    }
+}
+
+/// Failpoint state is plain data; a panicked holder cannot leave it
+/// logically inconsistent, so poisoning is safely ignored.
+fn lock(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_noop() {
+        let fp = Failpoints::disabled();
+        fp.arm("x", 1, FailAction::Crash);
+        assert_eq!(fp.check("x"), None);
+        assert_eq!(fp.hits("x"), 0);
+        assert!(fp.labels_seen().is_empty());
+    }
+
+    #[test]
+    fn fires_on_exact_hit_and_is_consumed() {
+        let fp = Failpoints::enabled();
+        fp.arm("w", 2, FailAction::Torn);
+        assert_eq!(fp.check("w"), None); // hit 1
+        assert_eq!(fp.check("w"), Some(FailAction::Torn)); // hit 2
+        assert_eq!(fp.check("w"), None); // consumed
+        assert_eq!(fp.hits("w"), 3);
+    }
+
+    #[test]
+    fn records_first_hit_order() {
+        let fp = Failpoints::enabled();
+        fp.check("b");
+        fp.check("a");
+        fp.check("b");
+        assert_eq!(fp.labels_seen(), vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fp = Failpoints::enabled();
+        let other = fp.clone();
+        other.arm("z", 1, FailAction::Transient);
+        assert_eq!(fp.check("z"), Some(FailAction::Transient));
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let fp = Failpoints::enabled();
+        fp.check("x");
+        fp.reset();
+        assert_eq!(fp.hits("x"), 0);
+        assert!(fp.labels_seen().is_empty());
+    }
+}

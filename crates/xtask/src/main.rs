@@ -60,6 +60,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/core",
     "crates/datasets",
     "crates/verify",
+    "crates/store",
     "crates/service",
 ];
 
