@@ -1,0 +1,117 @@
+//! CI performance-regression gate.
+//!
+//! ```text
+//! bench_gate ci/bench_baseline.json BENCH_build.json BENCH_throughput.json
+//! ```
+//!
+//! Every numeric key ending in `_ms` or `_us` (lower is better) that
+//! appears in both the baseline and a current artifact is compared;
+//! the gate fails (exit 1) when `current > baseline * factor`. The
+//! factor defaults to 1.3 (the 30% budget from CONTRIBUTING.md) and
+//! can be overridden with `BGI_BENCH_GATE_FACTOR`. A gated baseline
+//! key missing from every current artifact also fails — a metric
+//! cannot silently stop being measured.
+//!
+//! `BGI_BENCH_GATE_INJECT=<x>` multiplies every current gated value by
+//! `x` before comparing. CI runs the gate a second time with `2.0`
+//! and asserts it exits non-zero, so every green run also proves the
+//! gate still trips on a 2x slowdown.
+use bgi_bench::json::{self, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn is_gated(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_us")
+}
+
+fn load(path: &str) -> BTreeMap<String, Value> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    json::parse_flat(&text).unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"))
+}
+
+fn env_factor(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Ok(s) => s
+            .trim()
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bench_gate: bad {name}={s:?}: {e}")),
+        Err(_) => default,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>...");
+        return ExitCode::from(2);
+    }
+    let factor = env_factor("BGI_BENCH_GATE_FACTOR", 1.3);
+    let inject = env_factor("BGI_BENCH_GATE_INJECT", 1.0);
+    if inject != 1.0 {
+        println!("bench_gate: BGI_BENCH_GATE_INJECT={inject} (simulating a slowdown)");
+    }
+    let baseline = load(&args[0]);
+    let mut current: BTreeMap<String, f64> = BTreeMap::new();
+    for path in &args[1..] {
+        for (k, v) in load(path) {
+            if let Some(x) = v.as_num() {
+                current.insert(k, x);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}  status (budget {factor:.2}x)",
+        "metric", "baseline", "current", "ratio"
+    );
+    for (key, value) in &baseline {
+        let Some(base) = value.as_num() else { continue };
+        if !is_gated(key) || base <= 0.0 {
+            continue;
+        }
+        checked += 1;
+        match current.get(key) {
+            None => {
+                failures += 1;
+                println!(
+                    "{key:<24} {base:>12.1} {:>12} {:>8}  FAIL (not measured)",
+                    "-", "-"
+                );
+            }
+            Some(&raw) => {
+                let cur = raw * inject;
+                let ratio = cur / base;
+                let ok = ratio <= factor;
+                if !ok {
+                    failures += 1;
+                }
+                println!(
+                    "{key:<24} {base:>12.1} {cur:>12.1} {ratio:>7.2}x  {}",
+                    if ok { "ok" } else { "FAIL" }
+                );
+            }
+        }
+    }
+    for key in current
+        .keys()
+        .filter(|k| is_gated(k) && !baseline.contains_key(*k))
+    {
+        println!("{key:<24} (no baseline — add it to ci/bench_baseline.json)");
+    }
+    if checked == 0 {
+        eprintln!("bench_gate: baseline has no gated (_ms/_us) metrics");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} metric(s) regressed beyond {factor:.2}x \
+             (override: see CONTRIBUTING.md, label `skip-perf-gate`)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: {checked} metric(s) within budget");
+    ExitCode::SUCCESS
+}

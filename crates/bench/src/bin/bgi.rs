@@ -1,9 +1,9 @@
 //! `bgi` — command-line front end for the BiG-index reproduction.
 //!
 //! ```text
-//! bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>   generate + save a dataset
+//! bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S]   generate + save a dataset
 //! bgi stats <dir>                                  dataset statistics
-//! bgi build <dir> [layers]                         build the index, print layer sizes
+//! bgi build <dir> [layers] [--build-threads N]     build the index, print layer sizes
 //! bgi workload <dir>                               print the Q1-Q8 workload
 //! bgi query <dir> <kw1,kw2,...> [dmax] [k]         run a boosted BLINKS query
 //! bgi verify <dir> [layers]                        build, then check every index invariant
@@ -13,6 +13,13 @@
 //! bgi load-index <store>                           recover + verify, skipping construction
 //! bgi reload <store>                               dry-run recovery check (what would serve?)
 //! ```
+//!
+//! Construction commands (`build`, `save-index`, `serve`, `batch`) take
+//! `--build-threads N` to fan the parallelizable build stages — the
+//! per-layer BANKS/BLINKS/r-clique index builds and, on `save-index`,
+//! the store's section encodes — over N scoped workers. Every thread
+//! count produces a byte-identical result (DESIGN.md §8); `--threads`
+//! on `serve`/`batch` stays the *query worker* count, a different pool.
 //!
 //! `bgi serve <dir> --store <store>` boots from the persisted index
 //! instead of rebuilding, and accepts a `reload` protocol line that
@@ -52,15 +59,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: bgi <gen|stats|build|workload|query|verify|batch|serve|save-index|load-index|reload> ...\n\
                  \n\
-                 bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>\n\
+                 bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S]\n\
                  bgi stats <dir>\n\
-                 bgi build <dir> [layers]\n\
+                 bgi build <dir> [layers] [--build-threads N]\n\
                  bgi workload <dir>\n\
                  bgi query <dir> <kw1,kw2,...> [dmax] [k]\n\
                  bgi verify <dir> [layers]\n\
-                 bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L]\n\
-                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S]\n\
-                 bgi save-index <dir> <store> [--layers L]\n\
+                 bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L] [--build-threads N]\n\
+                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S] [--build-threads N]\n\
+                 bgi save-index <dir> <store> [--layers L] [--build-threads N]\n\
                  bgi load-index <store>\n\
                  bgi reload <store>"
             );
@@ -79,17 +86,23 @@ fn main() -> ExitCode {
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn cmd_gen(args: &[String]) -> CliResult {
-    let [kind, scale, dir] = args else {
-        return Err("usage: bgi gen <yago|dbpedia|imdb|synt> <scale> <dir>".into());
+    let (positional, flags) = parse_flags(args)?;
+    let [kind, scale, dir] = positional.as_slice() else {
+        return Err("usage: bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S]".into());
     };
     let scale: usize = scale.parse()?;
-    let spec = match kind.as_str() {
+    let mut spec = match *kind {
         "yago" => DatasetSpec::yago_like(scale),
         "dbpedia" => DatasetSpec::dbpedia_like(scale),
         "imdb" => DatasetSpec::imdb_like(scale),
         "synt" => DatasetSpec::synt(scale),
         other => return Err(format!("unknown dataset kind '{other}'").into()),
     };
+    // Each preset has a fixed default seed; `--seed` overrides it so
+    // two invocations can agree on — or deliberately vary — the graph.
+    if let Some(seed) = flags.get("seed") {
+        spec = spec.with_seed(seed.parse().map_err(|_| format!("bad --seed '{seed}'"))?);
+    }
     let ds = spec.generate();
     persist::save(&ds, Path::new(dir))?;
     println!(
@@ -128,17 +141,34 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_build(args: &[String]) -> CliResult {
-    let (dir, layers) = match args {
-        [dir] => (dir, 7usize),
-        [dir, layers] => (dir, layers.parse()?),
-        _ => return Err("usage: bgi build <dir> [layers]".into()),
+    let (positional, flags) = parse_flags(args)?;
+    let (dir, layers) = match positional.as_slice() {
+        [dir] => (*dir, 7usize),
+        [dir, layers] => (*dir, layers.parse()?),
+        _ => return Err("usage: bgi build <dir> [layers] [--build-threads N]".into()),
     };
+    let build_threads: usize = flag(&flags, "build-threads", 1)?;
     let ds = load(dir)?;
     let (index, took) = bgi_bench::setup::default_index(&ds, layers);
     println!("built {} layers in {:?}", index.num_layers(), took);
     for (m, size) in index.layer_sizes().iter().enumerate() {
         println!("  L{m}: |G| = {size} (ratio {:.4})", index.size_ratio(m));
     }
+    // The per-layer search indexes are what serving/persistence would
+    // build next; they are the parallel stage `--build-threads` fans out.
+    let t = Instant::now();
+    let (banks, _, _) = bgi_store::build_layer_indexes(
+        &index,
+        BlinksParams::default(),
+        RClique::default(),
+        build_threads,
+    );
+    println!(
+        "per-layer search indexes ({} layers x 3 algorithms) built in {:?} \
+         on {build_threads} thread(s)",
+        banks.len(),
+        t.elapsed()
+    );
     Ok(())
 }
 
@@ -209,11 +239,13 @@ fn flag<T: std::str::FromStr>(
     }
 }
 
-/// Loads `dir`, builds the default index, and wraps it in a verified
-/// serving snapshot.
+/// Loads `dir`, builds the default index (per-layer search indexes
+/// fanned over `build_threads`), and wraps it in a verified serving
+/// snapshot.
 fn load_snapshot(
     dir: &str,
     layers: usize,
+    build_threads: usize,
 ) -> Result<(Dataset, Arc<IndexSnapshot>), Box<dyn std::error::Error>> {
     let ds = load(dir)?;
     let (index, took) = bgi_bench::setup::default_index(&ds, layers);
@@ -222,7 +254,11 @@ fn load_snapshot(
         index.num_layers(),
         ds.num_vertices()
     );
-    let snapshot = Arc::new(IndexSnapshot::build_default(index)?);
+    let config = bgi_service::SnapshotConfig {
+        threads: build_threads,
+        ..bgi_service::SnapshotConfig::default()
+    };
+    let snapshot = Arc::new(IndexSnapshot::build(index, config)?);
     Ok((ds, snapshot))
 }
 
@@ -230,7 +266,7 @@ fn cmd_batch(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dir] = positional.as_slice() else {
         return Err(
-            "usage: bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--queries Q] [--k K] [--dmax D] [--layers L]"
+            "usage: bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--queries Q] [--k K] [--dmax D] [--layers L] [--build-threads N]"
                 .into(),
         );
     };
@@ -241,8 +277,9 @@ fn cmd_batch(args: &[String]) -> CliResult {
     let k: usize = flag(&flags, "k", 5)?;
     let dmax: u32 = flag(&flags, "dmax", 4)?;
     let layers: usize = flag(&flags, "layers", 4)?;
+    let build_threads: usize = flag(&flags, "build-threads", 1)?;
 
-    let (ds, snapshot) = load_snapshot(dir, layers)?;
+    let (ds, snapshot) = load_snapshot(dir, layers, build_threads)?;
     let requests = bgi_bench::experiments::throughput::seeded_requests(&ds, dmax, k, seed, queries);
     if requests.is_empty() {
         return Err("workload generator produced no queries for this dataset".into());
@@ -397,11 +434,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dir] = positional.as_slice() else {
         return Err(
-            "usage: bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S]".into(),
+            "usage: bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S] \
+             [--build-threads N]"
+                .into(),
         );
     };
     let threads: usize = flag(&flags, "threads", 4)?;
     let layers: usize = flag(&flags, "layers", 4)?;
+    let build_threads: usize = flag(&flags, "build-threads", 1)?;
     let tcp = flags.get("tcp").copied();
     let store = match flags.get("store") {
         Some(store_dir) => Some(Store::open(Path::new(store_dir))?),
@@ -424,7 +464,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
             );
             (ds, snapshot)
         }
-        None => load_snapshot(dir, layers)?,
+        None => load_snapshot(dir, layers, build_threads)?,
     };
     let config = ServiceConfig {
         workers: threads,
@@ -509,29 +549,35 @@ fn cmd_serve(args: &[String]) -> CliResult {
 
 /// Default serving parameters for a persisted bundle — kept in lockstep
 /// with [`IndexSnapshot::build_default`] so `serve --store` behaves like
-/// `serve` with a freshly built index.
-fn default_bundle(index: big_index::BiGIndex) -> IndexBundle {
-    IndexBundle::build(
+/// `serve` with a freshly built index. Identical output for every
+/// `threads` (DESIGN.md §8).
+fn default_bundle(index: big_index::BiGIndex, threads: usize) -> IndexBundle {
+    IndexBundle::build_with_threads(
         index,
         BlinksParams::default(),
         RClique::default(),
         EvalOptions::default(),
+        threads,
     )
 }
 
 fn cmd_save_index(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dataset_dir, store_dir] = positional.as_slice() else {
-        return Err("usage: bgi save-index <dataset-dir> <store-dir> [--layers L]".into());
+        return Err(
+            "usage: bgi save-index <dataset-dir> <store-dir> [--layers L] [--build-threads N]"
+                .into(),
+        );
     };
     let layers: usize = flag(&flags, "layers", 4)?;
+    let build_threads: usize = flag(&flags, "build-threads", 1)?;
     let ds = load(dataset_dir)?;
     let (index, took) = bgi_bench::setup::default_index(&ds, layers);
     eprintln!("built {} layer(s) in {took:?}", index.num_layers());
     let t = Instant::now();
-    let bundle = default_bundle(index);
+    let bundle = default_bundle(index, build_threads);
     let store = Store::open(Path::new(store_dir))?;
-    let generation = store.save(&bundle)?;
+    let generation = store.save_with_threads(&bundle, build_threads)?;
     println!(
         "saved generation {generation} ({} layer(s), every per-layer search index \
          prebuilt) to {store_dir} in {:?}",

@@ -1,0 +1,12 @@
+//! Parallel-construction thread sweep (1/2/4/8) over synt + yago.
+//! Writes the gated metrics to `BENCH_build.json` (see `bench_gate`).
+use bgi_bench::json;
+
+fn main() {
+    let scale = bgi_bench::scale_from_env(5_000);
+    let (report, metrics) = bgi_bench::experiments::build_scaling::run(scale);
+    println!("{report}");
+    let path = json::artifact_path("BENCH_build.json");
+    json::write_metrics(&path, "build_scaling", &metrics).expect("write BENCH_build.json");
+    println!("wrote {}", path.display());
+}

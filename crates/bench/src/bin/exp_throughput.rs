@@ -1,5 +1,12 @@
 //! Serving-throughput sweep over worker counts (bgi-service).
+//! Writes the gated metrics to `BENCH_throughput.json` (see `bench_gate`).
+use bgi_bench::json;
+
 fn main() {
     let scale = bgi_bench::scale_from_env(8_000);
-    println!("{}", bgi_bench::experiments::throughput::run(scale));
+    let (report, metrics) = bgi_bench::experiments::throughput::run_with_metrics(scale);
+    println!("{report}");
+    let path = json::artifact_path("BENCH_throughput.json");
+    json::write_metrics(&path, "throughput", &metrics).expect("write BENCH_throughput.json");
+    println!("wrote {}", path.display());
 }

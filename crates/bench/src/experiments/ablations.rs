@@ -156,6 +156,7 @@ pub fn greedy_vs_full_step(scale: usize) -> String {
             max_layers: 3,
             min_gain_ratio: 0.98,
             summarizer: Summarizer::Maximal,
+            threads: 1,
         },
     );
     let greedy_time = t.elapsed();

@@ -3,6 +3,7 @@
 //! summary and EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod build_scaling;
 pub mod cost_model;
 pub mod datasets;
 pub mod index_sizes;

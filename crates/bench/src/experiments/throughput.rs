@@ -99,6 +99,14 @@ pub fn seeded_requests(
 
 /// Runs the sweep and renders the report.
 pub fn run(scale: usize) -> String {
+    run_with_metrics(scale).0
+}
+
+/// [`run`], also returning the JSON metrics for `BENCH_throughput.json`.
+/// The gated keys are single-worker numbers (`p95_us`, from the service
+/// latency histogram after the 1-worker cold pass; `cold_1t_ms`, its
+/// wall time) — stable on any runner, unlike multi-worker throughput.
+pub fn run_with_metrics(scale: usize) -> (String, Vec<(String, f64)>) {
     let wb = Workbench::prepare(&DatasetSpec::yago_like(scale), 4, 4);
     let snapshot =
         Arc::new(IndexSnapshot::build_default(wb.index.clone()).expect("workbench index verifies"));
@@ -113,6 +121,7 @@ pub fn run(scale: usize) -> String {
 
     let mut cold = TableWriter::new(&["threads", "served", "wall", "qps", "cache hits"]);
     let mut warm = TableWriter::new(&["threads", "served", "wall", "qps", "hit rate"]);
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     let mut baseline_qps = 0.0;
     for threads in [1usize, 2, 4, 8] {
         let config = ServiceConfig {
@@ -127,6 +136,10 @@ pub fn run(scale: usize) -> String {
         let qps = report.throughput();
         if threads == 1 {
             baseline_qps = qps;
+            let stats = service.stats();
+            metrics.push(("cold_1t_ms".into(), report.wall().as_secs_f64() * 1e3));
+            metrics.push(("p95_us".into(), stats.p95.as_secs_f64() * 1e6));
+            metrics.push(("qps_1t".into(), qps));
         }
         let speedup = if baseline_qps > 0.0 {
             qps / baseline_qps
@@ -156,7 +169,7 @@ pub fn run(scale: usize) -> String {
     out.push_str(&cold.render());
     out.push_str("\nwarm cache (same workload replayed):\n");
     out.push_str(&warm.render());
-    out
+    (out, metrics)
 }
 
 #[cfg(test)]

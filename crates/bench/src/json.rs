@@ -1,0 +1,239 @@
+//! Minimal flat-JSON emission and parsing for benchmark artifacts.
+//!
+//! CI jobs exchange bench results as flat JSON objects — one string
+//! `"experiment"` key plus numeric metrics — so the regression gate
+//! (`bench_gate`) can diff a run against `ci/bench_baseline.json`
+//! without pulling a serde stack into the workspace (the build is
+//! offline; see DESIGN.md §9). The subset implemented here is exactly
+//! what those artifacts need: one non-nested object, string and finite
+//! f64 values, `//`-free, UTF-8.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A scalar value in a flat bench-artifact object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A finite number (integers render without a fraction).
+    Num(f64),
+    /// A string (escapes limited to `\"`, `\\`, `\n`, `\t`).
+    Str(String),
+}
+
+impl Value {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a bench artifact: `{"experiment": <name>, <metrics...>}`,
+/// metrics in the given order, one key per line.
+pub fn render(experiment: &str, metrics: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\"", escape(experiment)));
+    for (k, v) in metrics {
+        out.push_str(",\n");
+        out.push_str(&format!("  \"{}\": {}", escape(k), fmt_num(*v)));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Resolves where a CI bench artifact lands: `$BGI_BENCH_OUT/<name>`
+/// when the env var is set (the CI jobs point it at the artifact
+/// upload dir), else `./<name>`.
+pub fn artifact_path(name: &str) -> std::path::PathBuf {
+    match std::env::var_os("BGI_BENCH_OUT") {
+        Some(dir) => Path::new(&dir).join(name),
+        None => std::path::PathBuf::from(name),
+    }
+}
+
+/// Renders and writes a bench artifact to `path`.
+pub fn write_metrics(
+    path: &Path,
+    experiment: &str,
+    metrics: &[(String, f64)],
+) -> std::io::Result<()> {
+    std::fs::write(path, render(experiment, metrics))
+}
+
+/// Parses a flat JSON object (string/number values only). Returns the
+/// key → value map; duplicate keys keep the last occurrence.
+pub fn parse_flat(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.pos += 1;
+        return Ok(map);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        map.insert(key, value);
+        p.skip_ws();
+        match p.next() {
+            Some(',') => {}
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing input at offset {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, got {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        if self.peek() == Some('"') {
+            return self.string().map(Value::Str);
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let metrics = vec![
+            ("build_synt_ms".to_string(), 123.0),
+            ("p95_us".to_string(), 4567.25),
+        ];
+        let text = render("build_scaling", &metrics);
+        let map = parse_flat(&text).expect("render output parses");
+        assert_eq!(
+            map.get("experiment"),
+            Some(&Value::Str("build_scaling".into()))
+        );
+        assert_eq!(
+            map.get("build_synt_ms").and_then(Value::as_num),
+            Some(123.0)
+        );
+        assert_eq!(map.get("p95_us").and_then(Value::as_num), Some(4567.25));
+    }
+
+    #[test]
+    fn empty_object_and_errors() {
+        assert!(parse_flat("{}").expect("empty object").is_empty());
+        assert!(parse_flat("{").is_err());
+        assert!(parse_flat("{\"a\": }").is_err());
+        assert!(parse_flat("{\"a\": 1} x").is_err());
+        assert!(parse_flat("not json").is_err());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let text = render("quo\"te\nline", &[]);
+        let map = parse_flat(&text).expect("escaped render parses");
+        assert_eq!(
+            map.get("experiment"),
+            Some(&Value::Str("quo\"te\nline".into()))
+        );
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(1.5), "1.5000");
+    }
+}

@@ -17,6 +17,12 @@
 //! | Figs. 17–18 (optimizations) | [`experiments::optimizations`] | `exp_optimizations` |
 //! | Fig. 19, Exp-6 (layer sweep) | [`experiments::layer_sweep`] | `exp_layer_sweep` |
 //! | Serving throughput (beyond the paper) | [`experiments::throughput`] | `exp_throughput` |
+//! | Parallel build scaling (beyond the paper) | [`experiments::build_scaling`] | `exp_build_scaling` |
+//!
+//! `exp_build_scaling` and `exp_throughput` also write their gated
+//! metrics as flat JSON ([`json`]) — `BENCH_build.json` and
+//! `BENCH_throughput.json` — which CI's `bench_gate` binary compares
+//! against `ci/bench_baseline.json`.
 //!
 //! Scale defaults keep the full suite in laptop range; set `BGI_SCALE`
 //! to raise the vertex counts toward the paper's (2.6M–8M).
@@ -26,6 +32,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod setup;
 
 pub use harness::{median_time, TableWriter};

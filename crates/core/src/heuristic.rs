@@ -10,6 +10,7 @@
 use crate::compress::CompressEstimator;
 use crate::config::GenConfig;
 use crate::cost::{construction_cost_capped, CostParams};
+use bgi_graph::par::par_map;
 use bgi_graph::stats::LabelSupport;
 use bgi_graph::{DiGraph, LabelId, Ontology};
 
@@ -29,10 +30,29 @@ pub fn greedy_configuration(
     support: &LabelSupport,
     params: &CostParams,
 ) -> GenConfig {
+    greedy_configuration_threaded(g, ontology, estimator, support, params, 1)
+}
+
+/// [`greedy_configuration`] with the candidate-ranking pass — the bulk
+/// of Algo. 1's cost, one compression estimate per `(ℓ → ℓ')` pair —
+/// fanned out over up to `threads` scoped workers.
+///
+/// Each candidate's estimated cost is independent of every other's, and
+/// results are collected back in candidate order before the (inherently
+/// sequential) greedy acceptance loop runs, so the returned
+/// configuration is identical for every thread count.
+pub fn greedy_configuration_threaded(
+    g: &DiGraph,
+    ontology: &Ontology,
+    estimator: &CompressEstimator,
+    support: &LabelSupport,
+    params: &CostParams,
+    threads: usize,
+) -> GenConfig {
     // Candidate single-mapping generalizations: every label present in
     // the graph paired with each of its direct supertypes.
     let counts = g.label_counts();
-    let mut candidates: Vec<(f64, LabelId, LabelId)> = Vec::new();
+    let mut pairs: Vec<(LabelId, LabelId)> = Vec::new();
     for (i, &count) in counts.iter().enumerate() {
         if count == 0 {
             continue;
@@ -42,13 +62,20 @@ pub fn greedy_configuration(
             continue;
         }
         for &sup in ontology.direct_supertypes(l) {
-            let single =
-                GenConfig::new([(l, sup)], ontology).expect("direct supertype by construction");
-            let cost =
-                construction_cost_capped(estimator, support, &single, params.alpha, RANK_SAMPLES);
-            candidates.push((cost, l, sup));
+            pairs.push((l, sup));
         }
     }
+    let costs = par_map(threads, pairs.len(), |i| {
+        let (l, sup) = pairs[i];
+        let single =
+            GenConfig::new([(l, sup)], ontology).expect("direct supertype by construction");
+        construction_cost_capped(estimator, support, &single, params.alpha, RANK_SAMPLES)
+    });
+    let mut candidates: Vec<(f64, LabelId, LabelId)> = costs
+        .into_iter()
+        .zip(&pairs)
+        .map(|(cost, &(l, sup))| (cost, l, sup))
+        .collect();
     // Priority order: ascending estimated cost (ties by label for
     // determinism).
     candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
@@ -123,6 +150,25 @@ mod tests {
         let config = greedy_configuration(&g, &o, &est, &support, &CostParams::default());
         assert_eq!(config.apply(LabelId(1)), LabelId(0));
         assert_eq!(config.apply(LabelId(2)), LabelId(0));
+    }
+
+    #[test]
+    fn threaded_greedy_matches_serial() {
+        let (g, o) = setup();
+        let est = estimator(&g);
+        let support = LabelSupport::new(&g);
+        let serial = greedy_configuration(&g, &o, &est, &support, &CostParams::default());
+        for threads in [2usize, 4, 8] {
+            let parallel = greedy_configuration_threaded(
+                &g,
+                &o,
+                &est,
+                &support,
+                &CostParams::default(),
+                threads,
+            );
+            assert_eq!(serial.mappings(), parallel.mappings(), "{threads} threads");
+        }
     }
 
     #[test]

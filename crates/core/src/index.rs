@@ -9,7 +9,7 @@
 use crate::compress::CompressEstimator;
 use crate::config::GenConfig;
 use crate::cost::CostParams;
-use crate::heuristic::greedy_configuration;
+use crate::heuristic::greedy_configuration_threaded;
 use crate::layer::Layer;
 use bgi_bisim::kbisim::k_bisimulation;
 use bgi_bisim::{maximal_bisimulation, summarize, BisimDirection};
@@ -50,6 +50,11 @@ pub struct BuildParams {
     pub min_gain_ratio: f64,
     /// The summarization formalism.
     pub summarizer: Summarizer,
+    /// Worker threads for the parallelizable construction stages
+    /// (subgraph sampling and Algo. 1 candidate ranking). `1` is the
+    /// plain serial build; any value produces a bit-identical index
+    /// (DESIGN.md §8's determinism contract).
+    pub threads: usize,
 }
 
 impl Default for BuildParams {
@@ -61,6 +66,7 @@ impl Default for BuildParams {
             max_layers: 7,
             min_gain_ratio: 0.98,
             summarizer: Summarizer::Maximal,
+            threads: 1,
         }
     }
 }
@@ -92,10 +98,21 @@ impl BiGIndex {
         let mut layers: Vec<Layer> = Vec::new();
         let mut current = g.clone();
         for layer_no in 0..params.max_layers {
-            let estimator = CompressEstimator::new(&current, &params.sampling, direction);
+            let estimator = CompressEstimator::new_threaded(
+                &current,
+                &params.sampling,
+                direction,
+                params.threads,
+            );
             let support = LabelSupport::new(&current);
-            let config =
-                greedy_configuration(&current, &ontology, &estimator, &support, &params.cost);
+            let config = greedy_configuration_threaded(
+                &current,
+                &ontology,
+                &estimator,
+                &support,
+                &params.cost,
+                params.threads,
+            );
             if config.is_empty() && layer_no > 0 {
                 // Nothing left to generalize; a first layer with an empty
                 // config is still useful (pure bisimulation).
@@ -589,6 +606,22 @@ mod tests {
         // All persons collapse per univ-target pattern; graph shrinks a lot.
         assert!(idx.graph_at(1).num_vertices() <= 8);
         assert_eq!(idx.generalize_label(LabelId(2), 1), LabelId(0));
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build() {
+        let (g, o) = setup();
+        let serial = BiGIndex::build(g.clone(), o.clone(), &BuildParams::default());
+        for threads in [2usize, 4, 8] {
+            let params = BuildParams {
+                threads,
+                ..BuildParams::default()
+            };
+            let parallel = BiGIndex::build(g.clone(), o.clone(), &params);
+            // PartialEq covers every stored part: base graph, ontology,
+            // layer configs, label maps, summary graphs, χ/Bisim⁻¹.
+            assert!(serial == parallel, "{threads}-thread build diverged");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod ids;
 pub mod interner;
 pub mod io;
 pub mod ontology;
+pub mod par;
 pub mod sampling;
 pub mod stats;
 pub mod subgraph;

@@ -1,0 +1,122 @@
+//! Deterministic fork-join parallelism over index ranges.
+//!
+//! Index construction is dominated by embarrassingly parallel loops —
+//! one independent unit of work per sampled subgraph, per candidate
+//! configuration, per hierarchy layer. [`par_map`] runs such a loop on
+//! `std::thread::scope` workers (no external dependencies) while
+//! keeping the *result* a pure function of the input: workers pull task
+//! indices from a shared atomic counter, stash each result with its
+//! index, and the output vector is reassembled in index order. Thread
+//! scheduling can change which worker computes what, never what is
+//! computed or where it lands.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Effective worker count for `threads` over `n` tasks: at least one,
+/// at most one per task.
+fn worker_count(threads: usize, n: usize) -> usize {
+    threads.max(1).min(n.max(1))
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// With `threads <= 1` (or a single task) this is a plain serial loop —
+/// zero thread overhead, the exact code the serial build runs. With
+/// more, up to `threads` scoped workers claim indices from an atomic
+/// counter, so long tasks (layer 0 of a hierarchy, say) don't serialize
+/// behind a static partition. The output is identical either way.
+///
+/// A panic in `f` propagates to the caller once the scope joins, like
+/// the serial loop's panic would.
+pub fn par_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(threads, n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Mutex<Vec<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|s| {
+        for bucket in &buckets {
+            let next = &next;
+            let f = &f;
+            s.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                // One lock per worker, after all its work is done.
+                match bucket.lock() {
+                    Ok(mut b) => *b = local,
+                    Err(poisoned) => *poisoned.into_inner() = local,
+                }
+            });
+        }
+    });
+    let mut tagged: Vec<(usize, T)> = buckets
+        .into_iter()
+        .flat_map(|b| {
+            b.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect();
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = par_map(1, 100, |i| i * i);
+        for threads in [2, 4, 8, 16] {
+            assert_eq!(
+                par_map(threads, 100, |i| i * i),
+                serial,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn order_is_index_order_under_skew() {
+        // Wildly uneven task costs: scheduling varies, output must not.
+        let out = par_map(4, 32, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = par_map(8, 257, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(par_map(4, 0, |i| i).is_empty());
+        assert_eq!(par_map(0, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(par_map(100, 1, |i| i), vec![0]);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::graph::DiGraph;
 use crate::ids::VId;
+use crate::par::par_map;
 use crate::subgraph::{induced_subgraph, InducedSubgraph};
 use crate::traversal::undirected_r_hop_ball;
 use rand::rngs::StdRng;
@@ -50,22 +51,46 @@ pub fn sample_size(z: f64, max_error: f64) -> usize {
     (0.25 * (z / max_error).powi(2)).ceil() as usize
 }
 
+/// Seed of sample `i`: the global seed and the sample index mixed
+/// through SplitMix64's finalizer, so every sample owns an independent
+/// RNG stream regardless of which thread draws it.
+fn sample_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Draws `params.num_samples` r-hop node-induced subgraphs from `g`.
 /// Empty graphs yield an empty sample set.
 pub fn sample_subgraphs(g: &DiGraph, params: &SamplingParams) -> Vec<InducedSubgraph> {
+    sample_subgraphs_threaded(g, params, 1)
+}
+
+/// [`sample_subgraphs`] on up to `threads` scoped worker threads.
+///
+/// Sample `i` is drawn from its own RNG seeded by
+/// `mix(params.seed, i)` — not from one shared sequential stream — so
+/// the sample set is a pure function of `(g, params)`: any thread
+/// count, including 1, produces bit-identical samples in the same
+/// order. This is the determinism contract the parallel index build
+/// relies on (DESIGN.md §8).
+pub fn sample_subgraphs_threaded(
+    g: &DiGraph,
+    params: &SamplingParams,
+    threads: usize,
+) -> Vec<InducedSubgraph> {
     if g.num_vertices() == 0 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(params.seed);
     let n = g.num_vertices() as u32;
-    (0..params.num_samples)
-        .map(|_| {
-            let v = VId(rng.gen_range(0..n));
-            let mut ball = undirected_r_hop_ball(g, v, params.radius);
-            ball.truncate(params.max_ball.max(1));
-            induced_subgraph(g, &ball)
-        })
-        .collect()
+    par_map(threads, params.num_samples, |i| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(params.seed, i as u64));
+        let v = VId(rng.gen_range(0..n));
+        let mut ball = undirected_r_hop_ball(g, v, params.radius);
+        ball.truncate(params.max_ball.max(1));
+        induced_subgraph(g, &ball)
+    })
 }
 
 #[cfg(test)]
@@ -124,6 +149,42 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.original, y.original);
         }
+    }
+
+    #[test]
+    fn threaded_sampling_matches_serial_exactly() {
+        let g = chain(200);
+        let params = SamplingParams {
+            radius: 2,
+            num_samples: 64,
+            max_ball: 16,
+            seed: 0xB16,
+        };
+        let serial = sample_subgraphs(&g, &params);
+        for threads in [2usize, 4, 8] {
+            let parallel = sample_subgraphs_threaded(&g, &params, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (x, y) in serial.iter().zip(&parallel) {
+                assert_eq!(x.original, y.original, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_draw_different_samples() {
+        let g = chain(500);
+        let base = SamplingParams {
+            radius: 1,
+            num_samples: 20,
+            max_ball: 8,
+            seed: 1,
+        };
+        let a = sample_subgraphs(&g, &base);
+        let b = sample_subgraphs(&g, &SamplingParams { seed: 2, ..base });
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| x.original != y.original),
+            "seed change must perturb the sample set"
+        );
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use flight::{Flight, SingleFlight};
 pub use log::Logger;
 pub use request::{QueryError, QueryRequest, QueryResponse, Semantics};
 pub use service::{ReloadError, Service, ServiceConfig};
-pub use snapshot::{IndexSnapshot, SnapshotError};
+pub use snapshot::{IndexSnapshot, SnapshotConfig, SnapshotError};
 pub use stats::ServiceStats;

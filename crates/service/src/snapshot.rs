@@ -64,7 +64,7 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// Construction-time knobs for a snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SnapshotConfig {
     /// BLINKS index parameters (block size, `τ_prune`).
     pub blinks: BlinksParams,
@@ -73,6 +73,21 @@ pub struct SnapshotConfig {
     /// Evaluation options for Algo. 2. The realizer is overridden per
     /// semantics at query time (`StructuralThenDistance` for `dkws`).
     pub eval: EvalOptions,
+    /// Worker threads for the per-layer index builds (each of the
+    /// `3 · (h + 1)` builds is independent). `1` is the serial build;
+    /// every thread count produces an identical snapshot.
+    pub threads: usize,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig {
+            blinks: BlinksParams::default(),
+            rclique: RClique::default(),
+            eval: EvalOptions::default(),
+            threads: 1,
+        }
+    }
 }
 
 /// The outcome of executing one request against a snapshot.
@@ -113,18 +128,11 @@ impl IndexSnapshot {
         }
         let blinks_algo = Blinks::new(config.blinks);
         let rclique_algo = config.rclique;
-        let layers = 0..=index.num_layers();
-        let banks = layers
-            .clone()
-            .map(|m| Banks.build_index(index.graph_at(m)))
-            .collect();
-        let blinks = layers
-            .clone()
-            .map(|m| blinks_algo.build_index(index.graph_at(m)))
-            .collect();
-        let rclique = layers
-            .map(|m| rclique_algo.build_index(index.graph_at(m)))
-            .collect();
+        // All 3·(h+1) per-layer builds are independent reads of the
+        // verified hierarchy; fan them out (bit-identical to serial for
+        // any `config.threads`).
+        let (banks, blinks, rclique) =
+            bgi_store::build_layer_indexes(&index, config.blinks, config.rclique, config.threads);
         Ok(IndexSnapshot {
             index,
             banks,

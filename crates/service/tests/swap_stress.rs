@@ -7,10 +7,13 @@
 //! a previous snapshot.
 
 use bgi_datasets::{benchmark_queries, Dataset, DatasetSpec};
-use bgi_search::{AnswerGraph, Budget};
-use bgi_service::{IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig};
-use big_index::{BiGIndex, BuildParams};
-use std::sync::atomic::{AtomicBool, Ordering};
+use bgi_search::blinks::BlinksParams;
+use bgi_search::{AnswerGraph, Budget, RClique};
+use bgi_service::{IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig, SnapshotConfig};
+use bgi_store::{IndexBundle, Store};
+use big_index::{BiGIndex, BuildParams, EvalOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -203,6 +206,144 @@ fn cache_never_serves_stale_generation_after_swap() {
     }
     let stats = service.stats();
     assert!(stats.cache.invalidated > 0, "warm entries were invalidated");
+}
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A unique temp directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "bgi-swap-stress-{tag}-{}-{seq}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("temp dir");
+        TempDir(d)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The race the parallel build must not introduce: one thread keeps
+/// *building* fresh snapshots with `--build-threads 8`-style parallel
+/// per-layer index construction and swapping them in, another keeps
+/// hot-reloading a generation persisted with an 8-thread save, while
+/// clients hammer queries. Every response must match exactly one of
+/// the two known snapshots — a partially built snapshot (some layer
+/// indexes missing or half-initialized) would produce answers neither
+/// produces, or panic a worker.
+#[test]
+fn parallel_builds_and_disk_reloads_never_expose_partial_snapshots() {
+    let fx = fixture();
+    // Persist B's bundle with a parallel encode; the reload thread
+    // serves it back. Defaults match `build_default`, so the recovered
+    // snapshot answers exactly like `fx.b`.
+    let dir = TempDir::new("reload");
+    let store = Store::open(&dir.0).expect("store opens");
+    let bundle = IndexBundle::build_with_threads(
+        fx.b.index().clone(),
+        BlinksParams::default(),
+        RClique::default(),
+        EvalOptions::default(),
+        8,
+    );
+    store.save_with_threads(&bundle, 8).expect("parallel save");
+
+    let index_a = fx.a.index().clone();
+    let service = Arc::new(Service::start(
+        Arc::clone(&fx.a),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_shards: 4,
+            cache_capacity: 256,
+            default_deadline: None,
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Builder storm: full parallel snapshot construction, then swap.
+        let builder = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let index_a = index_a.clone();
+            s.spawn(move || {
+                let mut built = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let config = SnapshotConfig {
+                        threads: 8,
+                        ..SnapshotConfig::default()
+                    };
+                    let snapshot = IndexSnapshot::build(index_a.clone(), config)
+                        .expect("parallel build verifies");
+                    service.swap_snapshot(Arc::new(snapshot));
+                    built += 1;
+                }
+                built
+            })
+        };
+        // Reload storm: recovery-gated swaps from the parallel-saved
+        // generation.
+        let reloader = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let store = &store;
+            s.spawn(move || {
+                let mut reloads = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let generation = service.reload_from_disk(store).expect("reload succeeds");
+                    assert_eq!(generation, 1);
+                    reloads += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                reloads
+            })
+        };
+
+        let clients = 4;
+        let per_client = 40;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    for i in 0..per_client {
+                        let idx = (c + i) % fx.requests.len();
+                        let resp = service
+                            .query(fx.requests[idx].clone())
+                            .expect("no deadline, no overload at this rate");
+                        let got = Observed {
+                            answers: resp.answers,
+                            layer: resp.layer,
+                            fell_back: resp.fell_back,
+                        };
+                        assert!(
+                            got == fx.expect_a[idx] || got == fx.expect_b[idx],
+                            "request {idx} observed an answer neither snapshot produces \
+                             (cache_hit={}): partially built snapshot exposed",
+                            resp.cache_hit
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().is_ok(), "client thread panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let built = builder.join().expect("builder thread panicked");
+        let reloads = reloader.join().expect("reloader thread panicked");
+        assert!(built > 0, "the builder never completed a snapshot");
+        assert!(reloads > 0, "the reloader never swapped");
+    });
 }
 
 #[test]

@@ -55,6 +55,51 @@ impl PartialEq for IndexBundle {
     }
 }
 
+/// One per-layer search index of any of the three families, tagged so
+/// a mixed parallel build can be split back apart in layer order.
+enum BuiltIndex {
+    Banks(BanksIndex),
+    Blinks(BlinksIndex),
+    RClique(RCliqueIndex),
+}
+
+/// Builds all `3 · (h + 1)` per-layer search indexes of `index` on up
+/// to `threads` workers, returning each family in layer order.
+///
+/// Every task is independent (each reads one immutable layer graph),
+/// and task `t` always denotes the same `(layer, family)` pair —
+/// `m = t / 3`, family `= t % 3` — so the three heaviest tasks (layer
+/// 0's) are claimed first and the result is identical to the serial
+/// loop for any thread count.
+pub fn build_layer_indexes(
+    index: &BiGIndex,
+    blinks_params: BlinksParams,
+    rclique_params: RClique,
+    threads: usize,
+) -> (Vec<BanksIndex>, Vec<BlinksIndex>, Vec<RCliqueIndex>) {
+    let blinks_algo = Blinks::new(blinks_params);
+    let layers = index.num_layers() + 1;
+    let built = bgi_graph::par::par_map(threads, layers * 3, |t| {
+        let g = index.graph_at(t / 3);
+        match t % 3 {
+            0 => BuiltIndex::Banks(Banks.build_index(g)),
+            1 => BuiltIndex::Blinks(blinks_algo.build_index(g)),
+            _ => BuiltIndex::RClique(rclique_params.build_index(g)),
+        }
+    });
+    let mut banks = Vec::with_capacity(layers);
+    let mut blinks = Vec::with_capacity(layers);
+    let mut rclique = Vec::with_capacity(layers);
+    for b in built {
+        match b {
+            BuiltIndex::Banks(x) => banks.push(x),
+            BuiltIndex::Blinks(x) => blinks.push(x),
+            BuiltIndex::RClique(x) => rclique.push(x),
+        }
+    }
+    (banks, blinks, rclique)
+}
+
 impl IndexBundle {
     /// Builds every algorithm's index on every layer of `index` —
     /// the expensive step persistence exists to amortize.
@@ -64,19 +109,21 @@ impl IndexBundle {
         rclique_params: RClique,
         eval: EvalOptions,
     ) -> Self {
-        let blinks_algo = Blinks::new(blinks_params);
-        let layers = 0..=index.num_layers();
-        let banks = layers
-            .clone()
-            .map(|m| Banks.build_index(index.graph_at(m)))
-            .collect();
-        let blinks = layers
-            .clone()
-            .map(|m| blinks_algo.build_index(index.graph_at(m)))
-            .collect();
-        let rclique = layers
-            .map(|m| rclique_params.build_index(index.graph_at(m)))
-            .collect();
+        Self::build_with_threads(index, blinks_params, rclique_params, eval, 1)
+    }
+
+    /// [`IndexBundle::build`] with the per-layer index builds fanned
+    /// out over up to `threads` scoped workers. The resulting bundle —
+    /// down to its encoded bytes — is identical for every thread count.
+    pub fn build_with_threads(
+        index: BiGIndex,
+        blinks_params: BlinksParams,
+        rclique_params: RClique,
+        eval: EvalOptions,
+        threads: usize,
+    ) -> Self {
+        let (banks, blinks, rclique) =
+            build_layer_indexes(&index, blinks_params, rclique_params, threads);
         IndexBundle {
             index,
             banks,

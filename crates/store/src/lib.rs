@@ -36,7 +36,7 @@ pub mod failpoint;
 pub mod fsio;
 pub mod store;
 
-pub use bundle::IndexBundle;
+pub use bundle::{build_layer_indexes, IndexBundle};
 pub use error::{RetryPolicy, StoreError};
 pub use failpoint::{FailAction, Failpoints};
 pub use store::Store;

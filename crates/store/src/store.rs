@@ -107,12 +107,59 @@ impl Store {
     /// crash could leave the same state — and the next
     /// [`Store::load_latest`] quarantines it.
     pub fn save(&self, bundle: &IndexBundle) -> Result<u64, StoreError> {
+        self.save_with_threads(bundle, 1)
+    }
+
+    /// [`Store::save`] with the per-section encodes fanned out over up
+    /// to `threads` scoped workers.
+    ///
+    /// Only the *encoding* (pure CPU, no I/O, no failpoints) is
+    /// parallel. The writes themselves — and therefore every labeled
+    /// failpoint hit, the on-disk file order, and the manifest-last
+    /// commit point — run in exactly the serial order, so the
+    /// crash-matrix guarantees are untouched and the saved bytes are
+    /// identical for every thread count.
+    pub fn save_with_threads(
+        &self,
+        bundle: &IndexBundle,
+        threads: usize,
+    ) -> Result<u64, StoreError> {
         let generation = self.next_generation_number()?;
         let dir = self.generation_dir(generation);
         fsio::create_dir(&self.fp, "save.create_dir", &dir)?;
 
-        let mut entries: Vec<ManifestEntry> = Vec::new();
-        let write = |name: String, bytes: Vec<u8>| -> Result<ManifestEntry, StoreError> {
+        // Fixed file layout: index, params, then the per-layer indexes
+        // family by family. Task i always encodes the same section.
+        let (nb, nl) = (bundle.banks.len(), bundle.blinks.len());
+        let total = 2 + nb + nl + bundle.rclique.len();
+        let files: Vec<(String, Vec<u8>)> = bgi_graph::par::par_map(threads, total, |i| {
+            if i == 0 {
+                ("index.bin".to_string(), encode_index(&bundle.index))
+            } else if i == 1 {
+                (
+                    "params.bin".to_string(),
+                    encode_params(&bundle.blinks_params, &bundle.rclique_params, &bundle.eval),
+                )
+            } else if i < 2 + nb {
+                let m = i - 2;
+                (format!("banks-{m:03}.bin"), encode_banks(&bundle.banks[m]))
+            } else if i < 2 + nb + nl {
+                let m = i - 2 - nb;
+                (
+                    format!("blinks-{m:03}.bin"),
+                    encode_blinks(&bundle.blinks[m]),
+                )
+            } else {
+                let m = i - 2 - nb - nl;
+                (
+                    format!("rclique-{m:03}.bin"),
+                    encode_rclique(&bundle.rclique[m]),
+                )
+            }
+        });
+
+        let mut entries: Vec<ManifestEntry> = Vec::with_capacity(files.len());
+        for (name, bytes) in files {
             fsio::write_atomic(
                 &self.fp,
                 &dir,
@@ -122,29 +169,11 @@ impl Store {
                 "save.fsync_file",
                 "save.rename_file",
             )?;
-            Ok(ManifestEntry {
-                name,
-                len: bytes.len() as u64,
+            entries.push(ManifestEntry {
                 checksum: fnv1a64(&bytes),
-            })
-        };
-
-        entries.push(write("index.bin".to_string(), encode_index(&bundle.index))?);
-        entries.push(write(
-            "params.bin".to_string(),
-            encode_params(&bundle.blinks_params, &bundle.rclique_params, &bundle.eval),
-        )?);
-        for (m, banks) in bundle.banks.iter().enumerate() {
-            entries.push(write(format!("banks-{m:03}.bin"), encode_banks(banks))?);
-        }
-        for (m, blinks) in bundle.blinks.iter().enumerate() {
-            entries.push(write(format!("blinks-{m:03}.bin"), encode_blinks(blinks))?);
-        }
-        for (m, rclique) in bundle.rclique.iter().enumerate() {
-            entries.push(write(
-                format!("rclique-{m:03}.bin"),
-                encode_rclique(rclique),
-            )?);
+                len: bytes.len() as u64,
+                name,
+            });
         }
 
         // The commit point: until this rename lands, the generation

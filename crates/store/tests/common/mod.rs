@@ -2,6 +2,10 @@
 //! non-trivial bundles (distinct graphs, same ontology) and unique
 //! temp directories.
 
+// Each integration-test binary compiles its own copy of this module
+// and none uses every fixture.
+#![allow(dead_code)]
+
 use bgi_graph::{GraphBuilder, LabelId, OntologyBuilder, VId};
 use bgi_search::blinks::BlinksParams;
 use bgi_search::RClique;
