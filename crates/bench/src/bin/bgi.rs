@@ -1,7 +1,7 @@
 //! `bgi` — command-line front end for the BiG-index reproduction.
 //!
 //! ```text
-//! bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S]   generate + save a dataset
+//! bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S] [--updates N]   generate + save a dataset
 //! bgi stats <dir>                                  dataset statistics
 //! bgi build <dir> [layers] [--build-threads N]     build the index, print layer sizes
 //! bgi workload <dir>                               print the Q1-Q8 workload
@@ -9,6 +9,7 @@
 //! bgi verify <dir> [layers]                        build, then check every index invariant
 //! bgi batch <dir> [--threads N] [--repeat R]       replay the workload through bgi-service
 //! bgi serve <dir> [--threads N] [--tcp ADDR]       serve queries line-by-line (stdio or TCP)
+//! bgi ingest <dir> --updates <file> [--batch N]    stream updates through the live-update engine
 //! bgi save-index <dir> <store> [--layers L]        build the index once, persist it crash-safely
 //! bgi load-index <store>                           recover + verify, skipping construction
 //! bgi reload <store>                               dry-run recovery check (what would serve?)
@@ -25,8 +26,17 @@
 //! instead of rebuilding, and accepts a `reload` protocol line that
 //! hot-swaps to the newest on-disk generation (rolling back to the
 //! running snapshot if recovery or verification fails).
+//!
+//! `bgi serve` also accepts write verbs: `update <op>` buffers one
+//! mutation (`insert <u> <v>` / `delete <u> <v>` / `addv <label>`),
+//! `flush` applies the buffer through the live-update engine and swaps
+//! the refreshed snapshot in, and `checkpoint` (with `--store`)
+//! persists the updated index as a new generation and truncates the
+//! WAL. With `--store`, updates are WAL-logged before they apply, and
+//! boot replays any log tail left by a crash.
 
-use bgi_datasets::{benchmark_queries, persist, Dataset, DatasetSpec};
+use bgi_datasets::{benchmark_queries, persist, update_stream, Dataset, DatasetSpec, UpdateMix};
+use bgi_ingest::{Engine, EngineConfig, IngestUpdate};
 use bgi_search::blinks::{Blinks, BlinksParams};
 use bgi_search::{KeywordQuery, RClique};
 use bgi_service::{
@@ -38,7 +48,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
@@ -52,14 +62,15 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("save-index") => cmd_save_index(&args[1..]),
         Some("load-index") => cmd_load_index(&args[1..]),
         Some("reload") => cmd_reload(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bgi <gen|stats|build|workload|query|verify|batch|serve|save-index|load-index|reload> ...\n\
+                "usage: bgi <gen|stats|build|workload|query|verify|batch|serve|ingest|save-index|load-index|reload> ...\n\
                  \n\
-                 bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S]\n\
+                 bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S] [--updates N] [--update-seed S]\n\
                  bgi stats <dir>\n\
                  bgi build <dir> [layers] [--build-threads N]\n\
                  bgi workload <dir>\n\
@@ -67,6 +78,7 @@ fn main() -> ExitCode {
                  bgi verify <dir> [layers]\n\
                  bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L] [--build-threads N]\n\
                  bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S] [--build-threads N]\n\
+                 bgi ingest <dir> --updates <file> [--batch N] [--layers L] [--store S] [--build-threads N]\n\
                  bgi save-index <dir> <store> [--layers L] [--build-threads N]\n\
                  bgi load-index <store>\n\
                  bgi reload <store>"
@@ -88,7 +100,11 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 fn cmd_gen(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [kind, scale, dir] = positional.as_slice() else {
-        return Err("usage: bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S]".into());
+        return Err(
+            "usage: bgi gen <yago|dbpedia|imdb|synt> <scale> <dir> [--seed S] [--updates N] \
+             [--update-seed S]"
+                .into(),
+        );
     };
     let scale: usize = scale.parse()?;
     let mut spec = match *kind {
@@ -112,6 +128,25 @@ fn cmd_gen(args: &[String]) -> CliResult {
         ds.num_edges(),
         ds.ontology.num_labels()
     );
+    // `--updates N` additionally emits a seeded, in-order-applicable
+    // update stream for `bgi ingest` / the ingest benchmarks.
+    let updates: usize = flag(&flags, "updates", 0)?;
+    if updates > 0 {
+        let update_seed: u64 = flag(&flags, "update-seed", 1)?;
+        let stream = update_stream(&ds.graph, update_seed, updates, UpdateMix::default());
+        let mut out = String::with_capacity(stream.len() * 12);
+        for op in &stream {
+            out.push_str(&op.to_line());
+            out.push('\n');
+        }
+        let path = Path::new(dir).join("updates.txt");
+        std::fs::write(&path, out)?;
+        println!(
+            "wrote {} update(s) (seed {update_seed}) to {}",
+            stream.len(),
+            path.display()
+        );
+    }
     Ok(())
 }
 
@@ -373,16 +408,71 @@ fn format_response(result: Result<bgi_service::QueryResponse, QueryError>) -> St
     }
 }
 
+/// Buffered write state behind the `update`/`flush` protocol verbs.
+/// One engine per serving process; the mutex serializes writers while
+/// queries keep flowing lock-free against the current snapshot.
+struct IngestState {
+    engine: Engine,
+    buffer: Vec<IngestUpdate>,
+}
+
+/// `update` verbs buffered before an automatic `flush` kicks in. Each
+/// flush costs one re-materialization of the hierarchy, so batching
+/// amortizes it; an explicit `flush` line forces the buffer out early.
+const UPDATE_AUTOFLUSH: usize = 1024;
+
+/// Applies the buffered updates through the service's write path. The
+/// buffer is consumed either way: a rejected batch (invalid update,
+/// refused snapshot) is reported and dropped, matching the engine's
+/// batch-atomic semantics.
+fn flush_updates(service: &Service, state: &mut IngestState) -> String {
+    if state.buffer.is_empty() {
+        return "ok applied=0".to_string();
+    }
+    let batch = std::mem::take(&mut state.buffer);
+    match service.apply_updates(&mut state.engine, &batch) {
+        Ok(report) => format!(
+            "ok applied={} seq={} rebuilt={} layers_reused={} layers_rebuilt={}",
+            report.outcome.applied,
+            report
+                .outcome
+                .seq
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            report.rebuilt,
+            report.outcome.reused_layers,
+            report.outcome.rebuilt_layers
+        ),
+        Err(e) => format!("err {e}"),
+    }
+}
+
 /// Handles one protocol line; `None` means the peer asked to quit.
 fn handle_line(
     ds: &Dataset,
     service: &Service,
     store: Option<&Store>,
+    ingest: &Mutex<IngestState>,
     line: &str,
 ) -> Option<String> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Some(String::new());
+    }
+    if let Some(op) = line.strip_prefix("update ") {
+        return Some(match IngestUpdate::parse_line(op) {
+            None => {
+                format!("err bad update '{op}' (want insert <u> <v> | delete <u> <v> | addv <l>)")
+            }
+            Some(update) => {
+                let mut state = ingest.lock().unwrap_or_else(PoisonError::into_inner);
+                state.buffer.push(update);
+                if state.buffer.len() >= UPDATE_AUTOFLUSH {
+                    flush_updates(service, &mut state)
+                } else {
+                    format!("ok queued={}", state.buffer.len())
+                }
+            }
+        });
     }
     match line {
         "quit" | "exit" => None,
@@ -395,6 +485,25 @@ fn handle_line(
                 .collect::<Vec<_>>()
                 .join("\n"),
         ),
+        "flush" => {
+            let mut state = ingest.lock().unwrap_or_else(PoisonError::into_inner);
+            Some(flush_updates(service, &mut state))
+        }
+        "checkpoint" => {
+            Some(match store {
+                None => "err no --store configured; checkpoint unavailable".to_string(),
+                Some(store) => {
+                    let mut state = ingest.lock().unwrap_or_else(PoisonError::into_inner);
+                    let through = state.engine.last_seq();
+                    match state.engine.checkpoint(store) {
+                        Ok(generation) => {
+                            format!("ok checkpoint generation={generation} wal_truncated_through={through}")
+                        }
+                        Err(e) => format!("err checkpoint failed: {e}"),
+                    }
+                }
+            })
+        }
         "reload" => Some(match store {
             None => "err no --store configured; reload unavailable".to_string(),
             Some(store) => match service.reload_from_disk(store) {
@@ -449,23 +558,51 @@ fn cmd_serve(args: &[String]) -> CliResult {
     };
 
     // With a store, boot from the newest persisted generation — no
-    // hierarchy construction. Without one, build from the dataset.
-    let (ds, snapshot) = match &store {
+    // hierarchy construction — replaying any WAL tail a crash left
+    // behind. Without one, build from the dataset. Either way the
+    // live-update engine starts from the same bundle the snapshot
+    // serves, so `update`/`flush` stay consistent with queries.
+    let (ds, snapshot, engine) = match &store {
         Some(store) => {
             let ds = load(dir)?;
             let t = Instant::now();
             let (generation, bundle) = store.load_latest()?;
-            let snapshot = Arc::new(IndexSnapshot::from_bundle(bundle)?);
+            let engine_config = EngineConfig {
+                threads: build_threads,
+                ..EngineConfig::default()
+            };
+            let (engine, replayed) = Engine::with_wal(bundle, engine_config, store)?;
+            let snapshot = Arc::new(IndexSnapshot::from_bundle(engine.bundle().clone())?);
             eprintln!(
-                "recovered index generation {generation} ({} layer(s)) in {:?}; \
-                 hierarchy construction skipped",
+                "recovered index generation {generation} ({} layer(s), {replayed} WAL \
+                 update(s) replayed) in {:?}; hierarchy construction skipped",
                 snapshot.num_layers(),
                 t.elapsed()
             );
-            (ds, snapshot)
+            (ds, snapshot, engine)
         }
-        None => load_snapshot(dir, layers, build_threads)?,
+        None => {
+            let ds = load(dir)?;
+            let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+            eprintln!(
+                "index: {} layer(s) over {} vertices, built in {took:?}",
+                index.num_layers(),
+                ds.num_vertices()
+            );
+            let bundle = default_bundle(index, build_threads);
+            let engine_config = EngineConfig {
+                threads: build_threads,
+                ..EngineConfig::default()
+            };
+            let engine = Engine::new(bundle.clone(), engine_config)?;
+            let snapshot = Arc::new(IndexSnapshot::from_bundle(bundle)?);
+            (ds, snapshot, engine)
+        }
     };
+    let ingest = Arc::new(Mutex::new(IngestState {
+        engine,
+        buffer: Vec::new(),
+    }));
     let config = ServiceConfig {
         workers: threads,
         ..ServiceConfig::default()
@@ -481,8 +618,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
         None => {
             eprintln!(
                 "serving on stdin/stdout with {threads} worker(s); \
-                 one request per line, 'stats' for counters, 'reload' to hot-swap, \
-                 'quit' to stop"
+                 one request per line, 'stats' for counters, 'update <op>'/'flush' for \
+                 live writes, 'checkpoint' to persist, 'reload' to hot-swap, 'quit' to stop"
             );
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout();
@@ -490,7 +627,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
             // the graceful drain below.
             for line in stdin.lock().lines() {
                 let line = line?;
-                match handle_line(&ds, &service, store.as_ref(), &line) {
+                match handle_line(&ds, &service, store.as_ref(), &ingest, &line) {
                     Some(reply) => {
                         writeln!(stdout, "{reply}")?;
                         stdout.flush()?;
@@ -522,6 +659,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 let service = Arc::clone(&service);
                 let ds = Arc::clone(&ds);
                 let store = store.clone();
+                let ingest = Arc::clone(&ingest);
                 std::thread::spawn(move || {
                     let reader = match stream.try_clone() {
                         Ok(s) => std::io::BufReader::new(s),
@@ -530,7 +668,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                     let mut writer = stream;
                     for line in reader.lines() {
                         let Ok(line) = line else { break };
-                        match handle_line(&ds, &service, store.as_deref(), &line) {
+                        match handle_line(&ds, &service, store.as_deref(), &ingest, &line) {
                             Some(reply) => {
                                 if writeln!(writer, "{reply}").is_err() {
                                     break;
@@ -545,6 +683,115 @@ fn cmd_serve(args: &[String]) -> CliResult {
             Ok(())
         }
     }
+}
+
+fn cmd_ingest(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args)?;
+    let [dir] = positional.as_slice() else {
+        return Err(
+            "usage: bgi ingest <dir> --updates <file> [--batch N] [--layers L] [--store S] \
+             [--build-threads N]"
+                .into(),
+        );
+    };
+    let updates_file = flags
+        .get("updates")
+        .ok_or("bgi ingest needs --updates <file> (see `bgi gen --updates`)")?;
+    let batch: usize = flag(&flags, "batch", 1024)?;
+    let batch = batch.max(1);
+    let layers: usize = flag(&flags, "layers", 4)?;
+    let build_threads: usize = flag(&flags, "build-threads", 1)?;
+    let store = match flags.get("store") {
+        Some(store_dir) => Some(Store::open(Path::new(store_dir))?),
+        None => None,
+    };
+
+    // Parse the whole stream up front so a malformed line fails before
+    // any update is applied (or logged).
+    let text = std::fs::read_to_string(updates_file)?;
+    let mut stream = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match IngestUpdate::parse_line(line) {
+            Some(u) => stream.push(u),
+            None => return Err(format!("{updates_file}:{}: bad update '{line}'", i + 1).into()),
+        }
+    }
+    if stream.is_empty() {
+        return Err(format!("{updates_file} contains no updates").into());
+    }
+
+    let engine_config = EngineConfig {
+        threads: build_threads,
+        ..EngineConfig::default()
+    };
+    let build_fresh = || -> Result<IndexBundle, Box<dyn std::error::Error>> {
+        let ds = load(dir)?;
+        let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+        eprintln!("built {} layer(s) in {took:?}", index.num_layers());
+        Ok(default_bundle(index, build_threads))
+    };
+    // With a store: boot from the persisted generation (replaying any
+    // WAL tail) and log every batch; an empty store is seeded with a
+    // fresh build first. Without: build from the dataset and apply in
+    // memory.
+    let mut engine = match &store {
+        Some(store) => {
+            let bundle = match store.load_latest() {
+                Ok((generation, bundle)) => {
+                    eprintln!("recovered generation {generation}");
+                    bundle
+                }
+                Err(bgi_store::StoreError::NoGeneration) => {
+                    let bundle = build_fresh()?;
+                    let generation = store.save_with_threads(&bundle, build_threads)?;
+                    eprintln!("store was empty; seeded generation {generation}");
+                    bundle
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let (engine, replayed) = Engine::with_wal(bundle, engine_config, store)?;
+            if replayed > 0 {
+                eprintln!("replayed {replayed} WAL update(s)");
+            }
+            engine
+        }
+        None => Engine::new(build_fresh()?, engine_config)?,
+    };
+
+    let t = Instant::now();
+    let mut applied = 0usize;
+    let mut rebuilds = 0usize;
+    for chunk in stream.chunks(batch) {
+        let outcome = engine.apply_batch(chunk)?;
+        applied += outcome.applied;
+        if engine.drift().rebuild_recommended {
+            engine.rebuild()?;
+            rebuilds += 1;
+        }
+    }
+    let took = t.elapsed();
+    let rate = applied as f64 / took.as_secs_f64().max(1e-9);
+    println!(
+        "ingested {applied} update(s) in {took:?} ({rate:.0} updates/s), \
+         batch size {batch}, {rebuilds} full rebuild(s)"
+    );
+    for (m, size) in engine.index().layer_sizes().iter().enumerate() {
+        println!("  L{m}: |G| = {size}");
+    }
+    let report = engine.index().verify();
+    if !report.is_clean() {
+        return Err(format!("updated index fails verification:\n{report}").into());
+    }
+    println!("updated index verifies clean");
+    if let Some(store) = &store {
+        let generation = engine.checkpoint(store)?;
+        println!("checkpointed as generation {generation}; WAL truncated");
+    }
+    Ok(())
 }
 
 /// Default serving parameters for a persisted bundle — kept in lockstep

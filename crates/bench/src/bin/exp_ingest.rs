@@ -1,0 +1,12 @@
+//! Ingest-throughput sweep over update batch sizes (bgi-ingest).
+//! Writes the gated metrics to `BENCH_ingest.json` (see `bench_gate`).
+use bgi_bench::json;
+
+fn main() {
+    let scale = bgi_bench::scale_from_env(2_000);
+    let (report, metrics) = bgi_bench::experiments::ingest::run_with_metrics(scale);
+    println!("{report}");
+    let path = json::artifact_path("BENCH_ingest.json");
+    json::write_metrics(&path, "ingest", &metrics).expect("write BENCH_ingest.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! Ingest throughput: live update batches applied through the
+//! incremental maintenance engine (`bgi-ingest`), with the drift
+//! tracker consulted after every batch exactly as the serving write
+//! path does.
+//!
+//! The paper's hierarchy is built offline (Sec. 5); this experiment
+//! measures the cost of keeping it live. Per-batch cost is dominated by
+//! rebuilding the per-layer search indexes of *changed* summaries — a
+//! cost nearly independent of batch size — so sustained throughput is a
+//! batching story: the sweep shows updates/s rising with batch size,
+//! and the single-update number is that same fixed refresh cost paid
+//! for one update.
+
+use crate::harness::{fmt_duration, TableWriter};
+use crate::setup::default_index;
+use bgi_datasets::{update_stream, DatasetSpec, UpdateMix, UpdateOp};
+use bgi_ingest::{Engine, EngineConfig, IngestUpdate};
+use bgi_search::blinks::BlinksParams;
+use bgi_search::RClique;
+use bgi_store::IndexBundle;
+use big_index::EvalOptions;
+use std::time::{Duration, Instant};
+
+/// Converts a dataset update stream into engine updates.
+pub fn as_ingest_updates(ops: &[UpdateOp]) -> Vec<IngestUpdate> {
+    ops.iter()
+        .map(|op| match *op {
+            UpdateOp::InsertEdge { src, dst } => IngestUpdate::InsertEdge { src, dst },
+            UpdateOp::DeleteEdge { src, dst } => IngestUpdate::DeleteEdge { src, dst },
+            UpdateOp::AddVertex { label } => IngestUpdate::AddVertex { label },
+        })
+        .collect()
+}
+
+/// One sweep point: apply `stream` in `batch`-sized chunks on a fresh
+/// engine, consulting drift after each batch. Returns (wall, rebuilds).
+fn apply_all(bundle: &IndexBundle, stream: &[IngestUpdate], batch: usize) -> (Duration, usize) {
+    let mut engine =
+        Engine::new(bundle.clone(), EngineConfig::default()).expect("bundle seeds the engine");
+    let mut rebuilds = 0usize;
+    let t = Instant::now();
+    for chunk in stream.chunks(batch) {
+        engine
+            .apply_batch(chunk)
+            .expect("generated updates are valid");
+        if engine.drift().rebuild_recommended {
+            engine.rebuild().expect("rebuild from flat state");
+            rebuilds += 1;
+        }
+    }
+    (t.elapsed(), rebuilds)
+}
+
+/// Runs the sweep and renders the report.
+pub fn run(scale: usize) -> String {
+    run_with_metrics(scale).0
+}
+
+/// [`run`], also returning the JSON metrics for `BENCH_ingest.json`.
+/// Gated key: `batch_8192_ms` (wall time of the largest-batch point,
+/// the configuration the sustained-throughput claim rests on).
+pub fn run_with_metrics(scale: usize) -> (String, Vec<(String, f64)>) {
+    let ds = DatasetSpec::synt(scale).generate();
+    let (index, build_time) = default_index(&ds, 3);
+    let layers = index.num_layers();
+    let bundle = IndexBundle::build(
+        index,
+        BlinksParams::default(),
+        RClique::default(),
+        EvalOptions::default(),
+    );
+    // Stream length scales with the dataset so small smoke runs stay
+    // fast; the CI point (scale 2000) applies 8k updates.
+    let n_updates = (scale * 4).clamp(512, 16_384);
+    let stream = as_ingest_updates(&update_stream(
+        &ds.graph,
+        crate::setup::DEFAULT_WORKLOAD_SEED,
+        n_updates,
+        UpdateMix::default(),
+    ));
+
+    let mut out = format!(
+        "ingest throughput, {} ({} vertices, {} layers, index built in {})\n\
+         {} updates per point (6:3:1 insert/delete/add-vertex), drift checked per batch\n\n",
+        ds.name,
+        ds.num_vertices(),
+        layers,
+        fmt_duration(build_time),
+        stream.len(),
+    );
+
+    let mut table = TableWriter::new(&["batch", "wall", "updates/s", "ms/batch", "rebuilds"]);
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for batch in [256usize, 1024, 4096, 8192] {
+        let (wall, rebuilds) = apply_all(&bundle, &stream, batch);
+        let per_s = stream.len() as f64 / wall.as_secs_f64();
+        let batches = stream.len().div_ceil(batch);
+        table.row(&[
+            format!("{batch}"),
+            fmt_duration(wall),
+            format!("{per_s:.0}"),
+            format!("{:.1}", wall.as_secs_f64() * 1e3 / batches as f64),
+            format!("{rebuilds}"),
+        ]);
+        if batch == 8192 {
+            metrics.push(("batch_8192_ms".into(), wall.as_secs_f64() * 1e3));
+            metrics.push(("updates_per_s".into(), per_s));
+        }
+    }
+    out.push_str(&table.render());
+
+    // Single-update latency: what one interactive write pays.
+    let mut engine =
+        Engine::new(bundle.clone(), EngineConfig::default()).expect("bundle seeds the engine");
+    let single = &stream[..64.min(stream.len())];
+    let t = Instant::now();
+    for u in single {
+        engine
+            .apply_batch(std::slice::from_ref(u))
+            .expect("generated updates are valid");
+    }
+    let per_update = t.elapsed() / single.len() as u32;
+    out.push_str(&format!(
+        "\nsingle-update latency: {} per update ({} sampled)\n",
+        fmt_duration(per_update),
+        single.len()
+    ));
+    metrics.push(("single_update_us".into(), per_update.as_secs_f64() * 1e6));
+    (out, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_on_a_tiny_dataset() {
+        let (report, metrics) = run_with_metrics(300);
+        assert!(report.contains("updates/s"));
+        let get = |k: &str| {
+            let (_, v) = metrics
+                .iter()
+                .find(|(name, _)| name == k)
+                .unwrap_or_else(|| panic!("metric {k} missing"));
+            *v
+        };
+        assert!(get("batch_8192_ms") > 0.0);
+        assert!(get("updates_per_s") > 0.0);
+        assert!(get("single_update_us") > 0.0);
+    }
+}

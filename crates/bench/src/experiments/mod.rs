@@ -7,6 +7,7 @@ pub mod build_scaling;
 pub mod cost_model;
 pub mod datasets;
 pub mod index_sizes;
+pub mod ingest;
 pub mod layer_sweep;
 pub mod optimizations;
 pub mod query_perf;

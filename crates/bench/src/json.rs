@@ -4,7 +4,7 @@
 //! `"experiment"` key plus numeric metrics — so the regression gate
 //! (`bench_gate`) can diff a run against `ci/bench_baseline.json`
 //! without pulling a serde stack into the workspace (the build is
-//! offline; see DESIGN.md §9). The subset implemented here is exactly
+//! offline; see DESIGN.md §10). The subset implemented here is exactly
 //! what those artifacts need: one non-nested object, string and finite
 //! f64 values, `//`-free, UTF-8.
 

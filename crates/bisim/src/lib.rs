@@ -48,6 +48,7 @@ pub mod refine;
 pub mod splitter;
 pub mod summary;
 
+pub use incremental::{Drift, IncrementalBisim, Update};
 pub use partition::Partition;
 pub use refine::{maximal_bisimulation, BisimDirection};
 pub use splitter::maximal_bisimulation_splitter;

@@ -30,8 +30,10 @@ pub mod ontology_gen;
 pub mod persist;
 pub mod queries;
 pub mod specs;
+pub mod updates;
 pub mod zipf;
 
 pub use kg::Dataset;
 pub use queries::{benchmark_queries, BenchQuery};
 pub use specs::DatasetSpec;
+pub use updates::{update_stream, UpdateMix, UpdateOp};

@@ -1,0 +1,855 @@
+//! The live-update engine: WAL-backed apply pipeline over flat
+//! per-layer partitions, with drift-triggered full rebuild.
+//!
+//! ## The flat-partition representation
+//!
+//! The hierarchy is defined iteratively (`Gᵐ = Bisim(Gen(Gᵐ⁻¹, Cᵐ))`),
+//! but maintaining it that way would mean updating `m` graphs whose
+//! vertex sets all shift under splits. Instead the engine keeps, per
+//! layer `m`, a partition `Pᵐ` of the **base** vertices over the base
+//! graph relabeled by the composed map `Cᵐ ∘ … ∘ C¹`. This is faithful:
+//!
+//! - stability composes — `Pᵐ` is stable on the composed-relabeled base
+//!   graph iff the corresponding layer-level partition is stable on the
+//!   relabeled `Gᵐ⁻¹` (for summary edges, "some member has an edge" and
+//!   "every member has an edge" coincide exactly when `Pᵐ⁻¹` is
+//!   stable);
+//! - split-only refinement preserves the coarseness chain
+//!   `Pᵐ⁻¹ ⊑ Pᵐ`: refinement signatures ignore labels and vertices in
+//!   one stable `Pᵐ⁻¹` block have identical block-neighborhoods, so no
+//!   round of refining `Pᵐ` ever separates them;
+//! - the `Layer` tables fall out of adjacent partitions: layer-`m`
+//!   supernodes are `Pᵐ` blocks, `χ` maps a `Pᵐ⁻¹` block to the `Pᵐ`
+//!   block containing it, and `summarize` over the flat graph
+//!   reproduces the summary `Gᵐ` exactly (supernode ids are block ids
+//!   in both views).
+//!
+//! A batch is therefore: validate → WAL append (fsync = commit) → one
+//! `apply_batch` per layer → re-materialize `Layer`s and the
+//! `IndexBundle`, rebuilding per-layer search indexes only where the
+//! summary graph changed. The result is a *stable but possibly finer
+//! than maximal* hierarchy — precisely the paper's eager-split /
+//! deferred-merge maintenance — which still passes the full
+//! `bgi-verify` invariant suite (it checks stability, not maximality).
+
+use crate::error::IngestError;
+use crate::policy::{DriftReport, LayerDrift, RebuildPolicy};
+use crate::update::IngestUpdate;
+use bgi_bisim::incremental::Update as BisimUpdate;
+use bgi_bisim::{summarize, IncrementalBisim, Partition};
+use bgi_graph::par::par_map;
+use bgi_graph::stats::LabelSupport;
+use bgi_graph::{DiGraph, GraphBuilder, LabelId, Ontology, VId};
+use bgi_search::banks::BanksIndex;
+use bgi_search::blinks::BlinksIndex;
+use bgi_search::rclique::RCliqueIndex;
+use bgi_search::{Banks, Blinks, KeywordSearch};
+use bgi_store::{build_layer_indexes, GraphUpdate, IndexBundle, Store, Wal};
+use big_index::cost::construction_cost_with_compress;
+use big_index::layer::Layer;
+use big_index::{BiGIndex, GenConfig, Summarizer};
+use std::collections::BTreeSet;
+
+/// Construction-time knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// When to recommend a full rebuild.
+    pub policy: RebuildPolicy,
+    /// Worker threads for full rebuilds' per-layer index builds (the
+    /// `par_map` path; `1` = serial, any count is bit-identical).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: RebuildPolicy::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// What one [`Engine::apply_batch`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// WAL sequence number the batch committed under (`None` when the
+    /// engine runs without a log).
+    pub seq: Option<u64>,
+    /// Updates applied to the in-memory state.
+    pub applied: usize,
+    /// Layers (incl. layer 0) whose search indexes were reused because
+    /// their summary graph did not change.
+    pub reused_layers: usize,
+    /// Layers whose search indexes had to be rebuilt.
+    pub rebuilt_layers: usize,
+}
+
+/// The live-update engine. See the module docs for the pipeline.
+pub struct Engine {
+    ontology: Ontology,
+    direction: bgi_bisim::BisimDirection,
+    summarizer: Summarizer,
+    /// Labels an [`IngestUpdate::AddVertex`] may use (`0..alphabet`).
+    alphabet: usize,
+    /// Per-layer step configurations `Cᵐ` (fixed under updates).
+    configs: Vec<GenConfig>,
+    /// Per-layer step label maps (dense form of `Cᵐ`).
+    step_maps: Vec<Vec<LabelId>>,
+    /// `composed[m-1][ℓ] = Cᵐ(…C¹(ℓ)…)` over the full alphabet.
+    composed: Vec<Vec<LabelId>>,
+    /// The current base graph `G⁰`.
+    base: DiGraph,
+    /// Flat per-layer state: `flats[m-1]` maintains `Pᵐ` over
+    /// `relabel(base, composed[m-1])`.
+    flats: Vec<IncrementalBisim>,
+    /// The current materialized serving artifact.
+    bundle: IndexBundle,
+    wal: Option<Wal>,
+    /// Highest WAL sequence folded into the in-memory state.
+    last_seq: u64,
+    policy: RebuildPolicy,
+    threads: usize,
+    /// Formula-3 cost per layer at the last full build.
+    baseline: Vec<f64>,
+    updates_since_rebuild: usize,
+}
+
+impl Engine {
+    /// Starts an engine from a built (or loaded) bundle, without a WAL
+    /// — updates are applied in memory only. Fails with
+    /// [`IngestError::Inconsistent`] if the bundle's hierarchy cannot
+    /// seed the flat partitions (which a verified index always can).
+    pub fn new(bundle: IndexBundle, config: EngineConfig) -> Result<Engine, IngestError> {
+        let seed = Seed::from_index(&bundle.index, config.policy.alpha)?;
+        Ok(Engine {
+            ontology: seed.ontology,
+            direction: seed.direction,
+            summarizer: seed.summarizer,
+            alphabet: seed.alphabet,
+            configs: seed.configs,
+            step_maps: seed.step_maps,
+            composed: seed.composed,
+            base: seed.base,
+            flats: seed.flats,
+            bundle,
+            wal: None,
+            last_seq: 0,
+            policy: config.policy,
+            threads: config.threads.max(1),
+            baseline: seed.baseline,
+            updates_since_rebuild: 0,
+        })
+    }
+
+    /// [`Engine::new`] plus durability: opens the store's WAL, replays
+    /// its committed prefix on top of the bundle (which recovery
+    /// guarantees is the newest complete generation), and logs every
+    /// future batch. Returns the engine and the number of replayed
+    /// updates.
+    pub fn with_wal(
+        bundle: IndexBundle,
+        config: EngineConfig,
+        store: &Store,
+    ) -> Result<(Engine, usize), IngestError> {
+        let mut engine = Engine::new(bundle, config)?;
+        let (wal, batches) = store.open_wal()?;
+        let mut replayed = 0usize;
+        for batch in &batches {
+            replayed += engine.apply_to_state(&batch.updates)?;
+            engine.last_seq = batch.seq;
+        }
+        if !batches.is_empty() {
+            engine.materialize()?;
+        }
+        engine.wal = Some(wal);
+        Ok((engine, replayed))
+    }
+
+    /// The current serving artifact: hierarchy plus per-layer search
+    /// indexes, consistent with every update applied so far. Hand a
+    /// clone to `IndexSnapshot::from_bundle` to serve it.
+    pub fn bundle(&self) -> &IndexBundle {
+        &self.bundle
+    }
+
+    /// The current hierarchy.
+    pub fn index(&self) -> &BiGIndex {
+        &self.bundle.index
+    }
+
+    /// Highest WAL sequence number folded into the in-memory state
+    /// (0 before the first logged batch).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Updates applied since the last full rebuild.
+    pub fn updates_since_rebuild(&self) -> usize {
+        self.updates_since_rebuild
+    }
+
+    /// Validates, logs (fsync = commit), applies, and re-materializes
+    /// one batch of updates. On any error the serving bundle is left at
+    /// its previous value (validation rejects before logging; a logged
+    /// batch that fails mid-apply is recovered from the WAL on
+    /// restart).
+    pub fn apply_batch(&mut self, updates: &[IngestUpdate]) -> Result<ApplyOutcome, IngestError> {
+        if updates.is_empty() {
+            return Ok(ApplyOutcome {
+                seq: None,
+                applied: 0,
+                reused_layers: self.bundle.index.num_layers() + 1,
+                rebuilt_layers: 0,
+            });
+        }
+        let logged = self.validate(updates)?;
+        let seq = match &mut self.wal {
+            Some(wal) => Some(wal.append(&logged)?),
+            None => None,
+        };
+        if let Some(s) = seq {
+            self.last_seq = s;
+        }
+        let applied = self.apply_to_state(&logged)?;
+        let (reused_layers, rebuilt_layers) = self.materialize()?;
+        Ok(ApplyOutcome {
+            seq,
+            applied,
+            reused_layers,
+            rebuilt_layers,
+        })
+    }
+
+    /// Measures drift since the last full build and evaluates the
+    /// rebuild policy — the staleness tracker.
+    pub fn drift(&self) -> DriftReport {
+        let costs = layer_costs(&self.bundle.index, self.policy.alpha);
+        let layers = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &cost)| LayerDrift {
+                layer: i + 1,
+                bisim: self.flats[i].drift(),
+                cost,
+                baseline_cost: self.baseline.get(i).copied().unwrap_or(cost),
+            })
+            .collect();
+        DriftReport::evaluate(self.updates_since_rebuild, layers, &self.policy)
+    }
+
+    /// Recomputes the full hierarchy from scratch with the original
+    /// per-layer configurations — the paper's occasional recomputation
+    /// that wins back the compression deferred merges gave up. Per-layer
+    /// search indexes are rebuilt in parallel on the engine's thread
+    /// budget; the flat partitions and cost baselines are re-seeded
+    /// from the fresh index.
+    pub fn rebuild(&mut self) -> Result<(), IngestError> {
+        let index = BiGIndex::build_with_configs_summarizer(
+            self.base.clone(),
+            self.ontology.clone(),
+            self.configs.clone(),
+            self.direction,
+            self.summarizer,
+        );
+        let (banks, blinks, rclique) = build_layer_indexes(
+            &index,
+            self.bundle.blinks_params,
+            self.bundle.rclique_params,
+            self.threads,
+        );
+        let bundle = IndexBundle {
+            index,
+            banks,
+            blinks,
+            rclique,
+            blinks_params: self.bundle.blinks_params,
+            rclique_params: self.bundle.rclique_params,
+            eval: self.bundle.eval,
+        };
+        let seed = Seed::from_index(&bundle.index, self.policy.alpha)?;
+        self.ontology = seed.ontology;
+        self.alphabet = seed.alphabet;
+        self.configs = seed.configs;
+        self.step_maps = seed.step_maps;
+        self.composed = seed.composed;
+        self.base = seed.base;
+        self.flats = seed.flats;
+        self.baseline = seed.baseline;
+        self.bundle = bundle;
+        self.updates_since_rebuild = 0;
+        Ok(())
+    }
+
+    /// Persists the current bundle as a new store generation and
+    /// truncates the WAL through the last folded sequence — the
+    /// checkpoint that bounds replay work. Crash-safe in both halves:
+    /// the save is the store's old-or-new protocol, and a crash between
+    /// save and truncation merely replays idempotent batches onto the
+    /// new generation.
+    pub fn checkpoint(&mut self, store: &Store) -> Result<u64, IngestError> {
+        let generation = store.save_with_threads(&self.bundle, self.threads)?;
+        if let Some(wal) = &mut self.wal {
+            wal.truncate_through(self.last_seq)?;
+        }
+        Ok(generation)
+    }
+
+    /// Validates a client batch against the current state and stamps
+    /// vertex additions with the id they will create. Rejects the whole
+    /// batch on the first invalid update — nothing is logged or
+    /// applied.
+    fn validate(&self, updates: &[IngestUpdate]) -> Result<Vec<GraphUpdate>, IngestError> {
+        let mut n = self.base.num_vertices() as u32;
+        let mut out = Vec::with_capacity(updates.len());
+        for (index, u) in updates.iter().enumerate() {
+            match *u {
+                IngestUpdate::InsertEdge { src, dst } | IngestUpdate::DeleteEdge { src, dst } => {
+                    let bad = if src >= n {
+                        Some(src)
+                    } else if dst >= n {
+                        Some(dst)
+                    } else {
+                        None
+                    };
+                    if let Some(v) = bad {
+                        return Err(IngestError::InvalidUpdate {
+                            index,
+                            detail: format!("vertex {v} does not exist (graph has {n} vertices)"),
+                        });
+                    }
+                    out.push(match *u {
+                        IngestUpdate::InsertEdge { src, dst } => {
+                            GraphUpdate::InsertEdge { src, dst }
+                        }
+                        _ => GraphUpdate::DeleteEdge { src, dst },
+                    });
+                }
+                IngestUpdate::AddVertex { label } => {
+                    if label as usize >= self.alphabet {
+                        return Err(IngestError::InvalidUpdate {
+                            index,
+                            detail: format!(
+                                "label {label} is outside the indexed alphabet (0..{})",
+                                self.alphabet
+                            ),
+                        });
+                    }
+                    out.push(GraphUpdate::AddVertex { label, expected: n });
+                    n += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies logged updates to the base graph and every flat layer —
+    /// one CSR rebuild and one re-stabilization per layer for the whole
+    /// batch. Idempotent over replay: an `AddVertex` whose vertex
+    /// already exists is skipped, edge ops are naturally absorbing.
+    /// Returns the number of updates actually applied.
+    fn apply_to_state(&mut self, updates: &[GraphUpdate]) -> Result<usize, IngestError> {
+        let mut labels: Vec<LabelId> = self.base.labels().to_vec();
+        let mut edges: BTreeSet<(VId, VId)> = self.base.edges().collect();
+        let mut per_layer: Vec<Vec<BisimUpdate>> = vec![Vec::new(); self.flats.len()];
+        let mut applied = 0usize;
+        for u in updates {
+            match *u {
+                GraphUpdate::InsertEdge { src, dst } | GraphUpdate::DeleteEdge { src, dst } => {
+                    let n = labels.len() as u32;
+                    if src >= n || dst >= n {
+                        return Err(IngestError::ReplayGap {
+                            expected: src.max(dst),
+                            have: n,
+                        });
+                    }
+                    let (a, b) = (VId(src), VId(dst));
+                    let insert = matches!(u, GraphUpdate::InsertEdge { .. });
+                    if insert {
+                        edges.insert((a, b));
+                    } else {
+                        edges.remove(&(a, b));
+                    }
+                    for layer in &mut per_layer {
+                        layer.push(if insert {
+                            BisimUpdate::InsertEdge(a, b)
+                        } else {
+                            BisimUpdate::DeleteEdge(a, b)
+                        });
+                    }
+                    applied += 1;
+                }
+                GraphUpdate::AddVertex { label, expected } => {
+                    let n = labels.len() as u32;
+                    if expected < n {
+                        continue; // already applied; idempotent replay
+                    }
+                    if expected > n {
+                        return Err(IngestError::ReplayGap { expected, have: n });
+                    }
+                    labels.push(LabelId(label));
+                    for (i, layer) in per_layer.iter_mut().enumerate() {
+                        let gl = self.composed[i]
+                            .get(label as usize)
+                            .copied()
+                            .unwrap_or(LabelId(label));
+                        layer.push(BisimUpdate::AddVertex(gl));
+                    }
+                    applied += 1;
+                }
+            }
+        }
+        self.base = GraphBuilder::from_edges(labels, edges.into_iter().collect());
+        for (i, batch) in per_layer.into_iter().enumerate() {
+            self.flats[i].apply_batch(&batch);
+        }
+        self.updates_since_rebuild += applied;
+        Ok(applied)
+    }
+
+    /// Rebuilds the `Layer` tables and the serving bundle from the flat
+    /// state. Search indexes are rebuilt only for layers whose summary
+    /// graph changed; returns `(reused, rebuilt)` layer counts.
+    fn materialize(&mut self) -> Result<(usize, usize), IngestError> {
+        let n = self.base.num_vertices();
+        let h = self.flats.len();
+        let mut layers: Vec<Layer> = Vec::with_capacity(h);
+        for m in 1..=h {
+            let flat = &self.flats[m - 1];
+            let part = flat.partition();
+            let summary = summarize(flat.graph(), part);
+            let supernode_of: Vec<VId> = if m == 1 {
+                (0..n).map(|u| VId(part.block_of(VId(u as u32)))).collect()
+            } else {
+                let prev = self.flats[m - 2].partition();
+                let mut table = vec![u32::MAX; prev.num_blocks()];
+                for u in 0..n {
+                    let v = VId(u as u32);
+                    let b = prev.block_of(v) as usize;
+                    let s = part.block_of(v);
+                    if table[b] == u32::MAX {
+                        table[b] = s;
+                    } else if table[b] != s {
+                        return Err(IngestError::Inconsistent {
+                            detail: format!(
+                                "layer {m}: layer-{} supernode {b} straddles two layer-{m} \
+                                 supernodes ({} and {s}) — coarseness chain broken",
+                                m - 1,
+                                table[b]
+                            ),
+                        });
+                    }
+                }
+                if let Some(b) = table.iter().position(|&s| s == u32::MAX) {
+                    return Err(IngestError::Inconsistent {
+                        detail: format!("layer {m}: layer-{} supernode {b} has no members", m - 1),
+                    });
+                }
+                table.into_iter().map(VId).collect()
+            };
+            let mut members: Vec<Vec<VId>> = vec![Vec::new(); part.num_blocks()];
+            for (b, s) in supernode_of.iter().enumerate() {
+                members[s.index()].push(VId(b as u32));
+            }
+            layers.push(Layer::new(
+                self.configs[m - 1].clone(),
+                self.step_maps[m - 1].clone(),
+                summary.graph,
+                supernode_of,
+                members,
+            ));
+        }
+        let index = BiGIndex::from_parts(
+            self.base.clone(),
+            self.ontology.clone(),
+            layers,
+            self.direction,
+            self.summarizer,
+        );
+
+        if index == self.bundle.index {
+            // Every update in the batch was absorbed without changing any
+            // summary: keep the served bundle untouched.
+            return Ok((h + 1, 0));
+        }
+        let blinks_params = self.bundle.blinks_params;
+        let rclique_params = self.bundle.rclique_params;
+        let eval = self.bundle.eval;
+        let blinks_algo = Blinks::new(blinks_params);
+        let changed: Vec<usize> = (0..=h)
+            .filter(|&m| {
+                !(m <= self.bundle.index.num_layers()
+                    && self.bundle.banks.len() > m
+                    && index.graph_at(m) == self.bundle.index.graph_at(m))
+            })
+            .collect();
+        // Rebuild the three search indexes of every changed layer in
+        // parallel — `(layer, algorithm)` granularity, same task shape
+        // (and same determinism argument) as the store's full build.
+        let mut built: Vec<Option<BuiltIndex>> = par_map(self.threads, changed.len() * 3, |t| {
+            let g = index.graph_at(changed[t / 3]);
+            match t % 3 {
+                0 => BuiltIndex::Banks(Banks.build_index(g)),
+                1 => BuiltIndex::Blinks(blinks_algo.build_index(g)),
+                _ => BuiltIndex::RClique(rclique_params.build_index(g)),
+            }
+        })
+        .into_iter()
+        .map(Some)
+        .collect();
+        // Move the unchanged layers' indexes out of the old bundle instead
+        // of cloning them — per-layer r-clique tables are the bulk of a
+        // bundle's footprint, and the old bundle is dead after the swap.
+        let old = std::mem::replace(
+            &mut self.bundle,
+            IndexBundle {
+                index,
+                banks: Vec::new(),
+                blinks: Vec::new(),
+                rclique: Vec::new(),
+                blinks_params,
+                rclique_params,
+                eval,
+            },
+        );
+        let mut old_banks: Vec<Option<BanksIndex>> = old.banks.into_iter().map(Some).collect();
+        let mut old_blinks: Vec<Option<BlinksIndex>> = old.blinks.into_iter().map(Some).collect();
+        let mut old_rclique: Vec<Option<RCliqueIndex>> =
+            old.rclique.into_iter().map(Some).collect();
+        let mut banks = Vec::with_capacity(h + 1);
+        let mut blinks = Vec::with_capacity(h + 1);
+        let mut rclique = Vec::with_capacity(h + 1);
+        let (mut reused, mut rebuilt) = (0usize, 0usize);
+        for m in 0..=h {
+            match changed.iter().position(|&c| c == m) {
+                None => {
+                    let slots = (
+                        old_banks.get_mut(m).and_then(Option::take),
+                        old_blinks.get_mut(m).and_then(Option::take),
+                        old_rclique.get_mut(m).and_then(Option::take),
+                    );
+                    let (Some(ba), Some(bl), Some(rc)) = slots else {
+                        // Unreachable: `changed` only skips layers the old
+                        // bundle covers.
+                        return Err(IngestError::Inconsistent {
+                            detail: format!("layer {m}: reusable index missing from bundle"),
+                        });
+                    };
+                    banks.push(ba);
+                    blinks.push(bl);
+                    rclique.push(rc);
+                    reused += 1;
+                }
+                Some(p) => {
+                    let slots = (
+                        built[p * 3].take(),
+                        built[p * 3 + 1].take(),
+                        built[p * 3 + 2].take(),
+                    );
+                    let (
+                        Some(BuiltIndex::Banks(ba)),
+                        Some(BuiltIndex::Blinks(bl)),
+                        Some(BuiltIndex::RClique(rc)),
+                    ) = slots
+                    else {
+                        // Unreachable by construction of `built`.
+                        return Err(IngestError::Inconsistent {
+                            detail: format!("layer {m}: rebuilt index slots out of order"),
+                        });
+                    };
+                    banks.push(ba);
+                    blinks.push(bl);
+                    rclique.push(rc);
+                    rebuilt += 1;
+                }
+            }
+        }
+        self.bundle.banks = banks;
+        self.bundle.blinks = blinks;
+        self.bundle.rclique = rclique;
+        Ok((reused, rebuilt))
+    }
+}
+
+/// One rebuilt per-layer search index (tagged for the `par_map` fan-out
+/// in [`Engine::materialize`]).
+enum BuiltIndex {
+    Banks(BanksIndex),
+    Blinks(BlinksIndex),
+    RClique(RCliqueIndex),
+}
+
+/// Everything [`Engine`] derives from a hierarchy: the fixed step
+/// structure plus the flat per-layer partitions seeded from `χ`.
+struct Seed {
+    ontology: Ontology,
+    direction: bgi_bisim::BisimDirection,
+    summarizer: Summarizer,
+    alphabet: usize,
+    configs: Vec<GenConfig>,
+    step_maps: Vec<Vec<LabelId>>,
+    composed: Vec<Vec<LabelId>>,
+    base: DiGraph,
+    flats: Vec<IncrementalBisim>,
+    baseline: Vec<f64>,
+}
+
+impl Seed {
+    fn from_index(index: &BiGIndex, alpha: f64) -> Result<Seed, IngestError> {
+        let base = index.base().clone();
+        let ontology = index.ontology().clone();
+        let direction = index.direction();
+        let summarizer = index.summarizer();
+        let alphabet = base.alphabet_size().max(ontology.num_labels());
+        let configs: Vec<GenConfig> = index.layers().iter().map(|l| l.config.clone()).collect();
+        let step_maps: Vec<Vec<LabelId>> =
+            index.layers().iter().map(|l| l.label_map.clone()).collect();
+
+        let mut composed: Vec<Vec<LabelId>> = Vec::with_capacity(step_maps.len());
+        let mut current: Vec<LabelId> = (0..alphabet as u32).map(LabelId).collect();
+        for step in &step_maps {
+            for l in &mut current {
+                *l = step.get(l.index()).copied().unwrap_or(*l);
+            }
+            composed.push(current.clone());
+        }
+
+        let n = base.num_vertices();
+        let mut flats = Vec::with_capacity(index.num_layers());
+        for m in 1..=index.num_layers() {
+            let assignment: Vec<u32> = (0..n).map(|u| index.chi(VId(u as u32), m).0).collect();
+            let partition = Partition::new(assignment, index.graph_at(m).num_vertices());
+            let flat_graph = base.relabel(&composed[m - 1]);
+            let Some(inc) = IncrementalBisim::from_partition(flat_graph, partition, direction)
+            else {
+                return Err(IngestError::Inconsistent {
+                    detail: format!("layer {m}: χ table does not induce a label-uniform partition"),
+                });
+            };
+            flats.push(inc);
+        }
+        let baseline = layer_costs(index, alpha);
+        Ok(Seed {
+            ontology,
+            direction,
+            summarizer,
+            alphabet,
+            configs,
+            step_maps,
+            composed,
+            base,
+            flats,
+            baseline,
+        })
+    }
+}
+
+/// Formula-3 cost of each layer (`1..=h`) measured on the *actual*
+/// hierarchy — `compress` is the realized size ratio `|Gᵐ|/|Gᵐ⁻¹|`, no
+/// sampling estimator needed.
+fn layer_costs(index: &BiGIndex, alpha: f64) -> Vec<f64> {
+    (1..=index.num_layers())
+        .map(|m| {
+            let lower = index.graph_at(m - 1);
+            let upper = index.graph_at(m);
+            let compress = if lower.size() == 0 {
+                1.0
+            } else {
+                upper.size() as f64 / lower.size() as f64
+            };
+            let support = LabelSupport::new(lower);
+            construction_cost_with_compress(compress, &support, &index.layer(m).config, alpha)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgi_graph::{GraphBuilder, OntologyBuilder};
+    use bgi_search::blinks::BlinksParams;
+    use bgi_search::RClique;
+    use big_index::EvalOptions;
+
+    /// Fig. 1-like: person subtypes → univ subtypes → state.
+    fn setup() -> (DiGraph, Ontology) {
+        let mut gb = GraphBuilder::new();
+        // 0=Person, 1=Prof, 2=Student, 3=Univ, 4=PubUniv, 5=PrivUniv, 6=State.
+        let pub_u = gb.add_vertex(LabelId(4));
+        let priv_u = gb.add_vertex(LabelId(5));
+        let state = gb.add_vertex(LabelId(6));
+        gb.add_edge(pub_u, state);
+        gb.add_edge(priv_u, state);
+        for i in 0..30 {
+            let l = if i % 2 == 0 { LabelId(1) } else { LabelId(2) };
+            let v = gb.add_vertex(l);
+            gb.add_edge(v, if i % 3 == 0 { pub_u } else { priv_u });
+        }
+        let g = gb.build();
+        let mut ob = OntologyBuilder::new(7);
+        ob.add_subtype(LabelId(0), LabelId(1));
+        ob.add_subtype(LabelId(0), LabelId(2));
+        ob.add_subtype(LabelId(3), LabelId(4));
+        ob.add_subtype(LabelId(3), LabelId(5));
+        let o = ob.build().unwrap();
+        (g, o)
+    }
+
+    fn build_bundle(g: DiGraph, o: Ontology) -> IndexBundle {
+        let c1 = GenConfig::new(
+            [
+                (LabelId(1), LabelId(0)),
+                (LabelId(2), LabelId(0)),
+                (LabelId(4), LabelId(3)),
+                (LabelId(5), LabelId(3)),
+            ],
+            &o,
+        )
+        .unwrap();
+        let index =
+            BiGIndex::build_with_configs(g, o, vec![c1], bgi_bisim::BisimDirection::Forward);
+        IndexBundle::build(
+            index,
+            BlinksParams::default(),
+            RClique::default(),
+            EvalOptions::default(),
+        )
+    }
+
+    fn engine() -> Engine {
+        let (g, o) = setup();
+        Engine::new(build_bundle(g, o), EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn seeding_reproduces_the_served_hierarchy() {
+        let (g, o) = setup();
+        let bundle = build_bundle(g, o);
+        let reference = bundle.index.clone();
+        let mut e = Engine::new(bundle, EngineConfig::default()).unwrap();
+        // Materializing with zero updates must reproduce the original
+        // hierarchy byte for byte (same supernode numbering included).
+        e.materialize().unwrap();
+        assert!(e.index() == &reference);
+        assert!(e.index().verify().is_clean());
+    }
+
+    #[test]
+    fn updates_keep_the_index_verifiable() {
+        let mut e = engine();
+        let out = e
+            .apply_batch(&[
+                IngestUpdate::InsertEdge { src: 3, dst: 1 },
+                IngestUpdate::DeleteEdge { src: 4, dst: 2 },
+                IngestUpdate::AddVertex { label: 2 },
+                IngestUpdate::InsertEdge { src: 33, dst: 0 },
+            ])
+            .unwrap();
+        assert_eq!(out.applied, 4);
+        assert!(e.index().verify().is_clean(), "{}", e.index().verify());
+        assert_eq!(e.index().base().num_vertices(), 34);
+        assert!(e.index().base().has_edge(VId(33), VId(0)));
+    }
+
+    #[test]
+    fn invalid_batch_is_rejected_atomically() {
+        let mut e = engine();
+        let before = e.index().clone();
+        let err = e
+            .apply_batch(&[
+                IngestUpdate::InsertEdge { src: 0, dst: 1 },
+                IngestUpdate::InsertEdge { src: 0, dst: 999 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, IngestError::InvalidUpdate { index: 1, .. }));
+        assert!(e.index() == &before, "rejected batch must not change state");
+
+        let err = e
+            .apply_batch(&[IngestUpdate::AddVertex { label: 99 }])
+            .unwrap_err();
+        assert!(matches!(err, IngestError::InvalidUpdate { index: 0, .. }));
+    }
+
+    #[test]
+    fn unchanged_layers_reuse_search_indexes() {
+        let mut e = engine();
+        // A no-op-ish delete of a non-existent edge between valid
+        // vertices: graphs unchanged, everything reused.
+        let out = e
+            .apply_batch(&[IngestUpdate::DeleteEdge { src: 0, dst: 1 }])
+            .unwrap();
+        assert_eq!(out.rebuilt_layers, 0);
+        assert_eq!(out.reused_layers, e.index().num_layers() + 1);
+        // A real edge change rebuilds at least layer 0.
+        let out = e
+            .apply_batch(&[IngestUpdate::InsertEdge { src: 5, dst: 2 }])
+            .unwrap();
+        assert!(out.rebuilt_layers >= 1);
+    }
+
+    #[test]
+    fn drift_recommends_rebuild_and_rebuild_resets() {
+        let (g, o) = setup();
+        let config = EngineConfig {
+            policy: RebuildPolicy {
+                alpha: 0.5,
+                max_cost_increase: 2.0, // never trip on cost
+                max_updates: 10,
+            },
+            threads: 1,
+        };
+        let mut e = Engine::new(build_bundle(g, o), config).unwrap();
+        // A long update stream must eventually trigger the rebuild
+        // recommendation (the satellite fix: drift is actually consulted).
+        let mut recommended = false;
+        for i in 0..12u32 {
+            e.apply_batch(&[IngestUpdate::InsertEdge { src: 3 + i, dst: 2 }])
+                .unwrap();
+            if e.drift().rebuild_recommended {
+                recommended = true;
+                break;
+            }
+        }
+        assert!(recommended, "update stream never triggered rebuild");
+        e.rebuild().unwrap();
+        assert_eq!(e.updates_since_rebuild(), 0);
+        assert!(!e.drift().rebuild_recommended);
+        assert!(e.index().verify().is_clean());
+        // After rebuild the hierarchy equals a from-scratch build.
+        let scratch = BiGIndex::build_with_configs(
+            e.index().base().clone(),
+            e.index().ontology().clone(),
+            e.configs.clone(),
+            e.direction,
+        );
+        assert!(e.index() == &scratch);
+    }
+
+    #[test]
+    fn cost_drift_triggers_on_compression_loss() {
+        let (g, o) = setup();
+        let config = EngineConfig {
+            policy: RebuildPolicy {
+                alpha: 0.5,
+                max_cost_increase: 0.01,
+                max_updates: usize::MAX,
+            },
+            threads: 1,
+        };
+        let mut e = Engine::new(build_bundle(g, o), config).unwrap();
+        // Give many persons distinct extra edges: blocks split, the
+        // summary grows, compress worsens, Formula-3 cost rises.
+        let updates: Vec<IngestUpdate> = (0..12)
+            .map(|i| IngestUpdate::InsertEdge {
+                src: 3 + i,
+                dst: (i % 3),
+            })
+            .collect();
+        e.apply_batch(&updates).unwrap();
+        let drift = e.drift();
+        assert!(
+            drift.layers.iter().any(|l| l.bisim.block_growth() > 0),
+            "splits expected"
+        );
+        assert!(drift.rebuild_recommended, "cost drift should recommend");
+    }
+}

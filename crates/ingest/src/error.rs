@@ -1,0 +1,75 @@
+//! Typed ingest errors. The write path never panics on bad input or
+//! bad disk state — every failure maps to one of these.
+
+use bgi_store::StoreError;
+
+/// Why an ingest operation failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The WAL or the generation store failed underneath.
+    Store(StoreError),
+    /// An update in the submitted batch is invalid (vertex out of
+    /// range, label outside the indexed alphabet). The whole batch is
+    /// rejected *before* anything is logged or applied, so state is
+    /// unchanged.
+    InvalidUpdate {
+        /// Position of the offending update within the batch.
+        index: usize,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// WAL replay found a record referencing state ahead of the
+    /// recovered base graph — the store fell back past a generation the
+    /// log was already truncated against. Updates were lost; refusing
+    /// to silently build on a gap.
+    ReplayGap {
+        /// Vertex id the log expected to create next.
+        expected: u32,
+        /// Vertices the recovered base graph actually has.
+        have: u32,
+    },
+    /// An internal cross-layer consistency check failed while
+    /// materializing the hierarchy (the coarseness chain between
+    /// adjacent flat partitions was violated). Indicates a bug, never
+    /// user input; surfaced as an error so a serving process can refuse
+    /// the batch and keep its last good snapshot.
+    Inconsistent {
+        /// What exactly did not hold.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Store(e) => write!(f, "store error during ingest: {e}"),
+            IngestError::InvalidUpdate { index, detail } => {
+                write!(f, "invalid update at batch position {index}: {detail}")
+            }
+            IngestError::ReplayGap { expected, have } => write!(
+                f,
+                "wal replay gap: log expects vertex {expected} to be created next but the \
+                 recovered base graph has only {have} vertices — updates between the recovered \
+                 generation and the log's truncation point were lost"
+            ),
+            IngestError::Inconsistent { detail } => {
+                write!(f, "hierarchy materialization inconsistency: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> Self {
+        IngestError::Store(e)
+    }
+}

@@ -1,0 +1,88 @@
+//! Staleness tracking: when has split-only maintenance degraded the
+//! index enough to warrant the full rebuild the paper prescribes?
+//!
+//! The trigger reuses the construction cost model (Formula 3):
+//! `cost(Gᵐ⁻¹, Cᵐ) = α·compress + (1−α)·distort`. Distortion depends
+//! only on the configuration and label supports, but *compress* — the
+//! size ratio `|Gᵐ|/|Gᵐ⁻¹|` — is exactly what deferred merges erode:
+//! every split the incremental maintenance keeps makes the summary
+//! bigger than the maximal one. Re-evaluating the cost per layer
+//! against the baseline captured at the last full build turns "we have
+//! drifted" into the same currency Algo. 1 used to accept the
+//! configuration in the first place.
+
+use bgi_bisim::Drift;
+
+/// When to recommend a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// `α` of Formula 3 (weight of compression vs distortion).
+    pub alpha: f64,
+    /// Recommend a rebuild once any layer's Formula-3 cost exceeds its
+    /// baseline by more than this (absolute, both terms are in `[0,1]`).
+    pub max_cost_increase: f64,
+    /// Hard cap: recommend a rebuild after this many updates since the
+    /// last one regardless of measured drift.
+    pub max_updates: usize,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy {
+            alpha: 0.5,
+            max_cost_increase: 0.05,
+            max_updates: 100_000,
+        }
+    }
+}
+
+/// Drift of one layer since the last full build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDrift {
+    /// The layer (`1..=h`).
+    pub layer: usize,
+    /// Block-level drift of the layer's flat partition.
+    pub bisim: Drift,
+    /// Formula-3 cost of the layer right now.
+    pub cost: f64,
+    /// Formula-3 cost at the last full build.
+    pub baseline_cost: f64,
+}
+
+impl LayerDrift {
+    /// Cost increase over the baseline (0 when the layer improved).
+    pub fn cost_increase(&self) -> f64 {
+        (self.cost - self.baseline_cost).max(0.0)
+    }
+}
+
+/// What the staleness tracker reports after a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Updates applied since the last full rebuild.
+    pub updates_since_rebuild: usize,
+    /// Per-layer drift, `1..=h` in order.
+    pub layers: Vec<LayerDrift>,
+    /// True when the policy says it is time for [`crate::Engine::rebuild`].
+    pub rebuild_recommended: bool,
+}
+
+impl DriftReport {
+    /// Evaluates `policy` over the measurements, filling in
+    /// [`DriftReport::rebuild_recommended`].
+    pub(crate) fn evaluate(
+        updates_since_rebuild: usize,
+        layers: Vec<LayerDrift>,
+        policy: &RebuildPolicy,
+    ) -> Self {
+        let over_cost = layers
+            .iter()
+            .any(|l| l.cost_increase() > policy.max_cost_increase);
+        let over_updates = updates_since_rebuild >= policy.max_updates;
+        DriftReport {
+            updates_since_rebuild,
+            layers,
+            rebuild_recommended: over_cost || over_updates,
+        }
+    }
+}

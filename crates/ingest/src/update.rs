@@ -1,0 +1,104 @@
+//! The client-facing update type and its line format.
+//!
+//! [`IngestUpdate`] is what callers submit: no bookkeeping fields. The
+//! engine validates each update, stamps vertex additions with the id
+//! they will create, and logs the result as [`bgi_store::GraphUpdate`]
+//! — the durable, replayable form.
+
+/// One graph mutation as submitted by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestUpdate {
+    /// Insert edge `src → dst` between existing vertices.
+    InsertEdge {
+        /// Source vertex id.
+        src: u32,
+        /// Destination vertex id.
+        dst: u32,
+    },
+    /// Delete edge `src → dst` (a no-op if the edge is absent).
+    DeleteEdge {
+        /// Source vertex id.
+        src: u32,
+        /// Destination vertex id.
+        dst: u32,
+    },
+    /// Add an isolated vertex with an existing (indexed) label. The new
+    /// vertex id is assigned by the engine (`num_vertices` at apply
+    /// time) and reported back.
+    AddVertex {
+        /// Label of the new vertex.
+        label: u32,
+    },
+}
+
+impl IngestUpdate {
+    /// Parses the line format `insert <u> <v>` / `delete <u> <v>` /
+    /// `addv <label>` (the format `bgi gen --updates` emits and the
+    /// `update` protocol verb accepts).
+    pub fn parse_line(line: &str) -> Option<IngestUpdate> {
+        let mut it = line.split_whitespace();
+        let op = it.next()?;
+        let a: u32 = it.next()?.parse().ok()?;
+        match op {
+            "insert" | "delete" => {
+                let b: u32 = it.next()?.parse().ok()?;
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(if op == "insert" {
+                    IngestUpdate::InsertEdge { src: a, dst: b }
+                } else {
+                    IngestUpdate::DeleteEdge { src: a, dst: b }
+                })
+            }
+            "addv" => {
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(IngestUpdate::AddVertex { label: a })
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the update in the [`IngestUpdate::parse_line`] format.
+    pub fn to_line(&self) -> String {
+        match *self {
+            IngestUpdate::InsertEdge { src, dst } => format!("insert {src} {dst}"),
+            IngestUpdate::DeleteEdge { src, dst } => format!("delete {src} {dst}"),
+            IngestUpdate::AddVertex { label } => format!("addv {label}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trip() {
+        let ops = [
+            IngestUpdate::InsertEdge { src: 3, dst: 9 },
+            IngestUpdate::DeleteEdge { src: 0, dst: 1 },
+            IngestUpdate::AddVertex { label: 4 },
+        ];
+        for op in ops {
+            assert_eq!(IngestUpdate::parse_line(&op.to_line()), Some(op));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "insert 1",
+            "insert 1 2 3",
+            "frobnicate 1 2",
+            "addv",
+            "addv 1 2",
+            "insert x y",
+        ] {
+            assert_eq!(IngestUpdate::parse_line(bad), None, "{bad:?}");
+        }
+    }
+}

@@ -95,7 +95,21 @@ impl NeighborIndex {
         for v in g.vertices() {
             let start = entries.len();
             scratch.undirected_ball(g, v, params.radius, &mut entries);
-            entries[start..].sort_unstable_by_key(|&(u, _)| u);
+            let ball = entries.len() - start;
+            if ball * 8 >= n {
+                // Dense ball: emit in id order by scanning the distance
+                // array — O(n), beating the O(ball·log ball) sort that
+                // dominates construction when radius covers the graph.
+                entries.truncate(start);
+                for u in 0..n as u32 {
+                    let d = scratch.dist[u as usize];
+                    if d != u32::MAX && d != 0 {
+                        entries.push((VId(u), d as u16));
+                    }
+                }
+            } else {
+                entries[start..].sort_unstable_by_key(|&(u, _)| u);
+            }
             offsets.push(entries.len() as u64);
         }
         Ok(NeighborIndex {

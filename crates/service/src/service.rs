@@ -33,6 +33,7 @@ use crate::request::{QueryError, QueryRequest, QueryResponse};
 use crate::snapshot::IndexSnapshot;
 use crate::snapshot::SnapshotError;
 use crate::stats::{ServiceStats, StatsRegistry};
+use bgi_ingest::{ApplyOutcome, Engine, IngestError, IngestUpdate};
 use bgi_search::Budget;
 use bgi_store::{Store, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -329,6 +330,52 @@ impl Service {
         }
     }
 
+    /// The live write path: applies `updates` through `engine`
+    /// (WAL-logged when the engine has one), runs a full rebuild right
+    /// there if the staleness tracker recommends it, then builds a
+    /// snapshot from the engine's new bundle and swaps it in.
+    ///
+    /// Queries keep serving the old snapshot for the whole duration —
+    /// including during a rebuild — and only ever see the new state
+    /// atomically via [`Service::swap_snapshot`] (which also
+    /// invalidates the answer cache, so no stale answers survive the
+    /// swap). If the new bundle fails snapshot admission the old
+    /// snapshot keeps serving and the batch is reported as
+    /// [`ApplyError::Snapshot`]; the engine state *has* advanced (and
+    /// is WAL-recoverable), so the caller decides between retrying the
+    /// materialization and restarting from the store.
+    pub fn apply_updates(
+        &self,
+        engine: &mut Engine,
+        updates: &[IngestUpdate],
+    ) -> Result<ApplyReport, ApplyError> {
+        let outcome = engine.apply_batch(updates).map_err(ApplyError::Ingest)?;
+        let rebuilt = engine.drift().rebuild_recommended;
+        if rebuilt {
+            engine.rebuild().map_err(ApplyError::Ingest)?;
+            self.shared.stats.record_ingest_rebuild();
+            self.shared.log.line(&format!(
+                "drift-triggered full rebuild after {} updates",
+                outcome.applied
+            ));
+        }
+        match IndexSnapshot::from_bundle(engine.bundle().clone()) {
+            Ok(snapshot) => {
+                self.swap_snapshot(Arc::new(snapshot));
+                self.shared.stats.record_ingest_batch();
+                Ok(ApplyReport { outcome, rebuilt })
+            }
+            Err(err) => {
+                self.shared.stats.record_ingest_rollback();
+                self.shared.log.line(&format!(
+                    "update batch refused at snapshot admission ({err}); \
+                     previous snapshot keeps serving"
+                ));
+                Err(ApplyError::Snapshot(err))
+            }
+        }
+    }
+
     /// The snapshot queries currently run against.
     pub fn snapshot(&self) -> Arc<IndexSnapshot> {
         self.shared.current_snapshot()
@@ -390,6 +437,45 @@ impl Service {
 impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// What one [`Service::apply_updates`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// The engine-level outcome (WAL sequence, layer reuse counts).
+    pub outcome: ApplyOutcome,
+    /// Whether the staleness tracker triggered a full rebuild.
+    pub rebuilt: bool,
+}
+
+/// Why a [`Service::apply_updates`] did not swap a new snapshot in.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// The batch was rejected or failed before the swap (invalid
+    /// update, WAL I/O, replay gap). Invalid batches leave the engine
+    /// unchanged; see [`bgi_ingest::IngestError`] for the cases.
+    Ingest(IngestError),
+    /// The updated bundle failed snapshot admission; the previous
+    /// snapshot keeps serving.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::Ingest(e) => write!(f, "update batch failed: {e}"),
+            ApplyError::Snapshot(e) => write!(f, "updated index refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApplyError::Ingest(e) => Some(e),
+            ApplyError::Snapshot(e) => Some(e),
+        }
     }
 }
 

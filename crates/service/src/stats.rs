@@ -28,6 +28,9 @@ pub struct StatsRegistry {
     index_swaps: AtomicU64,
     reloads: AtomicU64,
     reload_rollbacks: AtomicU64,
+    ingest_batches: AtomicU64,
+    ingest_rebuilds: AtomicU64,
+    ingest_rollbacks: AtomicU64,
     latency_us: [AtomicU64; BUCKETS],
 }
 
@@ -51,6 +54,9 @@ impl StatsRegistry {
             index_swaps: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             reload_rollbacks: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            ingest_rebuilds: AtomicU64::new(0),
+            ingest_rollbacks: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -106,6 +112,23 @@ impl StatsRegistry {
         self.reload_rollbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one successfully applied (and swapped-in) update batch.
+    pub fn record_ingest_batch(&self) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a drift-triggered full rebuild performed on the write
+    /// path.
+    pub fn record_ingest_rebuild(&self) {
+        self.ingest_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an update batch whose resulting snapshot was refused —
+    /// the previous snapshot keeps serving.
+    pub fn record_ingest_rollback(&self) {
+        self.ingest_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn bucket(us: u64) -> usize {
         if us == 0 {
             0
@@ -158,6 +181,9 @@ impl StatsRegistry {
             index_swaps: self.index_swaps.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             reload_rollbacks: self.reload_rollbacks.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            ingest_rebuilds: self.ingest_rebuilds.load(Ordering::Relaxed),
+            ingest_rollbacks: self.ingest_rollbacks.load(Ordering::Relaxed),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -191,6 +217,13 @@ pub struct ServiceStats {
     /// Reload attempts that failed and kept the running snapshot — the
     /// degraded-but-serving signal an operator watches for.
     pub reload_rollbacks: u64,
+    /// Update batches applied and swapped in.
+    pub ingest_batches: u64,
+    /// Drift-triggered full rebuilds performed on the write path.
+    pub ingest_rebuilds: u64,
+    /// Update batches whose snapshot was refused (previous snapshot
+    /// kept serving) — the write-path analogue of `reload_rollbacks`.
+    pub ingest_rollbacks: u64,
     /// Median served latency (histogram estimate).
     pub p50: Duration,
     /// 95th-percentile served latency (histogram estimate).
@@ -226,6 +259,11 @@ impl std::fmt::Display for ServiceStats {
             self.index_swaps,
             self.reloads,
             self.reload_rollbacks
+        )?;
+        writeln!(
+            f,
+            "ingest: {} batches, {} rebuilds, {} rollbacks",
+            self.ingest_batches, self.ingest_rebuilds, self.ingest_rollbacks
         )?;
         write!(
             f,

@@ -1,0 +1,336 @@
+//! Ingest soak: a concurrent query + update storm with injected WAL
+//! kills. The acceptance invariants:
+//!
+//! 1. queries keep being served (from the last good snapshot) while
+//!    updates and failures happen — never a panic, never torn state;
+//! 2. after each kill, reopening the store replays the WAL to exactly
+//!    the last *committed* batch (byte-equal base graph against a
+//!    shadow copy that applied only committed batches);
+//! 3. a fresh from-scratch rebuild of the recovered graph answers every
+//!    workload query identically to the incrementally maintained
+//!    hierarchy (rendered answers byte-compared, at every layer);
+//! 4. a checkpoint folds the WAL into a new generation, after which a
+//!    cold open replays nothing and serves the same bundle.
+
+use bgi_datasets::{benchmark_queries, update_stream, DatasetSpec, UpdateMix, UpdateOp};
+use bgi_graph::{DiGraph, GraphBuilder, LabelId, Ontology, VId};
+use bgi_ingest::{Engine, EngineConfig, IngestUpdate};
+use bgi_search::blinks::BlinksParams;
+use bgi_search::{Banks, KeywordQuery, KeywordSearch, RClique};
+use bgi_service::{IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig};
+use bgi_store::{FailAction, Failpoints, IndexBundle, RetryPolicy, Store};
+use big_index::{eval_at_layer, BiGIndex, EvalOptions, GenConfig};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("bgi-ingest-soak-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Greedy full-step configs, the same probing the benchmark CLI uses.
+fn step_configs(g: &DiGraph, ontology: &Ontology, layers: usize) -> Vec<GenConfig> {
+    let mut configs = Vec::new();
+    let mut current = g.clone();
+    for _ in 0..layers {
+        let counts = current.label_counts();
+        let mappings: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .filter_map(|(i, _)| {
+                let l = LabelId(i as u32);
+                if l.index() >= ontology.num_labels() {
+                    return None;
+                }
+                ontology.direct_supertypes(l).first().map(|&sup| (l, sup))
+            })
+            .collect();
+        let config = match GenConfig::new(mappings, ontology) {
+            Ok(c) if !c.is_empty() => c,
+            _ => break,
+        };
+        let probe = BiGIndex::build_with_configs(
+            current.clone(),
+            ontology.clone(),
+            vec![config.clone()],
+            bgi_bisim::BisimDirection::Forward,
+        );
+        let next = probe.graph_at(1).clone();
+        configs.push(config);
+        if next.size() == current.size() {
+            break;
+        }
+        current = next;
+    }
+    configs
+}
+
+fn build_bundle(g: DiGraph, o: Ontology, configs: &[GenConfig]) -> IndexBundle {
+    let index =
+        BiGIndex::build_with_configs(g, o, configs.to_vec(), bgi_bisim::BisimDirection::Forward);
+    IndexBundle::build(
+        index,
+        BlinksParams::default(),
+        RClique::default(),
+        EvalOptions::default(),
+    )
+}
+
+/// Shadow of the base graph, fed only *committed* batches.
+struct Shadow {
+    labels: Vec<LabelId>,
+    edges: BTreeSet<(VId, VId)>,
+}
+
+impl Shadow {
+    fn of(g: &DiGraph) -> Self {
+        Shadow {
+            labels: g.labels().to_vec(),
+            edges: g.edges().collect(),
+        }
+    }
+
+    fn apply(&mut self, updates: &[IngestUpdate]) {
+        for u in updates {
+            match *u {
+                IngestUpdate::InsertEdge { src, dst } => {
+                    self.edges.insert((VId(src), VId(dst)));
+                }
+                IngestUpdate::DeleteEdge { src, dst } => {
+                    self.edges.remove(&(VId(src), VId(dst)));
+                }
+                IngestUpdate::AddVertex { label } => self.labels.push(LabelId(label)),
+            }
+        }
+    }
+
+    fn graph(&self) -> DiGraph {
+        GraphBuilder::from_edges(self.labels.clone(), self.edges.iter().copied().collect())
+    }
+}
+
+/// All answers of `query` at layer `m`, rendered, sorted, deduped.
+fn answer_set(index: &BiGIndex, m: usize, query: &KeywordQuery) -> Vec<String> {
+    let banks = Banks.build_index(index.graph_at(m));
+    let result = eval_at_layer(index, &Banks, &banks, query, 50, m, &EvalOptions::default());
+    let mut rendered: Vec<String> = result.answers.iter().map(|a| format!("{a:?}")).collect();
+    rendered.sort();
+    rendered.dedup();
+    rendered
+}
+
+/// Invariant 3: the incrementally maintained hierarchy answers exactly
+/// like a from-scratch rebuild of the same graph.
+fn assert_answers_match_scratch(index: &BiGIndex, configs: &[GenConfig], queries: &[KeywordQuery]) {
+    let scratch = BiGIndex::build_with_configs(
+        index.base().clone(),
+        index.ontology().clone(),
+        configs.to_vec(),
+        bgi_bisim::BisimDirection::Forward,
+    );
+    assert_eq!(scratch.num_layers(), index.num_layers());
+    for m in 0..=scratch.num_layers() {
+        for q in queries {
+            assert_eq!(
+                answer_set(index, m, q),
+                answer_set(&scratch, m, q),
+                "layer {m} answers diverged from scratch rebuild for {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn storm_with_wal_kills_recovers_to_last_committed_batch() {
+    let ds = DatasetSpec::synt(600).generate();
+    let configs = step_configs(&ds.graph, &ds.ontology, 2);
+    assert!(!configs.is_empty(), "dataset produced no Gen steps");
+    let bundle = build_bundle(ds.graph.clone(), ds.ontology.clone(), &configs);
+
+    let dir = TempDir::new("storm");
+    let fp = Failpoints::enabled();
+    let store = Store::open_with(dir.path(), fp.clone(), RetryPolicy::none()).unwrap();
+    store.save(&bundle).unwrap();
+
+    // Service serves throughout; snapshots are swapped by apply_updates.
+    let snapshot = Arc::new(IndexSnapshot::from_bundle(bundle.clone()).unwrap());
+    let service = Arc::new(Service::start(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_shards: 4,
+            cache_capacity: 128,
+            default_deadline: None,
+        },
+    ));
+
+    // Query storm on the side: every response is Ok or a typed
+    // admission error; a panic anywhere fails the test via the join.
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let bench = benchmark_queries(&ds, 3, 4, 7);
+    assert!(!bench.is_empty());
+    let requests: Vec<QueryRequest> = bench
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            QueryRequest::new(
+                Semantics::ALL[i % Semantics::ALL.len()],
+                q.keywords.clone(),
+                q.dmax,
+                5,
+            )
+        })
+        .collect();
+    let mut query_threads = Vec::new();
+    for t in 0..2usize {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&served);
+        let requests = requests.clone();
+        query_threads.push(std::thread::spawn(move || {
+            let mut i = t;
+            while !stop.load(Ordering::Relaxed) {
+                let req = requests[i % requests.len()].clone();
+                match service.query(req) {
+                    Ok(_) => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("query failed during storm: {e}"),
+                }
+                i += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }));
+    }
+
+    // Equivalence workload for the recovered-index checks.
+    let eq_queries: Vec<KeywordQuery> = bench
+        .iter()
+        .take(3)
+        .map(|q| KeywordQuery::new(q.keywords.clone(), q.dmax))
+        .collect();
+
+    let stream: Vec<IngestUpdate> = update_stream(&ds.graph, 11, 400, UpdateMix::default())
+        .iter()
+        .map(|op| match *op {
+            UpdateOp::InsertEdge { src, dst } => IngestUpdate::InsertEdge { src, dst },
+            UpdateOp::DeleteEdge { src, dst } => IngestUpdate::DeleteEdge { src, dst },
+            UpdateOp::AddVertex { label } => IngestUpdate::AddVertex { label },
+        })
+        .collect();
+    let mut shadow = Shadow::of(&ds.graph);
+    let mut last_committed_seq = 0u64;
+
+    // Two kill-recover rounds: Crash loses the in-flight batch before
+    // any byte lands; Torn leaves a half-written record that replay
+    // must discard. Either way recovery lands on the last commit.
+    let mut chunks = stream.chunks(40);
+    // The batch in flight when a kill hits; the client retries it after
+    // recovery (update streams are stateful — later updates may refer
+    // to vertices the lost batch added).
+    let mut retry: Option<Vec<IngestUpdate>> = None;
+    for (round, kill) in [FailAction::Crash, FailAction::Torn]
+        .into_iter()
+        .enumerate()
+    {
+        let engine_config = EngineConfig::default();
+        let (gen_now, seed) = store.load_latest().unwrap();
+        assert!(gen_now >= 1);
+        let (mut engine, _) = Engine::with_wal(seed, engine_config, &store).unwrap();
+        // Recovery must have replayed to the last committed batch.
+        assert_eq!(
+            engine.last_seq(),
+            last_committed_seq,
+            "round {round}: replay did not land on the last committed batch"
+        );
+        assert_eq!(
+            engine.index().base(),
+            &shadow.graph(),
+            "round {round}: recovered base graph != shadow of committed batches"
+        );
+        assert_answers_match_scratch(engine.index(), &configs, &eq_queries);
+        service.swap_snapshot(Arc::new(
+            IndexSnapshot::from_bundle(engine.bundle().clone()).unwrap(),
+        ));
+
+        // Apply a few batches cleanly, then die mid-append.
+        for i in 0..3 {
+            let batch: Vec<IngestUpdate> = match retry.take() {
+                Some(b) => b,
+                None => match chunks.next() {
+                    Some(c) => c.to_vec(),
+                    None => break,
+                },
+            };
+            if i == 2 {
+                fp.reset(); // hit counters are absolute; target the next append
+                fp.arm("wal.append", 1, kill);
+                let err = service.apply_updates(&mut engine, &batch);
+                assert!(err.is_err(), "armed append must fail the batch");
+                fp.reset();
+                retry = Some(batch); // the client will resubmit
+                break; // the process "dies" here
+            }
+            let report = service
+                .apply_updates(&mut engine, &batch)
+                .unwrap_or_else(|e| panic!("clean batch failed: {e}"));
+            let seq = report.outcome.seq.expect("store-backed engine logs");
+            assert_eq!(report.outcome.applied, batch.len());
+            shadow.apply(&batch);
+            last_committed_seq = seq;
+        }
+        drop(engine); // process death: the WAL handle goes away
+    }
+
+    // Final recovery + checkpoint: the WAL folds into a generation and
+    // a cold open replays nothing.
+    let (_, seed) = store.load_latest().unwrap();
+    let (mut engine, replayed) = Engine::with_wal(seed, EngineConfig::default(), &store).unwrap();
+    assert!(replayed > 0, "committed batches should replay");
+    assert_eq!(engine.last_seq(), last_committed_seq);
+    assert_eq!(engine.index().base(), &shadow.graph());
+    assert!(engine.index().verify().is_clean());
+    assert_answers_match_scratch(engine.index(), &configs, &eq_queries);
+
+    let generation = engine.checkpoint(&store).unwrap();
+    assert!(generation >= 2);
+    let (gen2, cold) = store.load_latest().unwrap();
+    assert_eq!(gen2, generation);
+    let (engine2, replayed2) = Engine::with_wal(cold, EngineConfig::default(), &store).unwrap();
+    assert_eq!(replayed2, 0, "checkpoint must truncate the replayed WAL");
+    assert!(engine2.index() == engine.index());
+
+    stop.store(true, Ordering::Relaxed);
+    for t in query_threads {
+        t.join().expect("query thread panicked");
+    }
+    assert!(
+        served.load(Ordering::Relaxed) > 0,
+        "storm served no queries"
+    );
+    let stats = service.stats();
+    assert!(stats.ingest_batches > 0);
+}

@@ -27,6 +27,8 @@ pub enum Section {
     RClique = 5,
     /// The generation manifest (`MANIFEST`).
     Manifest = 6,
+    /// One update batch in the write-ahead log (`wal.log`).
+    Wal = 7,
 }
 
 /// FNV-1a 64-bit over `bytes` — dependency-free and deterministic

@@ -36,6 +36,13 @@ pub enum StoreError {
         /// Total invariant violations reported.
         violations: usize,
     },
+    /// The write-ahead log holds a committed record that is internally
+    /// inconsistent (e.g. a sequence number going backwards) — not a
+    /// torn tail, which replay tolerates, but structural damage.
+    WalCorrupt {
+        /// What exactly did not hold.
+        detail: String,
+    },
     /// No complete, verifiable generation exists in the store.
     NoGeneration,
     /// A fault-injection point fired a simulated crash. Only produced
@@ -65,6 +72,9 @@ impl std::fmt::Display for StoreError {
                 "generation {generation} failed index verification with \
                  {violations} invariant violation(s)"
             ),
+            StoreError::WalCorrupt { detail } => {
+                write!(f, "write-ahead log is corrupt: {detail}")
+            }
             StoreError::NoGeneration => write!(f, "no complete generation in store"),
             StoreError::Injected { label } => {
                 write!(f, "simulated crash at failpoint {label:?}")

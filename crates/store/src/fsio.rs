@@ -23,6 +23,15 @@
 //! | `save.fsync_dir`       | fsync the generation directory         |
 //! | `load.read_manifest`   | read a generation's `MANIFEST`         |
 //! | `load.read_file`       | read a data file                       |
+//! | `wal.read`             | read `wal.log` during recovery         |
+//! | `wal.append`           | append a record to `wal.log`           |
+//! | `wal.fsync`            | fsync `wal.log` (the commit point)     |
+//! | `wal.truncate_write`   | write the truncated log's `.tmp`       |
+//! | `wal.truncate_fsync`   | fsync the truncated log's `.tmp`       |
+//! | `wal.truncate_rename`  | rename the truncated log into place    |
+//!
+//! The `wal.*` labels live in `crate::wal`; they route through the same
+//! registry and the same crash matrix as the `save.*`/`load.*` sites.
 
 use crate::error::StoreError;
 use crate::failpoint::{FailAction, Failpoints};
@@ -30,20 +39,20 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 
-fn io_err(context: &str, path: &Path, source: io::Error) -> StoreError {
+pub(crate) fn io_err(context: &str, path: &Path, source: io::Error) -> StoreError {
     StoreError::Io {
         context: format!("{context} {}", path.display()),
         source,
     }
 }
 
-fn injected(label: &str) -> StoreError {
+pub(crate) fn injected(label: &str) -> StoreError {
     StoreError::Injected {
         label: label.to_string(),
     }
 }
 
-fn transient(context: &str, path: &Path) -> StoreError {
+pub(crate) fn transient(context: &str, path: &Path) -> StoreError {
     io_err(
         context,
         path,

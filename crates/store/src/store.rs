@@ -88,6 +88,14 @@ impl Store {
         &self.fp
     }
 
+    /// Opens the store's write-ahead log (`wal.log` in the root),
+    /// replaying its committed prefix. The log shares this store's
+    /// failpoint registry, so the crash matrix covers its I/O sites
+    /// alongside the generation save path.
+    pub fn open_wal(&self) -> Result<(crate::wal::Wal, Vec<crate::wal::UpdateBatch>), StoreError> {
+        crate::wal::Wal::open(&self.root, self.fp.clone())
+    }
+
     /// Numbers of all complete generations (committed manifest present),
     /// ascending. Does not validate checksums.
     pub fn generations(&self) -> Result<Vec<u64>, StoreError> {

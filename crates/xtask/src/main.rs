@@ -62,6 +62,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/verify",
     "crates/store",
     "crates/service",
+    "crates/ingest",
 ];
 
 const COMPAT_CRATES: &[&str] = &[
