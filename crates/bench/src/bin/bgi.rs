@@ -427,18 +427,25 @@ const UPDATE_AUTOFLUSH: usize = 1024;
 /// batch-atomic semantics.
 fn flush_updates(service: &Service, state: &mut IngestState) -> String {
     if state.buffer.is_empty() {
-        return "ok applied=0".to_string();
+        // Nothing buffered: `flush` still doubles as the idle poll that
+        // adopts a finished background rebuild.
+        return match service.poll_rebuild(&mut state.engine) {
+            Ok(adopted) => format!("ok applied=0 rebuilt={adopted}"),
+            Err(e) => format!("err {e}"),
+        };
     }
     let batch = std::mem::take(&mut state.buffer);
     match service.apply_updates(&mut state.engine, &batch) {
         Ok(report) => format!(
-            "ok applied={} seq={} rebuilt={} layers_reused={} layers_rebuilt={}",
+            "ok applied={} seq={} rebuilt={} rebuild_started={} layers_reused={} \
+             layers_rebuilt={}",
             report.outcome.applied,
             report
                 .outcome
                 .seq
                 .map_or_else(|| "-".to_string(), |s| s.to_string()),
             report.rebuilt,
+            report.rebuild_started,
             report.outcome.reused_layers,
             report.outcome.rebuilt_layers
         ),
@@ -494,6 +501,11 @@ fn handle_line(
                 None => "err no --store configured; checkpoint unavailable".to_string(),
                 Some(store) => {
                     let mut state = ingest.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Fold a finished background rebuild in first so the
+                    // checkpoint persists the freshest hierarchy.
+                    if let Err(e) = service.poll_rebuild(&mut state.engine) {
+                        return Some(format!("err checkpoint blocked: {e}"));
+                    }
                     let through = state.engine.last_seq();
                     match state.engine.checkpoint(store) {
                         Ok(generation) => {

@@ -112,6 +112,10 @@ pub struct Engine {
     /// Formula-3 cost per layer at the last full build.
     baseline: Vec<f64>,
     updates_since_rebuild: usize,
+    /// `Some` while a [`RebuildJob`] is outstanding: every batch logged
+    /// since [`Engine::start_rebuild`] captured its inputs, to be
+    /// replayed onto the rebuilt hierarchy at adoption.
+    rebuild_delta: Option<Vec<GraphUpdate>>,
 }
 
 impl Engine {
@@ -138,6 +142,7 @@ impl Engine {
             threads: config.threads.max(1),
             baseline: seed.baseline,
             updates_since_rebuild: 0,
+            rebuild_delta: None,
         })
     }
 
@@ -211,6 +216,9 @@ impl Engine {
             self.last_seq = s;
         }
         let applied = self.apply_to_state(&logged)?;
+        if let Some(delta) = &mut self.rebuild_delta {
+            delta.extend_from_slice(&logged);
+        }
         let (reused_layers, rebuilt_layers) = self.materialize()?;
         Ok(ApplyOutcome {
             seq,
@@ -243,28 +251,66 @@ impl Engine {
     /// search indexes are rebuilt in parallel on the engine's thread
     /// budget; the flat partitions and cost baselines are re-seeded
     /// from the fresh index.
+    ///
+    /// This is the *inline* form: the caller blocks for the whole
+    /// build. The serving write path instead runs the same computation
+    /// off-thread via [`Engine::start_rebuild`] /
+    /// [`Engine::finish_rebuild`] so updates keep flowing; this method
+    /// is the two stitched together.
     pub fn rebuild(&mut self) -> Result<(), IngestError> {
-        let index = BiGIndex::build_with_configs_summarizer(
-            self.base.clone(),
-            self.ontology.clone(),
-            self.configs.clone(),
-            self.direction,
-            self.summarizer,
-        );
-        let (banks, blinks, rclique) = build_layer_indexes(
-            &index,
-            self.bundle.blinks_params,
-            self.bundle.rclique_params,
-            self.threads,
-        );
-        let bundle = IndexBundle {
-            index,
-            banks,
-            blinks,
-            rclique,
+        let job = self.start_rebuild();
+        let bundle = job.run();
+        self.finish_rebuild(bundle)
+    }
+
+    /// Whether a [`RebuildJob`] started by [`Engine::start_rebuild`] is
+    /// outstanding (neither finished nor aborted).
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.rebuild_delta.is_some()
+    }
+
+    /// Captures everything a full rebuild needs — the current base
+    /// graph, ontology, and per-layer configurations — into a
+    /// [`RebuildJob`] that can run on another thread while this engine
+    /// keeps applying batches. From here until
+    /// [`Engine::finish_rebuild`] (or [`Engine::abort_rebuild`]) the
+    /// engine buffers every applied batch so adoption can replay them
+    /// onto the rebuilt hierarchy. Starting a second job before the
+    /// first resolves replaces the capture and restarts the buffer.
+    pub fn start_rebuild(&mut self) -> RebuildJob {
+        self.rebuild_delta = Some(Vec::new());
+        RebuildJob {
+            base: self.base.clone(),
+            ontology: self.ontology.clone(),
+            configs: self.configs.clone(),
+            direction: self.direction,
+            summarizer: self.summarizer,
             blinks_params: self.bundle.blinks_params,
             rclique_params: self.bundle.rclique_params,
             eval: self.bundle.eval,
+            threads: self.threads,
+        }
+    }
+
+    /// Adopts a finished [`RebuildJob`]'s bundle: re-seeds the flat
+    /// partitions and cost baselines from the rebuilt hierarchy, then
+    /// replays every batch applied since the capture (buffered by
+    /// [`Engine::apply_batch`]) so no update is lost. The result is the
+    /// full rebuild as of the capture plus eager-split maintenance for
+    /// the in-flight window — stable, answer-equivalent, and almost all
+    /// of the deferred-merge compression won back.
+    ///
+    /// Fails with [`IngestError::Inconsistent`] when no rebuild is in
+    /// flight (e.g. the job belonged to a different engine instance);
+    /// the engine state is untouched in that case. An error while
+    /// replaying the buffered delta leaves the engine on the rebuilt
+    /// state with the delta partially applied — callers should restart
+    /// from the store (the WAL still holds every committed batch).
+    pub fn finish_rebuild(&mut self, bundle: IndexBundle) -> Result<(), IngestError> {
+        let Some(delta) = self.rebuild_delta.take() else {
+            return Err(IngestError::Inconsistent {
+                detail: "finish_rebuild without a rebuild in flight".to_string(),
+            });
         };
         let seed = Seed::from_index(&bundle.index, self.policy.alpha)?;
         self.ontology = seed.ontology;
@@ -277,7 +323,19 @@ impl Engine {
         self.baseline = seed.baseline;
         self.bundle = bundle;
         self.updates_since_rebuild = 0;
+        if !delta.is_empty() {
+            self.apply_to_state(&delta)?;
+            self.materialize()?;
+        }
         Ok(())
+    }
+
+    /// Drops the in-flight rebuild bookkeeping without adopting
+    /// anything — the current incrementally maintained state stays
+    /// authoritative. Used when the background build fails or its
+    /// result has gone stale.
+    pub fn abort_rebuild(&mut self) {
+        self.rebuild_delta = None;
     }
 
     /// Persists the current bundle as a new store generation and
@@ -570,6 +628,50 @@ impl Engine {
     }
 }
 
+/// A captured full-rebuild work order: everything
+/// [`Engine::start_rebuild`] cloned out of the engine, self-contained
+/// and `Send`, so [`RebuildJob::run`] — the expensive part — can
+/// execute on a background thread while the engine keeps applying
+/// batches. Hand the resulting bundle back to
+/// [`Engine::finish_rebuild`].
+pub struct RebuildJob {
+    base: DiGraph,
+    ontology: Ontology,
+    configs: Vec<GenConfig>,
+    direction: bgi_bisim::BisimDirection,
+    summarizer: Summarizer,
+    blinks_params: bgi_search::blinks::BlinksParams,
+    rclique_params: bgi_search::RClique,
+    eval: big_index::EvalOptions,
+    threads: usize,
+}
+
+impl RebuildJob {
+    /// Runs the from-scratch construction (hierarchy, then per-layer
+    /// search indexes in parallel on the captured thread budget). Pure
+    /// compute — no engine, no disk.
+    pub fn run(self) -> IndexBundle {
+        let index = BiGIndex::build_with_configs_summarizer(
+            self.base,
+            self.ontology,
+            self.configs,
+            self.direction,
+            self.summarizer,
+        );
+        let (banks, blinks, rclique) =
+            build_layer_indexes(&index, self.blinks_params, self.rclique_params, self.threads);
+        IndexBundle {
+            index,
+            banks,
+            blinks,
+            rclique,
+            blinks_params: self.blinks_params,
+            rclique_params: self.rclique_params,
+            eval: self.eval,
+        }
+    }
+}
+
 /// One rebuilt per-layer search index (tagged for the `par_map` fan-out
 /// in [`Engine::materialize`]).
 enum BuiltIndex {
@@ -822,6 +924,52 @@ mod tests {
             e.direction,
         );
         assert!(e.index() == &scratch);
+    }
+
+    #[test]
+    fn background_rebuild_replays_updates_applied_while_building() {
+        let mut e = engine();
+        e.apply_batch(&[IngestUpdate::InsertEdge { src: 3, dst: 1 }])
+            .unwrap();
+        let job = e.start_rebuild();
+        assert!(e.rebuild_in_flight());
+        // Updates keep landing while the job "runs elsewhere" — both an
+        // edge change and a vertex addition (whose expected id must
+        // line up with the capture-time base on replay).
+        e.apply_batch(&[
+            IngestUpdate::InsertEdge { src: 7, dst: 2 },
+            IngestUpdate::AddVertex { label: 1 },
+            IngestUpdate::InsertEdge { src: 33, dst: 0 },
+        ])
+        .unwrap();
+        let handle = std::thread::spawn(move || job.run());
+        let bundle = handle.join().unwrap();
+        e.finish_rebuild(bundle).unwrap();
+        assert!(!e.rebuild_in_flight());
+        // The delta survived adoption: the rebuilt state includes the
+        // updates applied during the build.
+        assert_eq!(e.index().base().num_vertices(), 34);
+        assert!(e.index().base().has_edge(VId(7), VId(2)));
+        assert!(e.index().base().has_edge(VId(33), VId(0)));
+        assert!(e.index().verify().is_clean(), "{}", e.index().verify());
+        // The baseline reset to the capture; only the delta counts as
+        // post-rebuild drift.
+        assert_eq!(e.updates_since_rebuild(), 3);
+    }
+
+    #[test]
+    fn finish_rebuild_without_start_is_rejected() {
+        let mut e = engine();
+        let bundle = e.bundle().clone();
+        let err = e.finish_rebuild(bundle).unwrap_err();
+        assert!(matches!(err, IngestError::Inconsistent { .. }));
+        // abort clears an in-flight capture; finishing afterwards is
+        // rejected too (the job's result went stale).
+        let job = e.start_rebuild();
+        e.abort_rebuild();
+        assert!(!e.rebuild_in_flight());
+        let err = e.finish_rebuild(job.run()).unwrap_err();
+        assert!(matches!(err, IngestError::Inconsistent { .. }));
     }
 
     #[test]

@@ -29,13 +29,17 @@
 //!    per layer, and the `Layer` tables (`χ`, `Bisim⁻¹`) fall out of
 //!    adjacent flat partitions. Per-layer search indexes are rebuilt
 //!    only for layers whose summary graph actually changed.
-//! 3. **Drift-triggered rebuild.** Deferred merges cost compression.
-//!    The engine re-evaluates the construction cost model (Formula 3,
-//!    `α·compress + (1−α)·distort`) against the baseline captured at
-//!    the last full build and recommends a rebuild once any layer's
-//!    cost has drifted past the policy threshold (or a hard update
-//!    cap). [`Engine::rebuild`] re-runs the from-scratch construction
-//!    with the original configurations and re-seeds the flat state.
+//! 3. **Drift-triggered background rebuild.** Deferred merges cost
+//!    compression. The engine re-evaluates the construction cost model
+//!    (Formula 3, `α·compress + (1−α)·distort`) against the baseline
+//!    captured at the last full build and recommends a rebuild once any
+//!    layer's cost has drifted past the policy threshold (or a hard
+//!    update cap). [`Engine::start_rebuild`] captures the inputs into a
+//!    `Send` [`engine::RebuildJob`] that runs the from-scratch
+//!    construction off-thread while batches keep applying (buffered as
+//!    a delta); [`Engine::finish_rebuild`] adopts the result and
+//!    replays the delta. [`Engine::rebuild`] is the inline
+//!    (blocking) composition of the two.
 //!
 //! The serving integration (snapshot swap, cache invalidation,
 //! rollback on verification failure) lives in `bgi-service`'s
@@ -51,7 +55,7 @@ pub mod error;
 pub mod policy;
 pub mod update;
 
-pub use engine::{ApplyOutcome, Engine, EngineConfig};
+pub use engine::{ApplyOutcome, Engine, EngineConfig, RebuildJob};
 pub use error::IngestError;
 pub use policy::{DriftReport, LayerDrift, RebuildPolicy};
 pub use update::IngestUpdate;

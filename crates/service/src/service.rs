@@ -35,10 +35,10 @@ use crate::snapshot::SnapshotError;
 use crate::stats::{ServiceStats, StatsRegistry};
 use bgi_ingest::{ApplyOutcome, Engine, IngestError, IngestUpdate};
 use bgi_search::Budget;
-use bgi_store::{Store, StoreError};
+use bgi_store::{IndexBundle, Store, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -197,6 +197,10 @@ impl Shared {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The in-flight background rebuild, if any (see
+    /// [`Service::apply_updates`]). One slot: a second rebuild is never
+    /// started while one is outstanding.
+    rebuild: Mutex<Option<JoinHandle<IndexBundle>>>,
 }
 
 impl Service {
@@ -235,7 +239,11 @@ impl Service {
                 })
             })
             .collect();
-        Service { shared, workers }
+        Service {
+            shared,
+            workers,
+            rebuild: Mutex::new(None),
+        }
     }
 
     /// Submits `request` without blocking. On admission the reply
@@ -331,9 +339,19 @@ impl Service {
     }
 
     /// The live write path: applies `updates` through `engine`
-    /// (WAL-logged when the engine has one), runs a full rebuild right
-    /// there if the staleness tracker recommends it, then builds a
-    /// snapshot from the engine's new bundle and swaps it in.
+    /// (WAL-logged when the engine has one), then builds a snapshot
+    /// from the engine's new bundle and swaps it in.
+    ///
+    /// When the staleness tracker recommends a full rebuild, the
+    /// from-scratch construction runs on a **background thread**
+    /// (`Engine::start_rebuild` captures the inputs; updates keep
+    /// applying and are buffered as a delta) — the write path never
+    /// blocks on it. The finished rebuild is adopted — delta replayed,
+    /// snapshot swapped — by the next `apply_updates` call that finds
+    /// it done, or by an explicit [`Service::poll_rebuild`]. At most
+    /// one rebuild is in flight at a time, and a result whose engine
+    /// epoch has gone away (e.g. the caller recovered a fresh engine
+    /// from the store) is discarded, not adopted.
     ///
     /// Queries keep serving the old snapshot for the whole duration —
     /// including during a rebuild — and only ever see the new state
@@ -350,20 +368,17 @@ impl Service {
         updates: &[IngestUpdate],
     ) -> Result<ApplyReport, ApplyError> {
         let outcome = engine.apply_batch(updates).map_err(ApplyError::Ingest)?;
-        let rebuilt = engine.drift().rebuild_recommended;
-        if rebuilt {
-            engine.rebuild().map_err(ApplyError::Ingest)?;
-            self.shared.stats.record_ingest_rebuild();
-            self.shared.log.line(&format!(
-                "drift-triggered full rebuild after {} updates",
-                outcome.applied
-            ));
-        }
+        let rebuilt = self.adopt_finished_rebuild(engine)?;
+        let rebuild_started = self.maybe_start_rebuild(engine);
         match IndexSnapshot::from_bundle(engine.bundle().clone()) {
             Ok(snapshot) => {
                 self.swap_snapshot(Arc::new(snapshot));
                 self.shared.stats.record_ingest_batch();
-                Ok(ApplyReport { outcome, rebuilt })
+                Ok(ApplyReport {
+                    outcome,
+                    rebuilt,
+                    rebuild_started,
+                })
             }
             Err(err) => {
                 self.shared.stats.record_ingest_rollback();
@@ -374,6 +389,90 @@ impl Service {
                 Err(ApplyError::Snapshot(err))
             }
         }
+    }
+
+    /// Adopts a finished background rebuild, if one is waiting: replays
+    /// the buffered delta onto the rebuilt hierarchy and swaps the
+    /// resulting snapshot in. Returns `Ok(true)` when a rebuild was
+    /// adopted and the snapshot swapped. `apply_updates` does this
+    /// automatically on every batch; call this from an idle tick (or
+    /// before a checkpoint) to adopt without waiting for the next
+    /// write.
+    pub fn poll_rebuild(&self, engine: &mut Engine) -> Result<bool, ApplyError> {
+        if !self.adopt_finished_rebuild(engine)? {
+            return Ok(false);
+        }
+        match IndexSnapshot::from_bundle(engine.bundle().clone()) {
+            Ok(snapshot) => {
+                self.swap_snapshot(Arc::new(snapshot));
+                Ok(true)
+            }
+            Err(err) => {
+                self.shared.stats.record_ingest_rollback();
+                self.shared.log.line(&format!(
+                    "rebuilt index refused at snapshot admission ({err}); \
+                     previous snapshot keeps serving"
+                ));
+                Err(ApplyError::Snapshot(err))
+            }
+        }
+    }
+
+    /// If the background rebuild slot holds a finished job, join it and
+    /// fold the result into `engine`. Returns whether an adoption
+    /// happened. A panicked build or a stale result (the engine is not
+    /// the one the job was captured from) is discarded; the
+    /// incrementally maintained state stays authoritative either way.
+    fn adopt_finished_rebuild(&self, engine: &mut Engine) -> Result<bool, ApplyError> {
+        let handle = {
+            let mut slot = self.rebuild.lock().unwrap_or_else(PoisonError::into_inner);
+            match slot.as_ref() {
+                Some(h) if h.is_finished() => slot.take(),
+                _ => None,
+            }
+        };
+        let Some(handle) = handle else {
+            return Ok(false);
+        };
+        let Ok(bundle) = handle.join() else {
+            engine.abort_rebuild();
+            self.shared.stats.record_ingest_rollback();
+            self.shared
+                .log
+                .line("background rebuild panicked; keeping incremental state");
+            return Ok(false);
+        };
+        if !engine.rebuild_in_flight() {
+            // The engine was replaced (crash-recovery path) after the
+            // job was captured: its result describes a dead epoch.
+            self.shared
+                .log
+                .line("stale background rebuild discarded (engine was replaced)");
+            return Ok(false);
+        }
+        engine.finish_rebuild(bundle).map_err(ApplyError::Ingest)?;
+        self.shared.stats.record_ingest_rebuild();
+        self.shared
+            .log
+            .line("background rebuild adopted; delta replayed");
+        Ok(true)
+    }
+
+    /// Starts a background rebuild when the staleness tracker
+    /// recommends one and none is already in flight. Returns whether a
+    /// build was launched.
+    fn maybe_start_rebuild(&self, engine: &mut Engine) -> bool {
+        let mut slot = self.rebuild.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() || engine.rebuild_in_flight() || !engine.drift().rebuild_recommended {
+            return false;
+        }
+        let job = engine.start_rebuild();
+        *slot = Some(std::thread::spawn(move || job.run()));
+        self.shared.log.line(&format!(
+            "drift-triggered background rebuild started after {} updates",
+            engine.updates_since_rebuild()
+        ));
+        true
     }
 
     /// The snapshot queries currently run against.
@@ -423,10 +522,19 @@ impl Service {
     }
 
     /// Stops accepting work, fails whatever is still queued with
-    /// [`QueryError::Shutdown`], and joins the workers. Idempotent.
+    /// [`QueryError::Shutdown`], and joins the workers — plus any
+    /// background rebuild still running (its result is discarded; the
+    /// WAL preserves everything it would have folded). Idempotent.
     pub fn shutdown(&mut self) {
         for job in self.shared.queue.close_and_drain() {
             let _ = job.reply.send(Err(QueryError::Shutdown));
+        }
+        let rebuild = {
+            let mut slot = self.rebuild.lock().unwrap_or_else(PoisonError::into_inner);
+            slot.take()
+        };
+        if let Some(handle) = rebuild {
+            let _ = handle.join();
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -445,8 +553,13 @@ impl Drop for Service {
 pub struct ApplyReport {
     /// The engine-level outcome (WAL sequence, layer reuse counts).
     pub outcome: ApplyOutcome,
-    /// Whether the staleness tracker triggered a full rebuild.
+    /// Whether a *finished* background rebuild was adopted (delta
+    /// replayed, snapshot rebuilt) by this call.
     pub rebuilt: bool,
+    /// Whether the staleness tracker launched a new background rebuild
+    /// on this call. Adoption happens on a later call (or via
+    /// [`Service::poll_rebuild`]) once the build finishes.
+    pub rebuild_started: bool,
 }
 
 /// Why a [`Service::apply_updates`] did not swap a new snapshot in.

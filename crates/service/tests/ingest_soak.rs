@@ -14,7 +14,7 @@
 
 use bgi_datasets::{benchmark_queries, update_stream, DatasetSpec, UpdateMix, UpdateOp};
 use bgi_graph::{DiGraph, GraphBuilder, LabelId, Ontology, VId};
-use bgi_ingest::{Engine, EngineConfig, IngestUpdate};
+use bgi_ingest::{Engine, EngineConfig, IngestUpdate, RebuildPolicy};
 use bgi_search::blinks::BlinksParams;
 use bgi_search::{Banks, KeywordQuery, KeywordSearch, RClique};
 use bgi_service::{IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig};
@@ -159,6 +159,89 @@ fn assert_answers_match_scratch(index: &BiGIndex, configs: &[GenConfig], queries
             );
         }
     }
+}
+
+/// The background rebuild lifecycle through the service write path: a
+/// tight policy starts a rebuild off-thread, further batches keep
+/// applying while it runs, and a later call (or an explicit poll)
+/// adopts the result — delta replayed, snapshot swapped, counted in
+/// the stats.
+#[test]
+fn background_rebuild_adopts_without_blocking_writes() {
+    let ds = DatasetSpec::synt(300).generate();
+    let configs = step_configs(&ds.graph, &ds.ontology, 2);
+    assert!(!configs.is_empty(), "dataset produced no Gen steps");
+    let bundle = build_bundle(ds.graph.clone(), ds.ontology.clone(), &configs);
+    let snapshot = Arc::new(IndexSnapshot::from_bundle(bundle.clone()).unwrap());
+    let service = Service::start(
+        snapshot,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_shards: 2,
+            cache_capacity: 32,
+            default_deadline: None,
+        },
+    );
+    let config = EngineConfig {
+        policy: RebuildPolicy {
+            alpha: 0.5,
+            max_cost_increase: 1e9, // never trip on cost
+            max_updates: 4,         // trip on update count quickly
+        },
+        threads: 1,
+    };
+    let mut engine = Engine::new(bundle, config).unwrap();
+
+    let stream: Vec<IngestUpdate> = update_stream(&ds.graph, 7, 60, UpdateMix::default())
+        .iter()
+        .map(|op| match *op {
+            UpdateOp::InsertEdge { src, dst } => IngestUpdate::InsertEdge { src, dst },
+            UpdateOp::DeleteEdge { src, dst } => IngestUpdate::DeleteEdge { src, dst },
+            UpdateOp::AddVertex { label } => IngestUpdate::AddVertex { label },
+        })
+        .collect();
+    let (mut started, mut adopted) = (false, false);
+    for chunk in stream.chunks(3) {
+        let report = service
+            .apply_updates(&mut engine, chunk)
+            .unwrap_or_else(|e| panic!("batch failed: {e}"));
+        assert_eq!(report.outcome.applied, chunk.len());
+        started |= report.rebuild_started;
+        adopted |= report.rebuilt;
+    }
+    assert!(started, "tight policy never started a background rebuild");
+    // Drain the last in-flight build via the explicit poll — writes
+    // have stopped, so nothing else will adopt it.
+    if engine.rebuild_in_flight() {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            if service.poll_rebuild(&mut engine).unwrap() {
+                adopted = true;
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background rebuild never finished"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert!(adopted, "no background rebuild was ever adopted");
+    assert!(engine.index().verify().is_clean());
+    // The served snapshot reflects the adopted engine state, and the
+    // incrementally maintained hierarchy answers like a scratch build.
+    assert_eq!(service.snapshot().index().base(), engine.index().base());
+    let bench = benchmark_queries(&ds, 3, 4, 7);
+    let eq_queries: Vec<KeywordQuery> = bench
+        .iter()
+        .take(2)
+        .map(|q| KeywordQuery::new(q.keywords.clone(), q.dmax))
+        .collect();
+    assert_answers_match_scratch(engine.index(), &configs, &eq_queries);
+    let stats = service.stats();
+    assert!(stats.ingest_rebuilds >= 1, "adoption not counted");
+    assert!(stats.ingest_batches > 0);
 }
 
 #[test]

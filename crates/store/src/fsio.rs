@@ -29,6 +29,7 @@
 //! | `wal.truncate_write`   | write the truncated log's `.tmp`       |
 //! | `wal.truncate_fsync`   | fsync the truncated log's `.tmp`       |
 //! | `wal.truncate_rename`  | rename the truncated log into place    |
+//! | `wal.truncate_fsync_dir` | fsync the store root after the rename |
 //!
 //! The `wal.*` labels live in `crate::wal`; they route through the same
 //! registry and the same crash matrix as the `save.*`/`load.*` sites.

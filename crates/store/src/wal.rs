@@ -17,6 +17,18 @@
 //! checksum-failing frame) and discards, yielding exactly the committed
 //! prefix — old-or-new, never torn, same contract as generation saves.
 //!
+//! The committed prefix is also the *write position*: [`Wal::open`]
+//! truncates any torn tail off the file before returning, and
+//! [`Wal::append`] writes at the committed end rather than at the file
+//! end. Both are load-bearing. Without the truncation, an append after
+//! a torn-tail recovery would land beyond the torn frame, and the next
+//! replay — which stops decoding at that frame — would silently drop
+//! the new (fsynced!) batch. Without the positioned write, an append
+//! retried after a failed one (say `write_all` succeeded but the fsync
+//! errored) would stack a second record with the same sequence number
+//! after the first, which the next recovery rejects as
+//! [`StoreError::WalCorrupt`].
+//!
 //! Replay is idempotent: edge inserts/deletes are natural no-ops when
 //! already applied, and [`GraphUpdate::AddVertex`] carries the vertex id
 //! it is expected to create so a second replay can recognize and skip
@@ -35,7 +47,7 @@ use crate::error::StoreError;
 use crate::failpoint::{FailAction, Failpoints};
 use crate::fsio;
 use std::fs::OpenOptions;
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// File name of the log inside a store root.
@@ -91,24 +103,50 @@ pub struct Wal {
     path: PathBuf,
     fp: Failpoints,
     next_seq: u64,
+    /// Byte length of the committed prefix — where the next append
+    /// writes. Everything past it is the residue of a failed append.
+    end: u64,
 }
 
 impl Wal {
     /// Opens (creating if absent) the log at `root/wal.log` and decodes
     /// its committed prefix. A torn tail — the residue of a crash
-    /// mid-append — is discarded silently; a *committed* record that is
-    /// structurally inconsistent (sequence going backwards) is
+    /// mid-append — is discarded *and truncated off the file*, so a
+    /// later append can never land beyond it; a *committed* record that
+    /// is structurally inconsistent (sequence going backwards) is
     /// [`StoreError::WalCorrupt`].
     pub fn open(root: &Path, fp: Failpoints) -> Result<(Wal, Vec<UpdateBatch>), StoreError> {
         let path = root.join(WAL_FILE);
-        let batches = if path.exists() {
+        let (batches, end) = if path.exists() {
             let bytes = fsio::read_file(&fp, "wal.read", &path)?;
-            decode_log(&bytes)?
+            let (batches, end) = decode_log(&bytes)?;
+            if end < bytes.len() {
+                // Crash-safe without a label of its own: dying before
+                // (or during) this set_len leaves the same torn bytes
+                // for the next open to discard again.
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| fsio::io_err("opening", &path, e))?;
+                f.set_len(end as u64)
+                    .map_err(|e| fsio::io_err("truncating", &path, e))?;
+                f.sync_all()
+                    .map_err(|e| fsio::io_err("fsyncing", &path, e))?;
+            }
+            (batches, end as u64)
         } else {
-            Vec::new()
+            (Vec::new(), 0)
         };
         let next_seq = batches.last().map_or(1, |b| b.seq + 1);
-        Ok((Wal { path, fp, next_seq }, batches))
+        Ok((
+            Wal {
+                path,
+                fp,
+                next_seq,
+                end,
+            },
+            batches,
+        ))
     }
 
     /// Path of the log file.
@@ -130,9 +168,26 @@ impl Wal {
 
         let mut f = OpenOptions::new()
             .create(true)
-            .append(true)
+            .write(true)
+            .truncate(false)
             .open(&self.path)
             .map_err(|e| fsio::io_err("opening", &self.path, e))?;
+        // Write at the committed end, not the file end: a failed append
+        // may have left bytes past `end` (a torn frame, or a whole
+        // record whose fsync errored), and appending after them would
+        // either hide this record behind the torn frame or stack a
+        // duplicate sequence number. Clamp first — a truncation whose
+        // rename committed but whose dir-fsync didn't leaves the file
+        // shorter than `end` — then drop the residue.
+        let len = f
+            .metadata()
+            .map_err(|e| fsio::io_err("inspecting", &self.path, e))?
+            .len();
+        let end = self.end.min(len);
+        f.set_len(end)
+            .map_err(|e| fsio::io_err("truncating", &self.path, e))?;
+        f.seek(SeekFrom::Start(end))
+            .map_err(|e| fsio::io_err("seeking", &self.path, e))?;
 
         match self.fp.check("wal.append") {
             Some(FailAction::Transient) => return Err(fsio::transient("appending", &self.path)),
@@ -159,6 +214,7 @@ impl Wal {
         f.sync_all()
             .map_err(|e| fsio::io_err("fsyncing", &self.path, e))?;
 
+        self.end = end + record.len() as u64;
         self.next_seq = seq + 1;
         Ok(seq)
     }
@@ -175,7 +231,11 @@ impl Wal {
         } else {
             Vec::new()
         };
-        let batches = decode_log(&bytes)?;
+        // Only the committed prefix participates: bytes past `end` are
+        // the residue of a failed append and must not be resurrected
+        // into the rewritten log as committed records.
+        let committed = &bytes[..(self.end as usize).min(bytes.len())];
+        let (batches, _) = decode_log(committed)?;
         let mut keep = Vec::new();
         for b in &batches {
             if b.seq > through {
@@ -195,7 +255,9 @@ impl Wal {
             "wal.truncate_fsync",
             "wal.truncate_rename",
         )?;
-        fsio::fsync_dir(&self.fp, "save.fsync_dir", &dir)
+        fsio::fsync_dir(&self.fp, "wal.truncate_fsync_dir", &dir)?;
+        self.end = keep.len() as u64;
+        Ok(())
     }
 }
 
@@ -229,11 +291,11 @@ fn encode_record(seq: u64, updates: &[GraphUpdate]) -> Vec<u8> {
     record
 }
 
-/// Decodes the committed prefix of a log image. A short or
-/// checksum-failing record at the end is a torn tail and terminates the
-/// prefix; a committed record whose sequence fails to increase is
-/// corruption.
-fn decode_log(bytes: &[u8]) -> Result<Vec<UpdateBatch>, StoreError> {
+/// Decodes the committed prefix of a log image, returning the batches
+/// plus the prefix's byte length. A short or checksum-failing record at
+/// the end is a torn tail and terminates the prefix; a committed record
+/// whose sequence fails to increase is corruption.
+fn decode_log(bytes: &[u8]) -> Result<(Vec<UpdateBatch>, usize), StoreError> {
     let mut out: Vec<UpdateBatch> = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= 4 {
@@ -259,7 +321,7 @@ fn decode_log(bytes: &[u8]) -> Result<Vec<UpdateBatch>, StoreError> {
         out.push(batch);
         pos = start + len;
     }
-    Ok(out)
+    Ok((out, pos))
 }
 
 fn decode_frame(frame: &[u8]) -> Result<UpdateBatch, crate::codec::CodecError> {
@@ -344,6 +406,91 @@ mod tests {
         let (_, replayed) = Wal::open(&d, fp).unwrap();
         assert_eq!(replayed.len(), 1, "torn second record must be discarded");
         assert_eq!(replayed[0].updates, batch(0));
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn append_after_torn_recovery_keeps_later_batches() {
+        let d = tmpdir("torn-retry");
+        let fp = Failpoints::enabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        wal.append(&batch(0)).unwrap();
+        fp.arm("wal.append", 2, FailAction::Torn);
+        assert!(wal.append(&batch(1)).is_err());
+
+        // A fresh open truncates the torn tail, so the retried append
+        // lands right after the committed prefix…
+        let (mut wal, replayed) = Wal::open(&d, fp.clone()).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(wal.append(&batch(1)).unwrap(), 2);
+        // …and the next recovery replays *both* batches instead of
+        // stopping at the (formerly leftover) torn frame.
+        let (_, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(
+            replayed.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(replayed[1].updates, batch(1));
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn same_handle_retry_after_torn_append_overwrites_the_residue() {
+        let d = tmpdir("torn-same");
+        let fp = Failpoints::enabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        wal.append(&batch(0)).unwrap();
+        fp.arm("wal.append", 2, FailAction::Torn);
+        assert!(wal.append(&batch(1)).is_err());
+        // Same handle: the retry writes at the committed end, over the
+        // torn residue, instead of after it.
+        assert_eq!(wal.append(&batch(1)).unwrap(), 2);
+        let (_, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].updates, batch(1));
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn failed_fsync_retry_does_not_duplicate_the_sequence() {
+        let d = tmpdir("fsync-retry");
+        let fp = Failpoints::enabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        fp.arm("wal.fsync", 1, FailAction::Crash);
+        // The record is fully written before the fsync dies…
+        assert!(wal.append(&batch(0)).is_err());
+        // …so the retry must overwrite it, not stack a second record
+        // with the same sequence number (which the next recovery would
+        // reject as corruption, losing the whole log).
+        assert_eq!(wal.append(&batch(0)).unwrap(), 1);
+        let (wal2, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].seq, 1);
+        assert_eq!(replayed[0].updates, batch(0));
+        assert_eq!(wal2.next_seq(), 2);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn truncation_does_not_resurrect_a_failed_append() {
+        let d = tmpdir("trunc-residue");
+        let fp = Failpoints::enabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        let s1 = wal.append(&batch(0)).unwrap();
+        wal.append(&batch(1)).unwrap();
+        fp.arm("wal.fsync", 3, FailAction::Crash);
+        // Fully written but uncommitted (fsync failed, seq 3 not
+        // advanced): truncation must not re-encode it as committed.
+        assert!(wal.append(&batch(2)).is_err());
+        wal.truncate_through(s1).unwrap();
+        // A post-truncation append reuses seq 3 cleanly.
+        assert_eq!(wal.append(&batch(3)).unwrap(), 3);
+        let (_, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(
+            replayed.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(replayed[1].updates, batch(3));
         let _ = fs::remove_dir_all(&d);
     }
 

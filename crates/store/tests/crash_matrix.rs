@@ -184,6 +184,7 @@ const WAL_WRITE_LABELS: &[&str] = &[
     "wal.truncate_write",
     "wal.truncate_fsync",
     "wal.truncate_rename",
+    "wal.truncate_fsync_dir",
 ];
 
 fn wal_batch(k: u32) -> Vec<GraphUpdate> {
@@ -324,6 +325,28 @@ fn wal_kill_and_recover(label: &str, nth: u64, action: FailAction) {
             );
         }
     }
+
+    // Append-after-recovery: whatever residue the kill left behind, the
+    // recovered log must commit a fresh batch without losing anything
+    // already replayed — a torn tail truncated on open means the new
+    // append can never land beyond an undecodable frame.
+    let (mut wal, _) = store.open_wal().unwrap();
+    let extra = wal_batch(30);
+    let extra_seq = wal.append(&extra).unwrap();
+    drop(wal);
+    let (_, after) = store.open_wal().unwrap();
+    let after_seqs: Vec<u64> = after.iter().map(|b| b.seq).collect();
+    let mut want = replayed_seqs;
+    want.push(extra_seq);
+    assert_eq!(
+        after_seqs, want,
+        "{action:?} at {label}#{nth}: append after recovery lost a batch"
+    );
+    assert_eq!(
+        after.last().map(|b| b.updates.clone()),
+        Some(extra),
+        "{action:?} at {label}#{nth}: post-recovery append replayed torn"
+    );
 }
 
 #[test]
