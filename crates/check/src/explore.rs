@@ -1,0 +1,236 @@
+//! Schedule exploration: seeded-random walks, bounded-exhaustive DFS,
+//! and single-schedule replay.
+//!
+//! Exhaustive mode enumerates the schedule tree depth-first under an
+//! *iterative preemption bound* (Musuvathi & Qadeer, CHESS). The
+//! canonical option order puts "continue the current thread" first, so
+//! the very first schedule (empty decision prefix) is the preemption-
+//! free one, and a preemption is charged exactly when a recorded choice
+//! with `cont == true` picks an option other than 0. Backtracking
+//! replaces the deepest choice that still has an untried, in-budget
+//! alternative; everything past the new prefix defaults back to
+//! option 0.
+
+use crate::sched::{self, Choice, Ctx, Sched, Source, SplitMix64};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration mode.
+#[derive(Debug, Clone, Copy)]
+pub enum Mode {
+    /// `iters` schedules driven by seeds derived from `seed`. Failure
+    /// messages name the exact per-schedule seed for replay.
+    Random { iters: u64, seed: u64 },
+    /// Depth-first enumeration of every schedule reachable with at most
+    /// `preemption_bound` preemptions, capped at `max_schedules`.
+    Exhaustive {
+        preemption_bound: usize,
+        max_schedules: u64,
+    },
+    /// Re-run the single schedule a previously reported seed names.
+    Replay { seed: u64 },
+}
+
+/// Model-check configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub mode: Mode,
+    /// Abort a single schedule after this many schedule points — the
+    /// livelock guard (spurious cv timeouts can otherwise spin).
+    pub max_steps: usize,
+}
+
+impl Config {
+    pub fn random(iters: u64, seed: u64) -> Self {
+        Config {
+            mode: Mode::Random { iters, seed },
+            max_steps: 20_000,
+        }
+    }
+
+    /// Like [`Config::random`], but the environment can redirect the
+    /// run: `BGI_CHECK_SEED` replays that exact schedule (reproducing a
+    /// reported failure), and `BGI_CHECK_RANDOM_SEED` swaps the base
+    /// seed (CI's fresh randomized round — the job echoes the seed it
+    /// picked so a failure stays reproducible).
+    pub fn random_or_env(iters: u64, base_seed: u64) -> Self {
+        if let Some(seed) = crate::env_seed() {
+            return Config::replay(seed);
+        }
+        let base = crate::env_random_base().unwrap_or(base_seed);
+        Config::random(iters, base)
+    }
+
+    pub fn exhaustive(preemption_bound: usize) -> Self {
+        Config {
+            mode: Mode::Exhaustive {
+                preemption_bound,
+                max_schedules: 100_000,
+            },
+            max_steps: 20_000,
+        }
+    }
+
+    pub fn replay(seed: u64) -> Self {
+        Config {
+            mode: Mode::Replay { seed },
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// What a model run covered.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: u64,
+}
+
+/// Explores interleavings of `f` under `config.mode`, panicking with a
+/// replayable diagnosis on the first failing schedule.
+///
+/// The closure runs once per schedule and must build all shared state
+/// inside itself. Every spawned `check::sync::thread` must be joined
+/// (or have finished) before the closure returns. Only facade
+/// primitives are scheduler-aware: blocking on a bare `std::sync` or
+/// `mpsc` primitive inside the closure will hang the run.
+pub fn model(config: Config, f: impl Fn()) -> Report {
+    assert!(
+        sched::current().is_none(),
+        "bgi-check: model() does not nest"
+    );
+    match config.mode {
+        Mode::Replay { seed } => {
+            run_reported(Source::Random(SplitMix64::new(seed)), config.max_steps, &f)
+                .unwrap_or_else(|(msg, _)| {
+                    panic!("bgi-check: replayed schedule (seed {seed:#018x}) failed: {msg}")
+                });
+            Report { schedules: 1 }
+        }
+        Mode::Random { iters, seed } => {
+            let mut mixer = SplitMix64::new(seed);
+            for i in 0..iters {
+                let s = mixer.next();
+                if let Err((msg, _)) =
+                    run_reported(Source::Random(SplitMix64::new(s)), config.max_steps, &f)
+                {
+                    panic!(
+                        "bgi-check: schedule failed under seed {s:#018x} \
+                         (schedule {} of {iters}, base seed {seed:#018x}): {msg}\n  \
+                         replay: Mode::Replay {{ seed: {s:#x} }} or BGI_CHECK_SEED={s:#x}",
+                        i + 1
+                    );
+                }
+            }
+            Report { schedules: iters }
+        }
+        Mode::Exhaustive {
+            preemption_bound,
+            max_schedules,
+        } => {
+            let mut prefix: Vec<usize> = Vec::new();
+            let mut n: u64 = 0;
+            loop {
+                n += 1;
+                match run_reported(Source::Prefix(prefix.clone()), config.max_steps, &f) {
+                    Err((msg, trace)) => panic!(
+                        "bgi-check: schedule #{n} failed (preemption bound \
+                         {preemption_bound})\n  decision prefix: {:?}\n  {msg}",
+                        picks(&trace)
+                    ),
+                    Ok(trace) => match next_prefix(&trace, preemption_bound) {
+                        Some(p) if n < max_schedules => prefix = p,
+                        _ => break,
+                    },
+                }
+            }
+            Report { schedules: n }
+        }
+    }
+}
+
+/// Runs one schedule; returns its decision trace, or the failure reason
+/// plus the trace that led there.
+fn run_reported(
+    source: Source,
+    max_steps: usize,
+    f: &impl Fn(),
+) -> Result<Vec<Choice>, (String, Vec<Choice>)> {
+    let sched = Arc::new(Sched::new(source, max_steps));
+    sched::set_current(Some(Ctx::main(sched.clone())));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        f();
+        sched.main_wait_all();
+    }));
+    let escaped = outcome.err().map(|p| sched::panic_message(p.as_ref()));
+    let failure = sched.abort_and_drain(escaped);
+    sched::set_current(None);
+    let trace = sched.take_trace();
+    match failure {
+        None => Ok(trace),
+        Some(msg) => Err((msg, trace)),
+    }
+}
+
+fn picks(trace: &[Choice]) -> Vec<usize> {
+    trace.iter().map(|c| c.picked).collect()
+}
+
+/// Computes the next DFS decision prefix within the preemption bound,
+/// or `None` when the bounded tree is exhausted.
+fn next_prefix(trace: &[Choice], bound: usize) -> Option<Vec<usize>> {
+    // Preemptions spent strictly before each recorded choice.
+    let mut pre = Vec::with_capacity(trace.len() + 1);
+    pre.push(0usize);
+    for c in trace {
+        let spent = pre.last().copied().unwrap_or(0);
+        pre.push(spent + usize::from(c.cont && c.picked != 0));
+    }
+    for i in (0..trace.len()).rev() {
+        let c = &trace[i];
+        for alt in c.picked + 1..c.n {
+            let cost = usize::from(c.cont && alt != 0);
+            if pre[i] + cost <= bound {
+                let mut p: Vec<usize> = trace[..i].iter().map(|c| c.picked).collect();
+                p.push(alt);
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choice(picked: usize, n: usize, cont: bool) -> Choice {
+        Choice { picked, n, cont }
+    }
+
+    #[test]
+    fn next_prefix_enumerates_alternatives_deepest_first() {
+        let trace = vec![choice(0, 2, true), choice(0, 3, true)];
+        assert_eq!(next_prefix(&trace, 2), Some(vec![0, 1]));
+        let trace = vec![choice(0, 2, true), choice(2, 3, true)];
+        assert_eq!(next_prefix(&trace, 2), Some(vec![1]));
+        let trace = vec![choice(1, 2, true), choice(2, 3, true)];
+        assert_eq!(next_prefix(&trace, 2), None);
+    }
+
+    #[test]
+    fn preemption_bound_prunes_costly_alternatives() {
+        // Both choices are preemption-charged; under bound 1 the second
+        // alternative is only affordable while the first pick stays 0.
+        let trace = vec![choice(1, 2, true), choice(0, 2, true)];
+        assert_eq!(next_prefix(&trace, 1), None);
+        let trace = vec![choice(0, 2, true), choice(1, 2, true)];
+        assert_eq!(next_prefix(&trace, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn non_cont_choices_are_free() {
+        let trace = vec![choice(1, 2, true), choice(0, 2, false)];
+        assert_eq!(next_prefix(&trace, 1), Some(vec![1, 1]));
+    }
+}

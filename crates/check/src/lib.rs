@@ -1,0 +1,160 @@
+//! Deterministic concurrency model checking for the BiG-index workspace.
+//!
+//! The concurrency-heavy crates (`bgi-service`, `bgi-ingest`, the WAL
+//! commit path in `bgi-store`) synchronize through the [`sync`] facade
+//! instead of `std::sync`. In a normal build the facade is a zero-cost
+//! newtype over the `std` primitives. With the `sim` feature enabled
+//! *and* inside a [`model`] closure, every synchronization point —
+//! lock, unlock, condvar wait/notify, atomic access, spawn, join —
+//! becomes a *schedule point*: the calling thread hands control to a
+//! cooperative scheduler that decides, deterministically, which thread
+//! runs next. Real OS threads are used, but at most one is ever
+//! runnable, so the interleaving is exactly the scheduler's choice
+//! sequence and can be replayed from a seed.
+//!
+//! Two exploration modes (see [`Mode`]):
+//!
+//! - **Seeded random** walks `iters` schedules drawn from a
+//!   `splitmix64` stream. On failure the panic message names the exact
+//!   seed; re-running with [`Mode::Replay`] (or `BGI_CHECK_SEED`)
+//!   reproduces the interleaving bit-for-bit.
+//! - **Bounded exhaustive** enumerates schedules depth-first with an
+//!   *iterative preemption bound* (CHESS-style): a preemption is
+//!   charged only when the scheduler switches away from a thread that
+//!   could have continued; switches at blocking or exit points are
+//!   free. Most real concurrency bugs need very few preemptions, so a
+//!   bound of 2–3 covers the interesting schedules at a tiny fraction
+//!   of the full tree.
+//!
+//! The model is *sequentially consistent interleaving*: atomics hit a
+//! schedule point but the store itself is SC — weak-memory reorderings
+//! are out of scope (the atomics-ordering lint pass in `cargo xtask
+//! lint` polices `Ordering` choices statically instead).
+//!
+//! Deadlocks are detected positively: if no thread is runnable while
+//! unfinished threads remain, the run aborts with a per-thread blame
+//! report. Livelocks fall to the `max_steps` bound.
+//!
+//! This crate is test harness, not library surface: panicking is its
+//! failure-reporting contract, so it is exempt from the workspace
+//! panic budget (but not from `forbid(unsafe_code)` — the simulated
+//! primitives keep data inside real `std` locks that the scheduler
+//! guarantees are uncontended).
+
+#![forbid(unsafe_code)]
+
+pub mod sync;
+
+#[cfg(feature = "sim")]
+mod sched;
+
+#[cfg(feature = "sim")]
+mod explore;
+
+#[cfg(feature = "sim")]
+pub use explore::{model, Config, Mode, Report};
+
+/// Reads a replay seed from `BGI_CHECK_SEED` (decimal or `0x`-hex).
+///
+/// Model tests use this to turn a CI failure message into a local
+/// reproduction: `BGI_CHECK_SEED=0xdeadbeef cargo test -p bgi-service
+/// --test model_check`.
+pub fn env_seed() -> Option<u64> {
+    let raw = std::env::var("BGI_CHECK_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.ok()
+}
+
+/// Reads a randomized-round base seed from `BGI_CHECK_RANDOM_SEED`
+/// (decimal or `0x`-hex). CI sets this to a fresh value per run and
+/// echoes it, so randomized exploration stays reproducible.
+pub fn env_random_base() -> Option<u64> {
+    let raw = std::env::var("BGI_CHECK_RANDOM_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.ok()
+}
+
+// Without `sim` the explorer is compiled out; `model` degenerates to a
+// single direct execution so a test suite written against the sim API
+// still compiles and exercises its closure once on real threads.
+#[cfg(not(feature = "sim"))]
+mod nosim {
+    /// Exploration mode (no-op without the `sim` feature).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Mode {
+        /// Seeded random walk over schedules.
+        Random { iters: u64, seed: u64 },
+        /// Depth-first enumeration under a preemption bound.
+        Exhaustive {
+            preemption_bound: usize,
+            max_schedules: u64,
+        },
+        /// Re-run the single schedule a seed names.
+        Replay { seed: u64 },
+    }
+
+    /// Model-check configuration (no-op without the `sim` feature).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        pub mode: Mode,
+        /// Abort a single schedule after this many schedule points
+        /// (livelock guard).
+        pub max_steps: usize,
+    }
+
+    impl Config {
+        pub fn random(iters: u64, seed: u64) -> Self {
+            Config {
+                mode: Mode::Random { iters, seed },
+                max_steps: 20_000,
+            }
+        }
+
+        /// Env-redirectable random config (no-op without `sim` — the
+        /// closure runs once either way).
+        pub fn random_or_env(iters: u64, base_seed: u64) -> Self {
+            Config::random(iters, base_seed)
+        }
+
+        pub fn exhaustive(preemption_bound: usize) -> Self {
+            Config {
+                mode: Mode::Exhaustive {
+                    preemption_bound,
+                    max_schedules: 100_000,
+                },
+                max_steps: 20_000,
+            }
+        }
+
+        pub fn replay(seed: u64) -> Self {
+            Config {
+                mode: Mode::Replay { seed },
+                max_steps: 20_000,
+            }
+        }
+    }
+
+    /// What a model run covered.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Report {
+        /// Number of distinct schedules executed.
+        pub schedules: u64,
+    }
+
+    /// Without `sim`, runs the closure once on the real scheduler.
+    pub fn model(_config: Config, f: impl Fn()) -> Report {
+        f();
+        Report { schedules: 1 }
+    }
+}
+
+#[cfg(not(feature = "sim"))]
+pub use nosim::{model, Config, Mode, Report};

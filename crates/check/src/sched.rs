@@ -1,0 +1,662 @@
+//! The cooperative scheduler behind the `sim` feature.
+//!
+//! Real OS threads are used, but a single *baton* decides which one may
+//! run: every simulated thread blocks on the scheduler's internal
+//! condvar until `State::current` names it. Each facade operation calls
+//! [`Sched::switch`], which (1) applies the operation's bookkeeping,
+//! (2) asks the choice source to pick the next runnable thread, and
+//! (3) waits until this thread is picked again. Because exactly one
+//! thread runs between schedule points, the interleaving is fully
+//! determined by the sequence of picks — which is what makes replay
+//! from a seed or a decision prefix exact.
+//!
+//! Blocking is modeled, not performed: a thread that would block on a
+//! held mutex records `Blocked::Mutex(obj)` and simply stops being
+//! runnable until the owner releases. Deadlock is therefore decidable:
+//! if no thread is runnable while unfinished threads remain, the run
+//! aborts with a per-thread blame report.
+//!
+//! Failure propagation: the first panic (or deadlock/livelock
+//! detection) stores an abort reason; every thread that next reaches a
+//! schedule point panics in turn, unwinding its stack and releasing
+//! its simulated resources, until the whole run has drained. A thread
+//! already unwinding gets bookkeeping-only treatment — its guard drops
+//! must not panic again or try to hand the baton mid-unwind.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+/// Message used for the secondary panics that unwind a doomed run; the
+/// real failure reason is in `State::abort`.
+const ABORT_MSG: &str = "bgi-check: schedule aborted (see model() failure report)";
+
+/// Distinguishes runs so lazily-registered object ids from a previous
+/// schedule are not mistaken for this run's.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's simulation context, if it is running inside a
+/// `model()` closure.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lazily-assigned per-run identity of a facade object (mutex, rwlock,
+/// condvar). Outside a run it is empty; the first simulated operation
+/// inside a run registers it.
+#[derive(Debug, Default)]
+pub(crate) struct ObjCell(StdMutex<Option<(u64, u64)>>);
+
+impl ObjCell {
+    pub(crate) const fn new() -> Self {
+        ObjCell(StdMutex::new(None))
+    }
+}
+
+/// One scheduling decision, recorded for replay and DFS backtracking.
+/// Only points with more than one runnable option are recorded.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    /// Index picked in the canonical option list (current-thread-first,
+    /// then ascending tid).
+    pub picked: usize,
+    /// Number of options at this point.
+    pub n: usize,
+    /// True when option 0 was "let the current thread continue" — the
+    /// only case where picking another option costs a preemption.
+    pub cont: bool,
+}
+
+/// Where scheduling decisions come from.
+pub(crate) enum Source {
+    /// Uniform picks from a seeded `splitmix64` stream.
+    Random(SplitMix64),
+    /// Replay the given picks, then always pick option 0 (continue).
+    /// An empty prefix is the canonical first DFS schedule.
+    Prefix(Vec<usize>),
+}
+
+#[derive(Debug, Clone)]
+enum Blocked {
+    Ready,
+    Mutex(u64),
+    RwRead(u64),
+    RwWrite(u64),
+    Cv {
+        cv: u64,
+        mutex: u64,
+        signaled: bool,
+        /// Waiting with a timeout: may also wake spuriously as a
+        /// "timeout fired" (the sim has no clock, so an armed timeout
+        /// is simply always eligible to fire).
+        timed: bool,
+    },
+    Join(usize),
+    /// Main thread waiting for every spawned thread to finish.
+    JoinAll,
+}
+
+struct Th {
+    blocked: Blocked,
+    finished: bool,
+    /// Set by `grant` when a cv waiter is woken: true iff the wake was
+    /// the timeout, not a signal.
+    cv_timed_out: bool,
+}
+
+impl Th {
+    fn new() -> Th {
+        Th {
+            blocked: Blocked::Ready,
+            finished: false,
+            cv_timed_out: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RwSt {
+    writer: Option<usize>,
+    readers: usize,
+}
+
+struct State {
+    threads: Vec<Th>,
+    current: usize,
+    steps: usize,
+    next_obj: u64,
+    /// Mutex object → owner tid (None = free).
+    mutexes: HashMap<u64, Option<usize>>,
+    rws: HashMap<u64, RwSt>,
+    source: Source,
+    pos: usize,
+    trace: Vec<Choice>,
+    abort: Option<String>,
+    /// Like `abort`, but without a failure reason: every parked thread
+    /// must unwind and exit, while the *reason* slot stays open for the
+    /// panic that is still propagating on the thread that set this
+    /// (see [`Ctx::join_thread`]).
+    draining: bool,
+}
+
+impl State {
+    fn mutex_free(&self, m: u64) -> bool {
+        self.mutexes.get(&m).is_none_or(Option::is_none)
+    }
+
+    fn runnable(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        if t.finished {
+            return false;
+        }
+        match &t.blocked {
+            Blocked::Ready => true,
+            Blocked::Mutex(m) => self.mutex_free(*m),
+            Blocked::RwRead(o) => self.rws.get(o).is_none_or(|r| r.writer.is_none()),
+            Blocked::RwWrite(o) => self
+                .rws
+                .get(o)
+                .is_none_or(|r| r.writer.is_none() && r.readers == 0),
+            Blocked::Cv {
+                mutex,
+                signaled,
+                timed,
+                ..
+            } => (*signaled || *timed) && self.mutex_free(*mutex),
+            Blocked::Join(target) => self.threads[*target].finished,
+            Blocked::JoinAll => self
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(i, t)| i == tid || t.finished),
+        }
+    }
+
+    /// Makes `tid` runnable for real: acquires whatever it was blocked
+    /// on. Must only be called when `runnable(tid)` holds.
+    fn grant(&mut self, tid: usize) {
+        let blocked = std::mem::replace(&mut self.threads[tid].blocked, Blocked::Ready);
+        match blocked {
+            Blocked::Ready | Blocked::Join(_) | Blocked::JoinAll => {}
+            Blocked::Mutex(m) => {
+                self.mutexes.insert(m, Some(tid));
+            }
+            Blocked::RwRead(o) => {
+                self.rws.entry(o).or_default().readers += 1;
+            }
+            Blocked::RwWrite(o) => {
+                self.rws.entry(o).or_default().writer = Some(tid);
+            }
+            Blocked::Cv {
+                mutex, signaled, ..
+            } => {
+                self.mutexes.insert(mutex, Some(tid));
+                self.threads[tid].cv_timed_out = !signaled;
+            }
+        }
+    }
+
+    /// Consults the choice source at a point with `n > 1` options.
+    fn pick(&mut self, n: usize, cont: bool) -> usize {
+        let raw = match &mut self.source {
+            Source::Random(rng) => (rng.next() % n as u64) as usize,
+            Source::Prefix(p) => p.get(self.pos).copied().unwrap_or(0),
+        };
+        let picked = raw.min(n - 1);
+        self.pos += 1;
+        self.trace.push(Choice { picked, n, cont });
+        picked
+    }
+
+    fn deadlock_report(&self) -> String {
+        let mut lines = vec!["deadlock: no runnable thread".to_string()];
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.finished {
+                continue;
+            }
+            let what = match &t.blocked {
+                Blocked::Ready => "ready (unreachable)".to_string(),
+                Blocked::Mutex(m) => format!(
+                    "waiting for mutex #{m} (held by {:?})",
+                    self.mutexes.get(m).copied().flatten()
+                ),
+                Blocked::RwRead(o) => format!("waiting to read rwlock #{o}"),
+                Blocked::RwWrite(o) => format!("waiting to write rwlock #{o}"),
+                Blocked::Cv { cv, mutex, .. } => {
+                    format!("waiting on condvar #{cv} (mutex #{mutex}, never notified)")
+                }
+                Blocked::Join(target) => format!("joining t{target}"),
+                Blocked::JoinAll => "main: waiting for all threads".to_string(),
+            };
+            lines.push(format!("  t{i}: {what}"));
+        }
+        lines.join("\n")
+    }
+}
+
+pub(crate) struct Sched {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+    run_id: u64,
+    max_steps: usize,
+}
+
+impl Sched {
+    pub(crate) fn new(source: Source, max_steps: usize) -> Sched {
+        Sched {
+            state: StdMutex::new(State {
+                threads: vec![Th::new()],
+                current: 0,
+                steps: 0,
+                next_obj: 0,
+                mutexes: HashMap::new(),
+                rws: HashMap::new(),
+                source,
+                pos: 0,
+                trace: Vec::new(),
+                abort: None,
+                draining: false,
+            }),
+            cv: StdCondvar::new(),
+            // relaxed: uniqueness ticket; never synchronizes data.
+            run_id: RUN_COUNTER.fetch_add(1, Ordering::Relaxed),
+            max_steps,
+        }
+    }
+
+    fn st(&self) -> StdMutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The schedule point. Applies `pre` (the operation's bookkeeping)
+    /// and `block` (the caller's new wait state) atomically, picks the
+    /// next thread, and blocks until this thread is picked again.
+    /// Panics to unwind the run on abort, deadlock, or step exhaustion.
+    fn switch<F: FnOnce(&mut State)>(&self, me: usize, pre: F, block: Option<Blocked>) {
+        let mut st = self.st();
+        pre(&mut st);
+        if let Some(b) = block {
+            st.threads[me].blocked = b;
+        }
+        if std::thread::panicking() {
+            // Unwinding guard drops: bookkeeping only. The baton moves
+            // when `thread_finished` runs at the end of the unwind.
+            return;
+        }
+        if st.abort.is_some() || st.draining {
+            drop(st);
+            self.cv.notify_all();
+            panic!("{ABORT_MSG}");
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.abort = Some(format!(
+                "livelock? exceeded max_steps={} schedule points",
+                self.max_steps
+            ));
+            drop(st);
+            self.cv.notify_all();
+            panic!("{ABORT_MSG}");
+        }
+        if !self.schedule_next(&mut st, Some(me)) {
+            drop(st);
+            self.cv.notify_all();
+            panic!("{ABORT_MSG}");
+        }
+        self.cv.notify_all();
+        while st.current != me {
+            if st.abort.is_some() || st.draining {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Picks and installs the next thread to run. `me` is the calling
+    /// thread when it is still alive; it is listed first so that "pick
+    /// option 0" always means "continue without preemption". Returns
+    /// false (after recording the abort reason) on deadlock.
+    fn schedule_next(&self, st: &mut State, me: Option<usize>) -> bool {
+        let mut opts: Vec<usize> = Vec::new();
+        if let Some(m) = me {
+            if st.runnable(m) {
+                opts.push(m);
+            }
+        }
+        for tid in 0..st.threads.len() {
+            if Some(tid) != me && st.runnable(tid) {
+                opts.push(tid);
+            }
+        }
+        if opts.is_empty() {
+            if st.threads.iter().all(|t| t.finished) {
+                return true; // quiescent: nothing left to schedule
+            }
+            st.abort = Some(st.deadlock_report());
+            return false;
+        }
+        let cont = me.is_some() && me == opts.first().copied();
+        let idx = if opts.len() == 1 {
+            0
+        } else {
+            st.pick(opts.len(), cont)
+        };
+        let next = opts[idx];
+        st.grant(next);
+        st.current = next;
+        true
+    }
+
+    /// Called by a simulated thread's wrapper once its closure has
+    /// returned or panicked: marks it finished and hands the baton on.
+    fn thread_finished(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.st();
+        st.threads[tid].finished = true;
+        st.threads[tid].blocked = Blocked::Ready;
+        if let Some(m) = panic_msg {
+            if m != ABORT_MSG && st.abort.is_none() {
+                st.abort = Some(format!("thread t{tid} panicked: {m}"));
+            }
+        }
+        if st.abort.is_none() && !st.draining {
+            let _ = self.schedule_next(&mut st, None);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks a newly spawned thread until the scheduler first picks
+    /// it. Panics (unwinding before the closure ever runs) if the run
+    /// aborts first.
+    fn wait_first(&self, tid: usize) {
+        let mut st = self.st();
+        while st.current != tid {
+            if st.abort.is_some() || st.draining {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Forces every parked thread to unwind and exit *without* claiming
+    /// the failure-reason slot. Called when a thread needs its peers
+    /// gone while its own panic is still propagating (a `Drop` joining
+    /// worker threads mid-unwind): the real panic reaches
+    /// `abort_and_drain` later and becomes the reported reason.
+    fn begin_drain(&self) {
+        self.st().draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Main-thread barrier at the end of the closure: waits until every
+    /// spawned thread has finished (detecting deadlock if they can't).
+    pub(crate) fn main_wait_all(&self) {
+        self.switch(0, |_| {}, Some(Blocked::JoinAll));
+    }
+
+    /// Records an externally observed failure (a panic that escaped the
+    /// closure), wakes everything, and waits for all spawned threads to
+    /// drain so the next schedule starts clean. Returns the failure
+    /// reason, if any.
+    pub(crate) fn abort_and_drain(&self, external: Option<String>) -> Option<String> {
+        let mut st = self.st();
+        let all_done = |st: &State| {
+            st.threads
+                .iter()
+                .enumerate()
+                .all(|(i, t)| i == 0 || t.finished)
+        };
+        if let Some(m) = external {
+            if m != ABORT_MSG && st.abort.is_none() {
+                st.abort = Some(m);
+            }
+        }
+        st.draining = true;
+        if st.abort.is_some() || !all_done(&st) {
+            if st.abort.is_none() {
+                // Closure returned while threads are still running and
+                // main never joined them: surface that as a failure
+                // rather than hanging.
+                st.abort = Some(
+                    "model closure returned with unjoined running threads \
+                     (join every spawned thread before returning)"
+                        .to_string(),
+                );
+            }
+            while !all_done(&st) {
+                self.cv.notify_all();
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        st.abort.clone()
+    }
+
+    pub(crate) fn take_trace(&self) -> Vec<Choice> {
+        std::mem::take(&mut self.st().trace)
+    }
+}
+
+/// Wrapper every simulated thread runs: waits for its first schedule,
+/// runs the closure, reports the outcome, and re-raises any panic so
+/// the real `JoinHandle` yields it.
+pub(crate) fn run_sim_thread<T>(sched: Arc<Sched>, tid: usize, f: impl FnOnce() -> T) -> T {
+    set_current(Some(Ctx {
+        sched: sched.clone(),
+        tid,
+    }));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        sched.wait_first(tid);
+        f()
+    }));
+    let msg = result.as_ref().err().map(|p| panic_message(p.as_ref()));
+    sched.thread_finished(tid, msg);
+    set_current(None);
+    match result {
+        Ok(v) => v,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// A thread's handle to the scheduler of the run it belongs to.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    sched: Arc<Sched>,
+    tid: usize,
+}
+
+impl Ctx {
+    pub(crate) fn main(sched: Arc<Sched>) -> Ctx {
+        Ctx { sched, tid: 0 }
+    }
+
+    /// Resolves a facade object's per-run id, assigning one on first
+    /// use. Ids are deterministic because object creation order is
+    /// deterministic under the baton.
+    pub(crate) fn obj_id(&self, cell: &ObjCell) -> u64 {
+        let mut g = cell.0.lock().unwrap_or_else(PoisonError::into_inner);
+        match *g {
+            Some((run, id)) if run == self.sched.run_id => id,
+            _ => {
+                let mut st = self.sched.st();
+                st.next_obj += 1;
+                let id = st.next_obj;
+                drop(st);
+                *g = Some((self.sched.run_id, id));
+                id
+            }
+        }
+    }
+
+    /// A plain schedule point (atomic ops, yields, sleeps, spawns).
+    pub(crate) fn point(&self) {
+        self.sched.switch(self.tid, |_| {}, None);
+    }
+
+    pub(crate) fn lock_mutex(&self, obj: u64) {
+        self.sched
+            .switch(self.tid, |_| {}, Some(Blocked::Mutex(obj)));
+    }
+
+    pub(crate) fn unlock_mutex(&self, obj: u64) {
+        self.sched.switch(
+            self.tid,
+            |st| {
+                st.mutexes.insert(obj, None);
+            },
+            None,
+        );
+    }
+
+    pub(crate) fn lock_rw(&self, obj: u64, write: bool) {
+        let b = if write {
+            Blocked::RwWrite(obj)
+        } else {
+            Blocked::RwRead(obj)
+        };
+        self.sched.switch(self.tid, |_| {}, Some(b));
+    }
+
+    pub(crate) fn unlock_rw(&self, obj: u64, write: bool) {
+        self.sched.switch(
+            self.tid,
+            |st| {
+                let r = st.rws.entry(obj).or_default();
+                if write {
+                    r.writer = None;
+                } else {
+                    r.readers = r.readers.saturating_sub(1);
+                }
+            },
+            None,
+        );
+    }
+
+    /// Releases `mutex`, waits on `cv`, and returns with the mutex
+    /// re-acquired. Returns true iff the wake was a timeout.
+    pub(crate) fn cv_wait(&self, cv: u64, mutex: u64, timed: bool) -> bool {
+        self.sched.switch(
+            self.tid,
+            |st| {
+                st.mutexes.insert(mutex, None);
+            },
+            Some(Blocked::Cv {
+                cv,
+                mutex,
+                signaled: false,
+                timed,
+            }),
+        );
+        self.sched.st().threads[self.tid].cv_timed_out
+    }
+
+    pub(crate) fn cv_notify(&self, cv: u64, all: bool) {
+        self.sched.switch(
+            self.tid,
+            |st| {
+                let waiters: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| {
+                        !t.finished
+                            && matches!(
+                                &t.blocked,
+                                Blocked::Cv { cv: c, signaled: false, .. } if *c == cv
+                            )
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let chosen: &[usize] = if all {
+                    &waiters
+                } else if waiters.is_empty() {
+                    &[]
+                } else if waiters.len() == 1 {
+                    &waiters[..1]
+                } else {
+                    // Which waiter a notify_one wakes is itself a
+                    // scheduling decision.
+                    let idx = st.pick(waiters.len(), false);
+                    &waiters[idx..=idx]
+                };
+                let chosen = chosen.to_vec();
+                for w in chosen {
+                    if let Blocked::Cv { signaled, .. } = &mut st.threads[w].blocked {
+                        *signaled = true;
+                    }
+                }
+            },
+            None,
+        );
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.sched.st();
+        st.threads.push(Th::new());
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn sched_handle(&self) -> Arc<Sched> {
+        self.sched.clone()
+    }
+
+    pub(crate) fn join_thread(&self, target: usize) {
+        if std::thread::panicking() {
+            // A `Drop` is joining its threads while this thread's panic
+            // unwinds (e.g. a worker pool dropped by the failing
+            // closure). The caller will block on the *real* join next,
+            // so the target must be forced to exit — but the in-flight
+            // panic, not a scheduler message, must stay the reported
+            // failure.
+            self.sched.begin_drain();
+            return;
+        }
+        self.sched
+            .switch(self.tid, |_| {}, Some(Blocked::Join(target)));
+    }
+
+    pub(crate) fn thread_is_finished(&self, target: usize) -> bool {
+        self.sched.switch(self.tid, |_| {}, None);
+        self.sched.st().threads[target].finished
+    }
+}
+
+/// `splitmix64`: tiny, seedable, and good enough for schedule picks.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

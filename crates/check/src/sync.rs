@@ -1,0 +1,665 @@
+//! The `std::sync`-shaped facade.
+//!
+//! Drop-in versions of the primitives the workspace uses: `Mutex`,
+//! `RwLock`, `Condvar`, the atomics, and `thread::{spawn, JoinHandle}`.
+//! Outside a `model()` closure (or without the `sim` feature) every
+//! call delegates straight to `std`. Inside one, each operation first
+//! reaches a schedule point so the controlled scheduler decides the
+//! interleaving; the underlying `std` primitive is still what holds the
+//! data, but the scheduler guarantees it is only ever taken
+//! uncontended, so no unsafe code is needed.
+//!
+//! API differences from `std` (deliberate, minimal):
+//! - `Condvar::wait_timeout` returns this module's
+//!   [`WaitTimeoutResult`] (std's cannot be constructed by hand). In
+//!   simulation an armed timeout may fire at any schedule point —
+//!   there is no clock — so timeout-looping code must re-check its own
+//!   deadline, exactly as it must under spurious wakeups.
+//! - Poison: simulated locks never report poison (a panic aborts the
+//!   whole schedule instead); passthrough locks report it exactly as
+//!   `std` does.
+
+#[cfg(feature = "sim")]
+use crate::sched::{self, ObjCell};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+pub use std::sync::{LockResult, PoisonError};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A mutual-exclusion lock; `std::sync::Mutex` outside simulation.
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "sim")]
+    obj: ObjCell,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            #[cfg(feature = "sim")]
+            obj: ObjCell::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            let obj = ctx.obj_id(&self.obj);
+            ctx.lock_mutex(obj);
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                #[cfg(feature = "sim")]
+                sim_obj: Some(obj),
+            });
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases at a schedule point in simulation.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently, while parked inside `Condvar::wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "sim")]
+    sim_obj: Option<u64>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .expect("bgi-check: mutex guard accessed while parked in a condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("bgi-check: mutex guard accessed while parked in a condvar wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first, then tell the scheduler: only
+        // one thread runs at a time, so nothing races in between.
+        drop(self.inner.take());
+        #[cfg(feature = "sim")]
+        if let Some(obj) = self.sim_obj.take() {
+            if let Some(ctx) = sched::current() {
+                ctx.unlock_mutex(obj);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A reader-writer lock; `std::sync::RwLock` outside simulation.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "sim")]
+    obj: ObjCell,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            #[cfg(feature = "sim")]
+            obj: ObjCell::new(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            let obj = ctx.obj_id(&self.obj);
+            ctx.lock_rw(obj, false);
+            let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            return Ok(RwLockReadGuard {
+                inner: Some(inner),
+                #[cfg(feature = "sim")]
+                sim_obj: Some(obj),
+            });
+        }
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                inner: Some(g),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                inner: Some(p.into_inner()),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            })),
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            let obj = ctx.obj_id(&self.obj);
+            ctx.lock_rw(obj, true);
+            let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            return Ok(RwLockWriteGuard {
+                inner: Some(inner),
+                #[cfg(feature = "sim")]
+                sim_obj: Some(obj),
+            });
+        }
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                inner: Some(g),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                inner: Some(p.into_inner()),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $std:ident, $write:expr, $mut_access:tt) => {
+        /// RAII guard for [`RwLock`].
+        pub struct $name<'a, T: ?Sized> {
+            inner: Option<std::sync::$std<'a, T>>,
+            #[cfg(feature = "sim")]
+            sim_obj: Option<u64>,
+        }
+
+        impl<T: ?Sized> Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.inner
+                    .as_deref()
+                    .expect("bgi-check: rwlock guard missing")
+            }
+        }
+
+        rw_guard!(@mut $name, $mut_access);
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                drop(self.inner.take());
+                #[cfg(feature = "sim")]
+                if let Some(obj) = self.sim_obj.take() {
+                    if let Some(ctx) = sched::current() {
+                        ctx.unlock_rw(obj, $write);
+                    }
+                }
+            }
+        }
+
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+    };
+    (@mut $name:ident, yes) => {
+        impl<T: ?Sized> DerefMut for $name<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                self.inner
+                    .as_deref_mut()
+                    .expect("bgi-check: rwlock guard missing")
+            }
+        }
+    };
+    (@mut $name:ident, no) => {};
+}
+
+rw_guard!(RwLockReadGuard, RwLockReadGuard, false, no);
+rw_guard!(RwLockWriteGuard, RwLockWriteGuard, true, yes);
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Why a `wait_timeout` returned. Unlike `std`'s, this type is
+/// constructible here, which is what lets the simulated scheduler
+/// deliver timeout wakeups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable; `std::sync::Condvar` outside simulation.
+#[derive(Default)]
+pub struct Condvar {
+    #[cfg(feature = "sim")]
+    obj: ObjCell,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            #[cfg(feature = "sim")]
+            obj: ObjCell::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            if guard.sim_obj.is_some() {
+                return Ok(self.sim_wait(&ctx, guard, false).0);
+            }
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        let std_guard = guard
+            .inner
+            .take()
+            .expect("bgi-check: condvar wait on a parked guard");
+        drop(guard); // now a no-op: no inner, no sim obj
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard {
+                lock,
+                inner: Some(g),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock,
+                inner: Some(p.into_inner()),
+                #[cfg(feature = "sim")]
+                sim_obj: None,
+            })),
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            if guard.sim_obj.is_some() {
+                let (g, timed_out) = self.sim_wait(&ctx, guard, true);
+                return Ok((g, WaitTimeoutResult { timed_out }));
+            }
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        let std_guard = guard
+            .inner
+            .take()
+            .expect("bgi-check: condvar wait on a parked guard");
+        drop(guard);
+        let rebuild = |g, timed_out| {
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    #[cfg(feature = "sim")]
+                    sim_obj: None,
+                },
+                WaitTimeoutResult { timed_out },
+            )
+        };
+        match self.inner.wait_timeout(std_guard, dur) {
+            Ok((g, r)) => Ok(rebuild(g, r.timed_out())),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                Err(PoisonError::new(rebuild(g, r.timed_out())))
+            }
+        }
+    }
+
+    /// Simulated wait: atomically releases the guard's mutex and parks
+    /// as a waiter; returns with the mutex re-acquired.
+    #[cfg(feature = "sim")]
+    fn sim_wait<'a, T: ?Sized>(
+        &self,
+        ctx: &sched::Ctx,
+        mut guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let lock = guard.lock;
+        let cv_obj = ctx.obj_id(&self.obj);
+        let mutex_obj = guard
+            .sim_obj
+            .take()
+            .expect("bgi-check: sim_wait on a passthrough guard");
+        drop(guard.inner.take());
+        drop(guard); // defused: releases nothing
+        let timed_out = ctx.cv_wait(cv_obj, mutex_obj, timed);
+        // The scheduler granted us the simulated mutex; the std lock
+        // underneath is guaranteed uncontended.
+        let inner = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        (
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+                sim_obj: Some(mutex_obj),
+            },
+            timed_out,
+        )
+    }
+
+    pub fn notify_one(&self) {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            ctx.cv_notify(ctx.obj_id(&self.obj), false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            ctx.cv_notify(ctx.obj_id(&self.obj), true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+/// Facade atomics: every access is a schedule point in simulation, so
+/// the explorer can interleave threads between a load and a dependent
+/// store. The memory model simulated is sequential consistency — the
+/// `Ordering` argument is passed through to the real atomic but does
+/// not add reorderings to the exploration (the atomics-ordering lint
+/// pass polices `Ordering` choices statically instead).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(feature = "sim")]
+    fn point() {
+        if let Some(ctx) = crate::sched::current() {
+            ctx.point();
+        }
+    }
+
+    #[cfg(not(feature = "sim"))]
+    #[inline]
+    fn point() {}
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ident, $prim:ty) => {
+            /// Facade over the `std` atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    point();
+                    self.inner.store(v, order);
+                }
+
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU64, AtomicU64, u64);
+    atomic_int!(AtomicU32, AtomicU32, u32);
+    atomic_int!(AtomicUsize, AtomicUsize, usize);
+
+    /// Facade over `std::sync::atomic::AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            point();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            point();
+            self.inner.store(v, order);
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            point();
+            self.inner.swap(v, order)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Facade over `std::thread` spawning and joining.
+pub mod thread {
+    #[cfg(feature = "sim")]
+    use crate::sched;
+    use std::time::Duration;
+
+    /// Owns a spawned thread; `join` and `is_finished` are schedule
+    /// points in simulation, so the explorer can interleave the target
+    /// thread's completion with the observer.
+    #[derive(Debug)]
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        #[cfg(feature = "sim")]
+        sim_tid: Option<usize>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            #[cfg(feature = "sim")]
+            if let Some(tid) = self.sim_tid {
+                if let Some(ctx) = sched::current() {
+                    // Block (in the simulated sense) until the target
+                    // finishes; the real join below is then immediate.
+                    ctx.join_thread(tid);
+                }
+            }
+            self.inner.join()
+        }
+
+        pub fn is_finished(&self) -> bool {
+            #[cfg(feature = "sim")]
+            if let Some(tid) = self.sim_tid {
+                if let Some(ctx) = sched::current() {
+                    return ctx.thread_is_finished(tid);
+                }
+            }
+            self.inner.is_finished()
+        }
+    }
+
+    /// Spawns a thread. Inside a model run the new thread is registered
+    /// with the scheduler and does not execute until first picked.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            let tid = ctx.register_thread();
+            let sched = ctx.sched_handle();
+            let inner = std::thread::spawn(move || sched::run_sim_thread(sched, tid, f));
+            // Spawning is itself a schedule point: the child may run
+            // immediately or arbitrarily later.
+            ctx.point();
+            return JoinHandle {
+                inner,
+                sim_tid: Some(tid),
+            };
+        }
+        JoinHandle {
+            inner: std::thread::spawn(f),
+            #[cfg(feature = "sim")]
+            sim_tid: None,
+        }
+    }
+
+    /// Yields. A plain schedule point in simulation.
+    pub fn yield_now() {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            ctx.point();
+            return;
+        }
+        std::thread::yield_now();
+    }
+
+    /// Sleeps. In simulation there is no clock: this is a schedule
+    /// point (letting every other thread run arbitrarily far) and
+    /// returns immediately, which is the correct model for sleeps used
+    /// as backoff.
+    pub fn sleep(dur: Duration) {
+        #[cfg(feature = "sim")]
+        if let Some(ctx) = sched::current() {
+            ctx.point();
+            return;
+        }
+        std::thread::sleep(dur);
+    }
+}

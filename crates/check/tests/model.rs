@@ -1,0 +1,294 @@
+//! Self-tests for the model checker: the harness must find planted
+//! races, detect deadlocks, replay failures from seeds, and pass clean
+//! code. Everything here needs the `sim` feature (in workspace builds
+//! it is unified in via `bgi-service`'s dev-dependency; standalone:
+//! `cargo test -p bgi-check --features sim`).
+#![cfg(feature = "sim")]
+
+use bgi_check::sync::atomic::{AtomicU64, Ordering};
+use bgi_check::sync::{thread, Condvar, Mutex, PoisonError};
+use bgi_check::{model, Config};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> bgi_check::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The canonical planted bug: two threads perform a non-atomic
+/// load-then-store increment. Only an interleaving that preempts
+/// between the load and the store loses an update.
+fn racy_increment() {
+    let n = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let n = Arc::clone(&n);
+        handles.push(thread::spawn(move || {
+            let seen = n.load(Ordering::SeqCst);
+            n.store(seen + 1, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn exhaustive_finds_lost_update_with_one_preemption() {
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        model(Config::exhaustive(1), racy_increment);
+    }))
+    .expect_err("bound-1 exploration must find the lost update");
+    let msg = failure
+        .downcast_ref::<String>()
+        .expect("failure carries a message");
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+    assert!(msg.contains("decision prefix"), "not replayable: {msg}");
+}
+
+#[test]
+fn preemption_free_schedule_misses_the_race() {
+    // Bound 0 = serial schedules only: the planted race needs a
+    // preemption, so exploration passes (this is what the bound means).
+    let report = model(Config::exhaustive(0), racy_increment);
+    assert!(report.schedules >= 1);
+}
+
+#[test]
+fn random_failure_replays_from_reported_seed() {
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        model(Config::random(500, 42), racy_increment);
+    }))
+    .expect_err("500 random schedules must find the lost update");
+    let msg = failure
+        .downcast_ref::<String>()
+        .expect("failure carries a message")
+        .clone();
+    let seed_hex = msg
+        .split("under seed 0x")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("failure names its seed");
+    let seed = u64::from_str_radix(seed_hex, 16).expect("seed parses");
+    let replay = catch_unwind(AssertUnwindSafe(|| {
+        model(Config::replay(seed), racy_increment);
+    }))
+    .expect_err("replaying the reported seed must reproduce the failure");
+    let replay_msg = replay.downcast_ref::<String>().expect("replay message");
+    assert!(
+        replay_msg.contains("lost update"),
+        "replay found a different failure: {replay_msg}"
+    );
+}
+
+#[test]
+fn atomic_rmw_increment_is_clean() {
+    let report = model(Config::exhaustive(2), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        report.schedules > 1,
+        "bound-2 exploration should cover more than one schedule"
+    );
+}
+
+#[test]
+fn abba_deadlock_is_detected_and_blamed() {
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        model(Config::exhaustive(1), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = lock(&a);
+                let _gb = lock(&b);
+            });
+            let t2 = thread::spawn(move || {
+                let _gb = lock(&b2);
+                let _ga = lock(&a2);
+            });
+            let _ = t1.join();
+            let _ = t2.join();
+        });
+    }))
+    .expect_err("ABBA lock order must deadlock under one preemption");
+    let msg = failure.downcast_ref::<String>().expect("message");
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    assert!(msg.contains("waiting for mutex"), "no blame report: {msg}");
+}
+
+#[test]
+fn condvar_handoff_is_clean_and_notify_wakes() {
+    let report = model(Config::exhaustive(2), || {
+        let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+        let producer = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let mut g = lock(&slot.0);
+                *g = Some(7);
+                drop(g);
+                slot.1.notify_all();
+            })
+        };
+        let got = {
+            let mut g = lock(&slot.0);
+            while g.is_none() {
+                g = slot.1.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            g.expect("filled")
+        };
+        assert_eq!(got, 7);
+        producer.join().unwrap();
+    });
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn missed_notify_deadlock_is_detected() {
+    // Waiter checks no predicate and the producer never notifies:
+    // every schedule deadlocks with the waiter parked on the condvar.
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        model(Config::exhaustive(0), || {
+            let slot = Arc::new((Mutex::new(()), Condvar::new()));
+            let waiter = {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    let g = lock(&slot.0);
+                    let _g = slot.1.wait(g).unwrap_or_else(PoisonError::into_inner);
+                })
+            };
+            let _ = waiter.join();
+        });
+    }))
+    .expect_err("un-notified wait must deadlock");
+    let msg = failure.downcast_ref::<String>().expect("message");
+    assert!(msg.contains("never notified"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn timed_wait_fires_without_a_notifier() {
+    model(Config::exhaustive(1), || {
+        let slot = Arc::new((Mutex::new(()), Condvar::new()));
+        let g = lock(&slot.0);
+        let (_g, res) = slot
+            .1
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap_or_else(PoisonError::into_inner);
+        assert!(res.timed_out(), "no notifier exists: wake must be timeout");
+    });
+}
+
+#[test]
+fn rwlock_writer_excludes_readers() {
+    model(Config::exhaustive(2), || {
+        let v = Arc::new(bgi_check::sync::RwLock::new(0u64));
+        let writer = {
+            let v = Arc::clone(&v);
+            thread::spawn(move || {
+                let mut g = v.write().unwrap_or_else(PoisonError::into_inner);
+                // A reader between these two writes would observe the
+                // torn intermediate value 1.
+                *g = 1;
+                *g = 2;
+            })
+        };
+        let reader = {
+            let v = Arc::clone(&v);
+            thread::spawn(move || {
+                let g = v.read().unwrap_or_else(PoisonError::into_inner);
+                assert_ne!(*g, 1, "observed torn write under the write lock");
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+#[test]
+fn facade_is_usable_outside_model() {
+    // Passthrough mode: plain std behavior on real threads.
+    let n = Arc::new(AtomicU64::new(0));
+    let m = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let n = Arc::clone(&n);
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+                lock(&m).push(i);
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(!h.is_finished() || h.is_finished());
+        h.join().unwrap();
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 4);
+    assert_eq!(lock(&m).len(), 4);
+}
+
+/// A worker pool whose `Drop` signals its thread and joins it — the
+/// shape `Service` has in bgi-service.
+struct Pool {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        *lock(&self.stop.0) = true;
+        self.stop.1.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// When the model closure panics while a pool is still alive, its
+/// `Drop` joins the worker *during unwind*. The scheduler must drain
+/// the parked worker so the real join completes, and the reported
+/// failure must stay the closure's own panic — not a scheduler
+/// deadlock message.
+#[test]
+fn panic_with_live_worker_pool_reports_the_real_failure() {
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        model(Config::random(1, 7), || {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let worker = {
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut done = lock(&stop.0);
+                    while !*done {
+                        done = stop.1.wait(done).unwrap_or_else(PoisonError::into_inner);
+                    }
+                })
+            };
+            let _pool = Pool {
+                stop,
+                worker: Some(worker),
+            };
+            panic!("injected model failure");
+        });
+    }))
+    .expect_err("the closure's panic must surface, not wedge in Drop");
+    let msg = failure
+        .downcast_ref::<String>()
+        .expect("failure carries a message");
+    assert!(
+        msg.contains("injected model failure"),
+        "Drop glue swallowed the real failure: {msg}"
+    );
+}

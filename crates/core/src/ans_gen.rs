@@ -76,6 +76,7 @@ pub fn vertex_answer_generation_budgeted(
     let pos_of = |v: VId| answer.vertices.binary_search(&v).expect("answer vertex");
     let rank: Vec<usize> = {
         let mut r = vec![0; n];
+        // budget-exempt: one pass over the answer's positions
         for (step, &p) in order.iter().enumerate() {
             r[p] = step;
         }
@@ -85,6 +86,7 @@ pub fn vertex_answer_generation_budgeted(
     // when assigning the position at `step`. Direction: true = edge goes
     // earlier -> current, false = current -> earlier.
     let mut checks: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    // budget-exempt: one pass over the answer's edges
     for &(u, v) in &answer.edges {
         let (pu, pv) = (pos_of(u), pos_of(v));
         if rank[pu] < rank[pv] {

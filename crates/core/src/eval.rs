@@ -371,6 +371,7 @@ fn distance_verify(
     // Candidate sets per keyword: union over the generalized answer's
     // keyword vertices.
     let mut cands: Vec<Vec<VId>> = vec![Vec::new(); n];
+    // budget-exempt: one pass over the answer's positions
     for (i, key) in spec.key_of.iter().enumerate() {
         if let Some(kw) = key {
             cands[*kw].extend_from_slice(&spec.candidates[i]);
@@ -379,6 +380,7 @@ fn distance_verify(
     if cands.iter().any(Vec::is_empty) {
         return Ok((Vec::new(), stats));
     }
+    // budget-exempt: |query| candidate lists
     for c in &mut cands {
         c.sort_unstable();
         c.dedup();
@@ -395,6 +397,7 @@ fn distance_verify(
             let mut q = VecDeque::new();
             d.insert(u, 0);
             q.push_back(u);
+            // budget-exempt: one dmax-bounded BFS ball between `rec`'s polls
             while let Some(x) = q.pop_front() {
                 let dx = d[&x];
                 if dx >= bound {
@@ -434,6 +437,7 @@ fn distance_verify(
         if depth == cands.len() {
             // Weight: sum of pairwise distances (all verified ≤ d_max).
             let mut weight = 0u64;
+            // budget-exempt: pairwise over at most |query| picks
             for i in 0..picked.len() {
                 for j in i + 1..picked.len() {
                     weight += dist(base, picked[i], picked[j], query.dmax).unwrap() as u64;

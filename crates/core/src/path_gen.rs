@@ -239,6 +239,7 @@ pub fn path_answer_generation_budgeted(
 
     let mut answers = Vec::new();
     for partial in partials {
+        budget.check()?;
         if partial.len() != n {
             continue; // uncovered positions (cannot happen post-decomposition)
         }

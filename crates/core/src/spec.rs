@@ -76,6 +76,7 @@ pub fn specialize_answer_budgeted(
     let nverts = answer.vertices.len();
     // isKey: which keyword does each generalized vertex match?
     let mut key_of: Vec<Option<usize>> = vec![None; nverts];
+    // budget-exempt: one pass over the answer's keyword matches
     for (kw, matches) in answer.keyword_matches.iter().enumerate() {
         for v in matches {
             if let Ok(pos) = answer.vertices.binary_search(v) {

@@ -48,6 +48,8 @@ where
             s.spawn(move || {
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
+                    // relaxed: pure work-claim ticket; results are
+                    // published by the scope join, not this counter.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;

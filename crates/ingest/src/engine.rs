@@ -658,8 +658,12 @@ impl RebuildJob {
             self.direction,
             self.summarizer,
         );
-        let (banks, blinks, rclique) =
-            build_layer_indexes(&index, self.blinks_params, self.rclique_params, self.threads);
+        let (banks, blinks, rclique) = build_layer_indexes(
+            &index,
+            self.blinks_params,
+            self.rclique_params,
+            self.threads,
+        );
         IndexBundle {
             index,
             banks,

@@ -63,6 +63,7 @@ pub(crate) fn backward_reach_budgeted(
 ) -> Result<ReachTable, Interrupted> {
     let mut reach: ReachTable = FxHashMap::default();
     let mut queue = VecDeque::new();
+    // budget-exempt: linear seeding of the BFS queue
     for &s in sources {
         if let std::collections::hash_map::Entry::Vacant(e) = reach.entry(s) {
             e.insert((0, None));

@@ -114,6 +114,7 @@ impl Blinks {
         // keyword is absent.
         let mut frontiers: Vec<std::collections::VecDeque<VId>> = Vec::with_capacity(n);
         let mut dists: Vec<FxHashMap<VId, u32>> = vec![FxHashMap::default(); n];
+        // budget-exempt: distance-0 seed prefixes, one per keyword
         for (i, &q) in query.keywords.iter().enumerate() {
             let Some(list) = index.keyword_node_list(q) else {
                 return Ok(Vec::new());
@@ -145,6 +146,7 @@ impl Blinks {
         // Backward expansion state: how many keywords reached each
         // candidate and its accumulated score.
         let mut hit_count: FxHashMap<VId, (u8, u64)> = FxHashMap::default();
+        // budget-exempt: one pass over the seed frontiers
         for f in frontiers.iter().enumerate().flat_map(|(i, q)| {
             let _ = i;
             q.iter().copied().collect::<Vec<_>>()
@@ -170,6 +172,7 @@ impl Blinks {
         };
         // Seeds that are already complete (single-keyword queries).
         if n == 1 {
+            // budget-exempt: seeds only
             for (&v, &e) in &hit_count {
                 complete(e, v, &mut roots, &mut best_k);
             }

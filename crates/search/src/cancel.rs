@@ -119,7 +119,11 @@ impl Budget {
             return true;
         }
         if let Some(flag) = &self.cancel {
-            if flag.load(Ordering::Relaxed) {
+            // Acquire pairs with the canceller's Release store so any
+            // state written before raising the flag (shutdown reason,
+            // drained-queue bookkeeping) is visible to the worker that
+            // observes the cancellation.
+            if flag.load(Ordering::Acquire) {
                 self.expired.set(true);
                 return true;
             }
@@ -210,7 +214,7 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(false));
         let b = Budget::unlimited().cancelled_by(Arc::clone(&flag));
         assert!(!b.is_exhausted());
-        flag.store(true, Ordering::Relaxed);
+        flag.store(true, Ordering::Release);
         assert!(b.is_exhausted());
     }
 
@@ -236,7 +240,7 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(false));
         let a = Budget::unlimited().cancelled_by(Arc::clone(&flag));
         let b = a.clone();
-        flag.store(true, Ordering::Relaxed);
+        flag.store(true, Ordering::Release);
         assert!(a.is_exhausted());
         assert!(b.is_exhausted());
     }

@@ -10,8 +10,8 @@
 //! Built on `Mutex<VecDeque>` + `Condvar` only — the crate adds no
 //! dependencies beyond std.
 
+use bgi_check::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +116,7 @@ impl<T> BoundedQueue<T> {
         drained
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }

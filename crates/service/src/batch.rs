@@ -70,6 +70,8 @@ pub fn run_batch(
     std::thread::scope(|s| {
         for _ in 0..clients.max(1) {
             s.spawn(|| loop {
+                // relaxed: pure work-claim ticket; the scope join is the
+                // only synchronization the report needs.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
@@ -78,8 +80,11 @@ pub fn run_batch(
                 loop {
                     match service.query(request.clone()) {
                         Ok(resp) => {
+                            // relaxed: outcome counters, read only after
+                            // the thread scope joins.
                             served.fetch_add(1, Ordering::Relaxed);
                             if resp.cache_hit {
+                                // relaxed: see `served` above.
                                 cache_hits.fetch_add(1, Ordering::Relaxed);
                             }
                             break;
@@ -89,10 +94,12 @@ pub fn run_batch(
                             std::thread::yield_now();
                         }
                         Err(QueryError::Timeout) => {
+                            // relaxed: see `served` above.
                             timeouts.fetch_add(1, Ordering::Relaxed);
                             break;
                         }
                         Err(_) => {
+                            // relaxed: see `served` above.
                             failed.fetch_add(1, Ordering::Relaxed);
                             break;
                         }

@@ -21,11 +21,25 @@
 
 use crate::request::{QueryRequest, Semantics};
 use crate::snapshot::ExecOutcome;
+use bgi_check::sync::atomic::{AtomicU64, Ordering};
+use bgi_check::sync::{Mutex, MutexGuard, PoisonError};
 use bgi_graph::LabelId;
 use rustc_hash::FxHashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+/// Bumps a monotonic statistics counter.
+fn bump(counter: &AtomicU64, n: u64) {
+    // relaxed: independent event counter; nothing is published through
+    // it and stats() reads are advisory snapshots.
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Reads a statistics counter for a point-in-time snapshot.
+fn counter(c: &AtomicU64) -> u64 {
+    // relaxed: advisory read of an independent event counter.
+    c.load(Ordering::Relaxed)
+}
 
 /// The normalized cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -152,12 +166,12 @@ impl AnswerCache {
                 *last_used = tick;
                 let value = Arc::clone(value);
                 drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.hits, 1);
                 Some(value)
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.misses, 1);
                 None
             }
         }
@@ -186,7 +200,7 @@ impl AnswerCache {
                 .map(|(k, _)| k.clone());
             if let Some(old_key) = oldest {
                 shard.map.remove(&old_key);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                bump(&self.evictions, 1);
             }
         }
         shard.map.insert(key, (tick, value));
@@ -206,8 +220,7 @@ impl AnswerCache {
         }
         self.generation.fetch_add(1, Ordering::Release);
         drop(guards);
-        self.invalidated
-            .fetch_add(dropped as u64, Ordering::Relaxed);
+        bump(&self.invalidated, dropped as u64);
     }
 
     /// Entries currently resident across all shards.
@@ -223,21 +236,21 @@ impl AnswerCache {
     /// Point-in-time counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidated: self.invalidated.load(Ordering::Relaxed),
+            hits: counter(&self.hits),
+            misses: counter(&self.misses),
+            evictions: counter(&self.evictions),
+            invalidated: counter(&self.invalidated),
             entries: self.len(),
         }
     }
 
-    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
         Self::lock(&self.shards[idx])
     }
 
     /// Lock a shard, recovering from poisoning: the cache holds plain
     /// data, so a panicking peer cannot leave it logically broken.
-    fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
         shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -346,7 +359,10 @@ mod tests {
 
     #[test]
     fn concurrent_counters_lose_no_updates() {
-        let c = std::sync::Arc::new(AnswerCache::new(4, 1024));
+        // Capacity comfortably above the total insert volume (even under
+        // hash skew), so no eviction can race the get-after-insert
+        // assertion — every miss/hit pair is deterministic.
+        let c = std::sync::Arc::new(AnswerCache::new(4, 8192));
         let threads = 8;
         let per_thread = 200u64;
         std::thread::scope(|s| {

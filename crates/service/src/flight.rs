@@ -14,9 +14,9 @@
 //! That keeps the failure path self-healing without the flight table
 //! ever holding results.
 
+use bgi_check::sync::{Condvar, Mutex, PoisonError};
 use std::collections::HashSet;
 use std::hash::Hash;
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Outcome of [`SingleFlight::join`].

@@ -6,8 +6,8 @@
 //! a writer (the `bgi serve` front-end passes stderr). Write failures
 //! are swallowed — logging must never take the service down.
 
+use bgi_check::sync::{Mutex, PoisonError};
 use std::io::Write;
-use std::sync::{Mutex, PoisonError};
 
 /// A shareable, optional line writer.
 #[derive(Default)]
@@ -48,6 +48,7 @@ impl Logger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::PoisonError;
     use std::sync::{Arc, Mutex};
 
     /// A Vec<u8> sink shared with the test.

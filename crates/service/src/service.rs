@@ -33,13 +33,14 @@ use crate::request::{QueryError, QueryRequest, QueryResponse};
 use crate::snapshot::IndexSnapshot;
 use crate::snapshot::SnapshotError;
 use crate::stats::{ServiceStats, StatsRegistry};
+use bgi_check::sync::atomic::{AtomicU64, Ordering};
+use bgi_check::sync::thread::{self, JoinHandle};
+use bgi_check::sync::{Mutex, PoisonError, RwLock};
 use bgi_ingest::{ApplyOutcome, Engine, IngestError, IngestUpdate};
 use bgi_search::Budget;
 use bgi_store::{IndexBundle, Store, StoreError};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Sizing and policy knobs for a [`Service`].
@@ -230,7 +231,7 @@ impl Service {
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
+                thread::spawn(move || {
                     while let Some(job) = shared.queue.pop() {
                         shared.active.fetch_add(1, Ordering::AcqRel);
                         shared.serve(job);
@@ -467,7 +468,7 @@ impl Service {
             return false;
         }
         let job = engine.start_rebuild();
-        *slot = Some(std::thread::spawn(move || job.run()));
+        *slot = Some(thread::spawn(move || job.run()));
         self.shared.log.line(&format!(
             "drift-triggered background rebuild started after {} updates",
             engine.updates_since_rebuild()
@@ -515,7 +516,7 @@ impl Service {
             if Instant::now() >= deadline {
                 break false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            thread::sleep(Duration::from_millis(1));
         };
         self.shutdown();
         drained

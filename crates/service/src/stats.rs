@@ -7,8 +7,23 @@
 //! p50/p95/p99 estimates read off the histogram.
 
 use crate::request::Semantics;
-use std::sync::atomic::{AtomicU64, Ordering};
+use bgi_check::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Bumps a monotonic event counter. Every registry counter funnels
+/// through here so the memory-ordering choice lives in exactly one
+/// place.
+fn bump(counter: &AtomicU64) {
+    // relaxed: independent monotonic counters; no data is published
+    // through them and snapshot() reads are advisory.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads an event counter for a point-in-time snapshot.
+fn read(counter: &AtomicU64) -> u64 {
+    // relaxed: advisory snapshot read of an independent counter.
+    counter.load(Ordering::Relaxed)
+}
 
 /// Histogram buckets: bucket `i` counts latencies in
 /// `[2^i, 2^(i+1)) µs`, except bucket 0 which also holds sub-µs
@@ -63,70 +78,70 @@ impl StatsRegistry {
 
     /// Records one successfully served query.
     pub fn record_served(&self, semantics: Semantics, latency: Duration, fell_back: bool) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        self.per_semantics[semantics.index()].fetch_add(1, Ordering::Relaxed);
+        bump(&self.served);
+        bump(&self.per_semantics[semantics.index()]);
         if fell_back {
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            bump(&self.fallbacks);
         }
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.latency_us[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        bump(&self.latency_us[Self::bucket(us)]);
     }
 
     /// Records a deadline expiry (queued or mid-execution).
     pub fn record_timeout(&self) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        bump(&self.timeouts);
     }
 
     /// Records a shed submission (admission queue full).
     pub fn record_overloaded(&self) {
-        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        bump(&self.rejected_overload);
     }
 
     /// Records a request refused for being malformed (empty keyword
     /// set, bad layer, merged keywords).
     pub fn record_invalid(&self) {
-        self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+        bump(&self.rejected_invalid);
     }
 
     /// Records a query answered from cache after waiting out another
     /// worker's in-flight computation of the same key.
     pub fn record_coalesced(&self) {
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        bump(&self.coalesced);
     }
 
     /// Records an index snapshot swap.
     pub fn record_swap(&self) {
-        self.index_swaps.fetch_add(1, Ordering::Relaxed);
+        bump(&self.index_swaps);
     }
 
     /// Records a successful reload from disk (which also counts as a
     /// swap, recorded separately by the swap itself).
     pub fn record_reload(&self) {
-        self.reloads.fetch_add(1, Ordering::Relaxed);
+        bump(&self.reloads);
     }
 
     /// Records a reload attempt that failed and rolled back to the
     /// running snapshot — the service is serving, but possibly from an
     /// older index than the operator intended.
     pub fn record_reload_rollback(&self) {
-        self.reload_rollbacks.fetch_add(1, Ordering::Relaxed);
+        bump(&self.reload_rollbacks);
     }
 
     /// Records one successfully applied (and swapped-in) update batch.
     pub fn record_ingest_batch(&self) {
-        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        bump(&self.ingest_batches);
     }
 
     /// Records a drift-triggered full rebuild performed on the write
     /// path.
     pub fn record_ingest_rebuild(&self) {
-        self.ingest_rebuilds.fetch_add(1, Ordering::Relaxed);
+        bump(&self.ingest_rebuilds);
     }
 
     /// Records an update batch whose resulting snapshot was refused —
     /// the previous snapshot keeps serving.
     pub fn record_ingest_rollback(&self) {
-        self.ingest_rollbacks.fetch_add(1, Ordering::Relaxed);
+        bump(&self.ingest_rollbacks);
     }
 
     fn bucket(us: u64) -> usize {
@@ -145,11 +160,7 @@ impl StatsRegistry {
 
     /// A point-in-time view of everything recorded so far.
     pub fn snapshot(&self) -> ServiceStats {
-        let hist: Vec<u64> = self
-            .latency_us
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let hist: Vec<u64> = self.latency_us.iter().map(read).collect();
         let total: u64 = hist.iter().sum();
         let pct = |p: f64| -> Duration {
             if total == 0 {
@@ -167,23 +178,23 @@ impl StatsRegistry {
             Duration::from_micros(Self::bucket_mid_us(BUCKETS - 1))
         };
         ServiceStats {
-            served: self.served.load(Ordering::Relaxed),
+            served: read(&self.served),
             per_semantics: [
-                self.per_semantics[0].load(Ordering::Relaxed),
-                self.per_semantics[1].load(Ordering::Relaxed),
-                self.per_semantics[2].load(Ordering::Relaxed),
+                read(&self.per_semantics[0]),
+                read(&self.per_semantics[1]),
+                read(&self.per_semantics[2]),
             ],
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
-            fallbacks: self.fallbacks.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            index_swaps: self.index_swaps.load(Ordering::Relaxed),
-            reloads: self.reloads.load(Ordering::Relaxed),
-            reload_rollbacks: self.reload_rollbacks.load(Ordering::Relaxed),
-            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
-            ingest_rebuilds: self.ingest_rebuilds.load(Ordering::Relaxed),
-            ingest_rollbacks: self.ingest_rollbacks.load(Ordering::Relaxed),
+            timeouts: read(&self.timeouts),
+            rejected_overload: read(&self.rejected_overload),
+            rejected_invalid: read(&self.rejected_invalid),
+            fallbacks: read(&self.fallbacks),
+            coalesced: read(&self.coalesced),
+            index_swaps: read(&self.index_swaps),
+            reloads: read(&self.reloads),
+            reload_rollbacks: read(&self.reload_rollbacks),
+            ingest_batches: read(&self.ingest_batches),
+            ingest_rebuilds: read(&self.ingest_rebuilds),
+            ingest_rollbacks: read(&self.ingest_rollbacks),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),

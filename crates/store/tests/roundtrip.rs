@@ -153,6 +153,30 @@ fn transient_read_errors_are_retried_with_backoff() {
     assert_eq!(store.generations().unwrap(), vec![1]);
 }
 
+#[test]
+fn transient_data_file_reads_are_retried_too() {
+    let a = bundle_a();
+    let dir = TempDir::new("retry-file");
+    let fp = Failpoints::enabled();
+    let policy = RetryPolicy {
+        attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+    };
+    let store = Store::open_with(dir.path(), fp.clone(), policy).unwrap();
+    store.save(&a).unwrap();
+    fp.reset();
+
+    // A single transient fault on a data-file read must be absorbed by
+    // the retry budget, not quarantine the generation.
+    fp.arm("load.read_file", 1, FailAction::Transient);
+    let (generation, loaded) = store.load_latest().unwrap();
+    assert_eq!(generation, 1);
+    assert_eq!(loaded, a);
+    assert!(fp.hits("load.read_file") > 1);
+    assert!(store.quarantined().is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
