@@ -4,8 +4,9 @@
 //! bench_gate ci/bench_baseline.json BENCH_build.json BENCH_throughput.json
 //! ```
 //!
-//! Every numeric key ending in `_ms` or `_us` (lower is better) that
-//! appears in both the baseline and a current artifact is compared;
+//! Every numeric key ending in `_ms`, `_us`, or `_regret` (lower is
+//! better) that appears in both the baseline and a current artifact is
+//! compared;
 //! the gate fails (exit 1) when `current > baseline * factor`. The
 //! factor defaults to 1.3 (the 30% budget from CONTRIBUTING.md) and
 //! can be overridden with `BGI_BENCH_GATE_FACTOR`. A gated baseline
@@ -21,7 +22,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn is_gated(key: &str) -> bool {
-    key.ends_with("_ms") || key.ends_with("_us")
+    key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_regret")
 }
 
 fn load(path: &str) -> BTreeMap<String, Value> {
@@ -102,7 +103,7 @@ fn main() -> ExitCode {
         println!("{key:<24} (no baseline — add it to ci/bench_baseline.json)");
     }
     if checked == 0 {
-        eprintln!("bench_gate: baseline has no gated (_ms/_us) metrics");
+        eprintln!("bench_gate: baseline has no gated (_ms/_us/_regret) metrics");
         return ExitCode::from(2);
     }
     if failures > 0 {

@@ -347,7 +347,8 @@ fn cmd_batch(args: &[String]) -> CliResult {
 }
 
 /// Parses one protocol line into a request:
-/// `<bkws|rkws|dkws> <kw1,kw2,...> [dmax=D] [k=K] [layer=M] [deadline_ms=T]`.
+/// `<bkws|rkws|dkws> <kw1,kw2,...> [dmax=D] [k=K] [layer=M] [deadline_ms=T]
+/// [soft_deadline_ms=T] [min_results=N]`.
 fn parse_request(ds: &Dataset, line: &str) -> Result<QueryRequest, String> {
     let mut parts = line.split_whitespace();
     let semantics = parts
@@ -376,6 +377,10 @@ fn parse_request(ds: &Dataset, line: &str) -> Result<QueryRequest, String> {
             "k" => req.k = parse(value)? as usize,
             "layer" => req.layer = Some(parse(value)? as usize),
             "deadline_ms" => req.deadline = Some(Duration::from_millis(parse(value)?)),
+            "soft_deadline_ms" => {
+                req.soft_deadline = Some(Duration::from_millis(parse(value)?));
+            }
+            "min_results" => req.min_results = parse(value)? as usize,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -395,9 +400,10 @@ fn format_response(result: Result<bgi_service::QueryResponse, QueryError>) -> St
                 })
                 .collect();
             format!(
-                "ok answers={} layer={} fell_back={} cache={} us={} roots={}",
+                "ok answers={} layer={} complete={} fell_back={} cache={} us={} roots={}",
                 resp.answers.len(),
                 resp.layer,
+                resp.completeness,
                 resp.fell_back,
                 resp.cache_hit,
                 resp.latency.as_micros(),

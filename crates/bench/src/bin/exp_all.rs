@@ -22,6 +22,7 @@ fn main() {
     print(experiments::layer_sweep::run(scale));
     print(experiments::ablations::run(scale));
     print(experiments::ingest::run(scale));
+    print(experiments::anytime::run(scale));
 
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
     println!("==============================================================");

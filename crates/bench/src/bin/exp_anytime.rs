@@ -1,0 +1,12 @@
+//! Anytime dkws quality/latency trade at a 50 ms soft deadline.
+//! Writes the gated metrics to `BENCH_anytime.json` (see `bench_gate`).
+use bgi_bench::json;
+
+fn main() {
+    let scale = bgi_bench::scale_from_env(8_000);
+    let (report, metrics) = bgi_bench::experiments::anytime::run_with_metrics(scale);
+    println!("{report}");
+    let path = json::artifact_path("BENCH_anytime.json");
+    json::write_metrics(&path, "anytime", &metrics).expect("write BENCH_anytime.json");
+    println!("wrote {}", path.display());
+}

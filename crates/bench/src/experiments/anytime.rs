@@ -1,0 +1,159 @@
+//! Anytime search under a wall-clock budget: latency ceiling and
+//! quality regret of dkws (r-clique) answers at a 50 ms soft deadline.
+//!
+//! The paper's search runs to completion; the serving system instead
+//! interrupts branch-and-bound at the deadline and returns the
+//! best-so-far top-k with an optimality bound. This experiment
+//! quantifies both sides of that trade on one workload:
+//!
+//! * `dkws_anytime_p99_ms` — p99 response latency with a 50 ms soft
+//!   deadline. Anytime search exists so this is bounded near the
+//!   deadline regardless of query hardness; a regression here means
+//!   the cooperative budget stopped being honored.
+//! * `dkws_quality_at_50ms_regret` — mean relative score regret of the
+//!   best 50 ms answer vs. the exhaustive optimum (scores are
+//!   minimized, so regret = (anytime − exact) / exact, 0 when the
+//!   budget sufficed). A regression means the greedy seed or the
+//!   branch ordering got worse at spending its budget.
+
+use crate::harness::{fmt_duration, TableWriter};
+use crate::setup::Workbench;
+use bgi_datasets::DatasetSpec;
+use bgi_service::{IndexSnapshot, Semantics, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The wall-clock budget the quality metric is measured at.
+pub const SOFT_DEADLINE: Duration = Duration::from_millis(50);
+
+/// Runs the experiment and renders the report.
+pub fn run(scale: usize) -> String {
+    run_with_metrics(scale).0
+}
+
+/// [`run`], also returning the JSON metrics for `BENCH_anytime.json`.
+pub fn run_with_metrics(scale: usize) -> (String, Vec<(String, f64)>) {
+    let wb = Workbench::prepare(&DatasetSpec::yago_like(scale), 4, 4);
+    let snapshot =
+        Arc::new(IndexSnapshot::build_default(wb.index.clone()).expect("workbench index verifies"));
+    let service = Service::start(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut requests = super::throughput::seeded_requests(
+        &wb.dataset,
+        4,
+        5,
+        crate::setup::DEFAULT_WORKLOAD_SEED,
+        24,
+    );
+    for req in &mut requests {
+        req.semantics = Semantics::Dkws;
+    }
+
+    let mut out = format!(
+        "anytime dkws at a {}ms soft deadline, {} ({} vertices, {} queries)\n\n",
+        SOFT_DEADLINE.as_millis(),
+        wb.dataset.name,
+        wb.dataset.num_vertices(),
+        requests.len()
+    );
+    let mut table =
+        TableWriter::new(&["query", "deadline", "latency", "anytime", "exact", "regret"]);
+
+    // Budgeted pass first: anytime (non-exact) responses are never
+    // cached, so the exhaustive pass below cannot ride a warm entry,
+    // while an exact-within-deadline response may — which is fine, the
+    // cached value is the same optimum either way.
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut regrets: Vec<f64> = Vec::new();
+    let mut degraded = 0usize;
+    for (i, req) in requests.iter().enumerate() {
+        let mut budgeted = req.clone();
+        budgeted.soft_deadline = Some(SOFT_DEADLINE);
+        let Ok(any) = service.query(budgeted) else {
+            // No answer found at all within the budget (or the query is
+            // empty of matches): nothing to score.
+            continue;
+        };
+        let Ok(exact) = service.query(req.clone()) else {
+            continue;
+        };
+        let (Some(a), Some(e)) = (any.answers.first(), exact.answers.first()) else {
+            continue;
+        };
+        latencies.push(any.latency);
+        if !any.completeness.is_exact() {
+            degraded += 1;
+        }
+        // Scores are minimized; exact is the optimum, so the regret is
+        // non-negative up to tie-breaking noise.
+        let regret = if e.score > 0 {
+            (a.score as f64 - e.score as f64).max(0.0) / e.score as f64
+        } else {
+            (a.score - e.score.min(a.score)) as f64
+        };
+        regrets.push(regret);
+        table.row(&[
+            format!("q{i}"),
+            format!("{}", any.completeness),
+            fmt_duration(any.latency),
+            format!("{}", a.score),
+            format!("{}", e.score),
+            format!("{regret:.3}"),
+        ]);
+    }
+    assert!(
+        !latencies.is_empty(),
+        "anytime experiment measured no queries"
+    );
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99)
+        .div_ceil(100)
+        .saturating_sub(1)
+        .min(latencies.len() - 1)];
+    let regret = regrets.iter().sum::<f64>() / regrets.len() as f64;
+
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nmeasured {} queries, {} degraded; p99 {} , mean regret {:.3}\n",
+        latencies.len(),
+        degraded,
+        fmt_duration(p99),
+        regret
+    ));
+    let metrics = vec![
+        ("dkws_anytime_p99_ms".into(), p99.as_secs_f64() * 1e3),
+        ("dkws_quality_at_50ms_regret".into(), regret),
+    ];
+    (out, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_bounded_and_sound() {
+        let (report, metrics) = run_with_metrics(1_500);
+        assert!(report.contains("mean regret"));
+        let p99 = metrics
+            .iter()
+            .find(|(k, _)| k == "dkws_anytime_p99_ms")
+            .map(|(_, v)| *v)
+            .expect("p99 metric present");
+        assert!(p99 > 0.0);
+        let regret = metrics
+            .iter()
+            .find(|(k, _)| k == "dkws_quality_at_50ms_regret")
+            .map(|(_, v)| *v)
+            .expect("regret metric present");
+        // Regret is a ratio against the exhaustive optimum: it can
+        // never be negative, and on a tiny dataset the 50 ms budget is
+        // generous enough to stay modest.
+        assert!(regret >= 0.0);
+    }
+}

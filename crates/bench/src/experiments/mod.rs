@@ -3,6 +3,7 @@
 //! summary and EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod anytime;
 pub mod build_scaling;
 pub mod cost_model;
 pub mod datasets;

@@ -33,7 +33,7 @@ use crate::query_gen::{generalize_query, optimal_layer};
 use crate::spec::{specialize_answer_budgeted, SpecializedAnswer};
 use bgi_graph::{DiGraph, VId};
 use bgi_search::answer::rank_and_truncate;
-use bgi_search::{AnswerGraph, Budget, Interrupted, KeywordQuery, KeywordSearch};
+use bgi_search::{AnswerGraph, Budget, Completeness, Interrupted, KeywordQuery, KeywordSearch};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -72,6 +72,12 @@ pub struct EvalOptions {
     /// `overfetch ×` more generalized answers and retry (doubling until
     /// the generalized answer stream is exhausted).
     pub overfetch: usize,
+    /// Op allowance for the post-exhaustion wrap-up slice: when the
+    /// summary search comes back best-effort (its budget ran out), the
+    /// already-found generalized answers are still specialized and
+    /// realized under [`Budget::grace`] with this many checks, so a
+    /// deadline never discards work the summary layer already paid for.
+    pub grace_ops: u64,
 }
 
 impl Default for EvalOptions {
@@ -82,6 +88,7 @@ impl Default for EvalOptions {
             use_spec_order: true,
             early_keyword_spec: true,
             overfetch: 4,
+            grace_ops: 200_000,
         }
     }
 }
@@ -140,6 +147,9 @@ pub struct EvalResult {
     /// True if a summary-layer attempt produced nothing and the query
     /// was re-evaluated on the data graph (see `Boosted::query`).
     pub fell_back: bool,
+    /// Whether the run finished exactly or returned best-effort answers
+    /// after its budget ran out (see [`Completeness`]).
+    pub completeness: Completeness,
 }
 
 /// Runs `eval_Ont` at an explicit layer `m` (Algo. 2 with `m` given).
@@ -170,6 +180,7 @@ pub fn eval_at_layer<F: KeywordSearch>(
             timings: StepTimings::default(),
             stats: EvalStats::default(),
             fell_back: false,
+            completeness: Completeness::Exact,
         },
     }
 }
@@ -179,8 +190,49 @@ pub fn eval_at_layer<F: KeywordSearch>(
 /// verification) checks the budget inside its loops, so a deadline or a
 /// raised cancel flag interrupts the query mid-flight with
 /// [`Interrupted`] instead of running to completion.
+///
+/// This is the all-or-nothing view of [`eval_at_layer_anytime`]: a run
+/// that was cut short — even one holding usable best-effort answers — is
+/// reported as [`Interrupted`].
 #[allow(clippy::too_many_arguments)]
 pub fn eval_at_layer_budgeted<F: KeywordSearch>(
+    index: &BiGIndex,
+    algo: &F,
+    layer_index: &F::Index,
+    query: &KeywordQuery,
+    k: usize,
+    m: usize,
+    opts: &EvalOptions,
+    budget: &Budget,
+) -> Result<EvalResult, Interrupted> {
+    let r = eval_at_layer_anytime(index, algo, layer_index, query, k, m, opts, budget)?;
+    if r.completeness.is_exact() {
+        Ok(r)
+    } else {
+        Err(Interrupted)
+    }
+}
+
+/// [`eval_at_layer`] as an *anytime* pipeline: on budget exhaustion the
+/// run returns whatever final answers it has, marked with a non-exact
+/// [`Completeness`], instead of discarding them.
+///
+/// * `m == 0` — the plugged-in algorithm's own anytime search runs and
+///   its completeness (including the r-clique optimality bound) passes
+///   straight through.
+/// * `m > 0` — the summary-layer search runs anytime; if it was cut
+///   short, its best-effort generalized answers are still specialized
+///   and realized under a [`Budget::grace`] slice of
+///   [`EvalOptions::grace_ops`] checks, and the result is marked
+///   [`Completeness::Truncated`] (a summary-layer bound does not
+///   translate through specialization). An interruption during
+///   specialization or realization likewise keeps the finals produced so
+///   far. The overfetch loop only runs while everything is exact.
+///
+/// `Err(Interrupted)` means the budget ran out before *any* final
+/// answer was produced.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_at_layer_anytime<F: KeywordSearch>(
     index: &BiGIndex,
     algo: &F,
     layer_index: &F::Index,
@@ -207,17 +259,18 @@ pub fn eval_at_layer_budgeted<F: KeywordSearch>(
 
     if m == 0 {
         // Evaluating on the data graph *is* the baseline; no translation
-        // and no overfetch.
+        // and no overfetch — the algorithm's completeness is the run's.
         let t = Instant::now();
-        let answers = algo.search_budgeted(index.graph_at(0), layer_index, &gq, k, budget)?;
+        let outcome = algo.search_anytime(index.graph_at(0), layer_index, &gq, k, budget)?;
         timings.search = t.elapsed();
-        stats.generalized_answers = answers.len();
+        stats.generalized_answers = outcome.answers.len();
         return Ok(EvalResult {
-            answers: rank_and_truncate(answers, k),
+            answers: rank_and_truncate(outcome.answers, k),
             layer: 0,
             timings,
             stats,
             fell_back: false,
+            completeness: outcome.completeness,
         });
     }
 
@@ -228,6 +281,7 @@ pub fn eval_at_layer_budgeted<F: KeywordSearch>(
     let mut fetch = k;
     let mut rounds = 0usize;
     let mut finals: Vec<AnswerGraph> = Vec::new();
+    let mut truncated = false;
     // Distance cache for the DistanceVerify realizer: bounded undirected
     // BFS balls on G⁰, shared across every generalized answer (and
     // refetch round) of this evaluation — hub balls are expensive and
@@ -236,11 +290,24 @@ pub fn eval_at_layer_budgeted<F: KeywordSearch>(
     loop {
         rounds += 1;
         let t = Instant::now();
-        let generalized =
-            algo.search_budgeted(index.graph_at(m), layer_index, &gq, fetch, budget)?;
+        let summary = algo.search_anytime(index.graph_at(m), layer_index, &gq, fetch, budget)?;
         timings.search += t.elapsed();
+        let generalized = summary.answers;
         stats.generalized_answers = generalized.len();
         let exhausted = generalized.len() < fetch;
+
+        // When the summary search came back best-effort, its budget is
+        // spent: walk the answers it found down the hierarchy under a
+        // bounded grace slice so the paid-for summary work still yields
+        // data-graph answers.
+        let grace;
+        let step_budget: &Budget = if summary.completeness.is_exact() {
+            budget
+        } else {
+            truncated = true;
+            grace = budget.grace(opts.grace_ops);
+            &grace
+        };
 
         // Steps 2-5: specialize in rank order, realize, stop at k answers.
         finals.clear();
@@ -249,10 +316,23 @@ pub fn eval_at_layer_budgeted<F: KeywordSearch>(
         stats.partials_created = 0;
         for ga in &generalized {
             let t = Instant::now();
-            let spec =
-                specialize_answer_budgeted(index, query, ga, m, opts.early_keyword_spec, budget);
+            let spec = specialize_answer_budgeted(
+                index,
+                query,
+                ga,
+                m,
+                opts.early_keyword_spec,
+                step_budget,
+            );
             timings.spec_prune += t.elapsed();
-            let Some(spec) = spec? else {
+            let spec = match spec {
+                Ok(s) => s,
+                Err(Interrupted) => {
+                    truncated = true;
+                    break;
+                }
+            };
+            let Some(spec) = spec else {
                 stats.answers_pruned += 1;
                 continue;
             };
@@ -260,58 +340,24 @@ pub fn eval_at_layer_budgeted<F: KeywordSearch>(
 
             let remaining = k.saturating_sub(finals.len()).max(1);
             let t = Instant::now();
-            let (realized, gen_stats): (Vec<AnswerGraph>, GenStats) = match opts.realizer {
-                RealizerKind::VertexAtATime => vertex_answer_generation_budgeted(
-                    index.base(),
-                    ga,
-                    &spec,
-                    opts.use_spec_order,
-                    remaining,
-                    budget,
-                )?,
-                RealizerKind::PathBased => {
-                    path_answer_generation_budgeted(index.base(), ga, &spec, remaining, budget)?
-                }
-                RealizerKind::DistanceVerify => distance_verify(
-                    index.base(),
-                    query,
-                    ga,
-                    &spec,
-                    remaining,
-                    &mut dist_cache,
-                    budget,
-                )?,
-                RealizerKind::StructuralThenDistance => {
-                    let (structural, st) = path_answer_generation_budgeted(
-                        index.base(),
-                        ga,
-                        &spec,
-                        remaining,
-                        budget,
-                    )?;
-                    if structural.is_empty() {
-                        let (verified, vt) = distance_verify(
-                            index.base(),
-                            query,
-                            ga,
-                            &spec,
-                            remaining,
-                            &mut dist_cache,
-                            budget,
-                        )?;
-                        (
-                            verified,
-                            GenStats {
-                                partials_created: st.partials_created + vt.partials_created,
-                                answers: vt.answers,
-                            },
-                        )
-                    } else {
-                        (structural, st)
-                    }
+            let realized = realize_one(
+                index,
+                query,
+                ga,
+                &spec,
+                remaining,
+                opts,
+                &mut dist_cache,
+                step_budget,
+            );
+            timings.answer_gen += t.elapsed();
+            let (realized, gen_stats) = match realized {
+                Ok(r) => r,
+                Err(Interrupted) => {
+                    truncated = true;
+                    break;
                 }
             };
-            timings.answer_gen += t.elapsed();
             stats.partials_created += gen_stats.partials_created;
             finals.extend(realized);
             if finals.len() >= k {
@@ -321,19 +367,76 @@ pub fn eval_at_layer_budgeted<F: KeywordSearch>(
         // Cap the refetch rounds: re-running f is the batched stand-in
         // for the paper's one-at-a-time specialization, and unbounded
         // growth on heavily distorted layers would dwarf the baseline.
-        if finals.len() >= k || exhausted || rounds >= 3 {
+        // A truncated round never refetches: the budget is already gone.
+        if truncated || finals.len() >= k || exhausted || rounds >= 3 {
             break;
         }
         fetch = fetch.saturating_mul(opts.overfetch.max(2));
     }
 
+    if truncated && finals.is_empty() {
+        return Err(Interrupted);
+    }
     Ok(EvalResult {
         answers: rank_and_truncate(finals, k),
         layer: m,
         timings,
         stats,
         fell_back: false,
+        completeness: if truncated {
+            Completeness::Truncated
+        } else {
+            Completeness::Exact
+        },
     })
+}
+
+/// Materializes one specialized generalized answer with the configured
+/// realizer (the Step-4 dispatch shared by exact and anytime runs).
+#[allow(clippy::too_many_arguments)]
+fn realize_one(
+    index: &BiGIndex,
+    query: &KeywordQuery,
+    ga: &AnswerGraph,
+    spec: &SpecializedAnswer,
+    remaining: usize,
+    opts: &EvalOptions,
+    dist_cache: &mut DistCache,
+    budget: &Budget,
+) -> Result<(Vec<AnswerGraph>, GenStats), Interrupted> {
+    match opts.realizer {
+        RealizerKind::VertexAtATime => vertex_answer_generation_budgeted(
+            index.base(),
+            ga,
+            spec,
+            opts.use_spec_order,
+            remaining,
+            budget,
+        ),
+        RealizerKind::PathBased => {
+            path_answer_generation_budgeted(index.base(), ga, spec, remaining, budget)
+        }
+        RealizerKind::DistanceVerify => {
+            distance_verify(index.base(), query, ga, spec, remaining, dist_cache, budget)
+        }
+        RealizerKind::StructuralThenDistance => {
+            let (structural, st) =
+                path_answer_generation_budgeted(index.base(), ga, spec, remaining, budget)?;
+            if structural.is_empty() {
+                let (verified, vt) =
+                    distance_verify(index.base(), query, ga, spec, remaining, dist_cache, budget)?;
+                Ok((
+                    verified,
+                    GenStats {
+                        partials_created: st.partials_created + vt.partials_created,
+                        answers: vt.answers,
+                    },
+                ))
+            } else {
+                Ok((structural, st))
+            }
+        }
+    }
 }
 
 /// Runs `eval_Ont` at the cost-optimal layer (Def. 4.1).
@@ -700,6 +803,47 @@ mod tests {
             &Budget::unlimited(),
         );
         assert!(ok.is_ok_and(|r| !r.answers.is_empty()));
+    }
+
+    #[test]
+    fn anytime_eval_surfaces_best_effort_answers() {
+        let idx = indexed();
+        let q = KeywordQuery::new(vec![LabelId(1), LabelId(3)], 4);
+        let rc = RClique::default();
+        let layer_index = rc.build_index(idx.graph_at(1));
+        let opts = EvalOptions {
+            realizer: RealizerKind::DistanceVerify,
+            ..EvalOptions::default()
+        };
+        // A zero-check budget interrupts the all-or-nothing pipeline...
+        let spent = Budget::with_check_limit(0);
+        let err = eval_at_layer_budgeted(&idx, &rc, &layer_index, &q, 5, 1, &opts, &spent);
+        assert!(err.is_err(), "a spent budget must interrupt the exact run");
+        // ...but the anytime pipeline still delivers: the greedy seed's
+        // own op slice finds a generalized answer and the grace slice
+        // specializes it down to the data graph.
+        let spent = Budget::with_check_limit(0);
+        let r = eval_at_layer_anytime(&idx, &rc, &layer_index, &q, 5, 1, &opts, &spent)
+            .expect("best-effort answers survive a spent budget");
+        assert!(!r.answers.is_empty());
+        assert!(!r.completeness.is_exact());
+        assert!(r
+            .answers
+            .iter()
+            .all(|a| a.validate(idx.base(), &q.keywords)));
+        // Unlimited anytime run is exact.
+        let r = eval_at_layer_anytime(
+            &idx,
+            &rc,
+            &layer_index,
+            &q,
+            5,
+            1,
+            &opts,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(r.completeness, Completeness::Exact);
     }
 
     #[test]

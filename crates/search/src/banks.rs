@@ -9,6 +9,7 @@
 
 use crate::answer::{rank_and_truncate, AnswerGraph};
 use crate::cancel::{Budget, Interrupted};
+use crate::outcome::{Completeness, SearchOutcome};
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, LabelId, VId};
@@ -121,6 +122,7 @@ impl KeywordSearch for Banks {
     ) -> Vec<AnswerGraph> {
         // An unlimited budget never interrupts.
         self.search_impl(g, index, query, k, &Budget::unlimited())
+            .map(|o| o.answers)
             .unwrap_or_default()
     }
 
@@ -132,11 +134,35 @@ impl KeywordSearch for Banks {
         k: usize,
         budget: &Budget,
     ) -> Result<Vec<AnswerGraph>, Interrupted> {
+        // Strict contract: a truncated top-k is not a correct top-k.
+        let outcome = self.search_impl(g, index, query, k, budget)?;
+        if outcome.completeness.is_exact() {
+            Ok(outcome.answers)
+        } else {
+            Err(Interrupted)
+        }
+    }
+
+    fn search_anytime(
+        &self,
+        g: &DiGraph,
+        index: &BanksIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<SearchOutcome, Interrupted> {
         self.search_impl(g, index, query, k, budget)
     }
 }
 
 impl Banks {
+    /// The shared engine: best-effort under `budget`. Interruption
+    /// during the per-keyword backward expansions means no candidate
+    /// root is known yet, so nothing usable exists and the whole search
+    /// fails with [`Interrupted`]; interruption during the root-scoring
+    /// loop returns the roots scored so far marked
+    /// [`Completeness::Truncated`] (candidate roots are not visited in
+    /// weight order, so no optimality bound is available).
     fn search_impl(
         &self,
         g: &DiGraph,
@@ -144,9 +170,9 @@ impl Banks {
         query: &KeywordQuery,
         k: usize,
         budget: &Budget,
-    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+    ) -> Result<SearchOutcome, Interrupted> {
         if query.is_empty() || k == 0 {
-            return Ok(Vec::new());
+            return Ok(SearchOutcome::exact(Vec::new()));
         }
         // Backward expansion from every keyword's vertex set, smallest
         // set first (BANKS' strategy); if any keyword is absent there is
@@ -158,7 +184,7 @@ impl Banks {
             .map(|(i, &q)| (i, index.vertices_with(q)))
             .collect();
         if keyword_sets.iter().any(|(_, s)| s.is_empty()) {
-            return Ok(Vec::new());
+            return Ok(SearchOutcome::exact(Vec::new()));
         }
         keyword_sets.sort_by_key(|(_, s)| s.len());
 
@@ -174,13 +200,19 @@ impl Banks {
             });
             reaches[i] = Some(reach);
             if candidates.as_ref().is_some_and(Vec::is_empty) {
-                return Ok(Vec::new());
+                return Ok(SearchOutcome::exact(Vec::new()));
             }
         }
 
         let mut answers = Vec::new();
+        let mut truncated = false;
         for root in candidates.unwrap_or_default() {
-            budget.check()?;
+            if budget.is_exhausted() {
+                // Surface the roots already scored instead of
+                // discarding them.
+                truncated = true;
+                break;
+            }
             let mut vertices = Vec::new();
             let mut edges = Vec::new();
             let mut keyword_matches = vec![Vec::new(); query.len()];
@@ -204,7 +236,17 @@ impl Banks {
                 score,
             ));
         }
-        Ok(rank_and_truncate(answers, k))
+        if truncated && answers.is_empty() {
+            return Err(Interrupted);
+        }
+        Ok(SearchOutcome {
+            answers: rank_and_truncate(answers, k),
+            completeness: if truncated {
+                Completeness::Truncated
+            } else {
+                Completeness::Exact
+            },
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 use super::index::{BlinksIndex, BlinksParams};
 use crate::answer::{rank_and_truncate, AnswerGraph};
 use crate::cancel::{Budget, Interrupted};
+use crate::outcome::{Completeness, SearchOutcome};
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, LabelId, VId};
@@ -79,6 +80,7 @@ impl KeywordSearch for Blinks {
     ) -> Vec<AnswerGraph> {
         // An unlimited budget never interrupts.
         self.search_impl(g, index, query, k, &Budget::unlimited())
+            .map(|o| o.answers)
             .unwrap_or_default()
     }
 
@@ -90,11 +92,37 @@ impl KeywordSearch for Blinks {
         k: usize,
         budget: &Budget,
     ) -> Result<Vec<AnswerGraph>, Interrupted> {
+        // Strict contract: a truncated top-k is not a correct top-k.
+        let outcome = self.search_impl(g, index, query, k, budget)?;
+        if outcome.completeness.is_exact() {
+            Ok(outcome.answers)
+        } else {
+            Err(Interrupted)
+        }
+    }
+
+    fn search_anytime(
+        &self,
+        g: &DiGraph,
+        index: &BlinksIndex,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<SearchOutcome, Interrupted> {
         self.search_impl(g, index, query, k, budget)
     }
 }
 
 impl Blinks {
+    /// The shared engine: best-effort under `budget`. Interruption
+    /// during round-robin expansion surfaces the roots already
+    /// *completed* (their scores are exact) marked
+    /// [`Completeness::Anytime`]: the expansion's own termination bound
+    /// — every not-yet-completed root still owes at least
+    /// `min_i(depth_i + 1)` from some active keyword — also bounds how
+    /// far the best completed root can sit above the true optimum.
+    /// With no completed root there is nothing usable and the search
+    /// fails with [`Interrupted`].
     fn search_impl(
         &self,
         g: &DiGraph,
@@ -102,9 +130,9 @@ impl Blinks {
         query: &KeywordQuery,
         k: usize,
         budget: &Budget,
-    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+    ) -> Result<SearchOutcome, Interrupted> {
         if query.is_empty() || k == 0 {
-            return Ok(Vec::new());
+            return Ok(SearchOutcome::exact(Vec::new()));
         }
         let dmax = query.dmax.min(index.prune_dist());
         let n = query.len();
@@ -117,7 +145,7 @@ impl Blinks {
         // budget-exempt: distance-0 seed prefixes, one per keyword
         for (i, &q) in query.keywords.iter().enumerate() {
             let Some(list) = index.keyword_node_list(q) else {
-                return Ok(Vec::new());
+                return Ok(SearchOutcome::exact(Vec::new()));
             };
             let mut queue = std::collections::VecDeque::new();
             for &(d, v) in list.iter().take_while(|&&(d, _)| d == 0) {
@@ -126,7 +154,7 @@ impl Blinks {
                 queue.push_back(v);
             }
             if queue.is_empty() {
-                return Ok(Vec::new());
+                return Ok(SearchOutcome::exact(Vec::new()));
             }
             frontiers.push(queue);
         }
@@ -180,7 +208,10 @@ impl Blinks {
 
         // Round-robin backward BFS, one level of one keyword at a time,
         // always advancing the keyword with the smallest current depth.
-        loop {
+        // On interruption, `frontier_lb` holds the last computed lower
+        // bound on any root not yet completed.
+        let mut frontier_lb: Option<u64> = None;
+        'expand: loop {
             // Termination: every unfinished root is missing at least one
             // *active* keyword i, which will contribute at least
             // depth[i] + 1 to its score (keywords that already reached
@@ -211,7 +242,13 @@ impl Blinks {
             let level = frontiers[i].len();
             let next_depth = depth[i] + 1;
             for _ in 0..level {
-                budget.check()?;
+                if budget.is_exhausted() {
+                    // Depths only grow within a level, so the bound
+                    // computed at the loop head still lower-bounds
+                    // every future completion.
+                    frontier_lb = Some(bound);
+                    break 'expand;
+                }
                 let u = frontiers[i].pop_front().unwrap();
                 for &w in g.in_neighbors(u) {
                     if dists[i].contains_key(&w) {
@@ -230,12 +267,22 @@ impl Blinks {
             depth[i] = next_depth;
         }
 
+        if frontier_lb.is_some() && roots.is_empty() {
+            // Nothing completed before the budget ran out.
+            return Err(Interrupted);
+        }
         // Materialize answers for the best roots.
         roots.sort_unstable();
         roots.truncate(k);
+        let completeness = match (frontier_lb, roots.first()) {
+            (Some(lb), Some(&(best, _))) => Completeness::Anytime {
+                bound: best.saturating_sub(lb),
+            },
+            _ => Completeness::Exact,
+        };
         let mut answers = Vec::with_capacity(roots.len());
+        // budget-exempt: bounded wrap-up — at most k short path descents
         for (score, root) in roots {
-            budget.check()?;
             let mut vertices = Vec::new();
             let mut edges = Vec::new();
             let mut keyword_matches = vec![Vec::new(); n];
@@ -255,7 +302,10 @@ impl Blinks {
                 score,
             ));
         }
-        Ok(rank_and_truncate(answers, k))
+        Ok(SearchOutcome {
+            answers: rank_and_truncate(answers, k),
+            completeness,
+        })
     }
 }
 

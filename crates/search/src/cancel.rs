@@ -10,11 +10,14 @@
 //! [`CHECK_PERIOD`] calls so an unlimited budget costs two branch
 //! predictions per iteration.
 //!
-//! A budget combines two independent stop conditions:
+//! A budget combines three independent stop conditions:
 //!
-//! - a **deadline** (`Instant`), for per-query timeouts; and
+//! - a **deadline** (`Instant`), for per-query timeouts;
 //! - a shared **cancel flag** (`Arc<AtomicBool>`), for external
-//!   cancellation (client disconnect, service shutdown).
+//!   cancellation (client disconnect, service shutdown); and
+//! - a **check limit** (a deterministic op-count), for reproducible
+//!   partial runs — the anytime-search tests and bounded wrap-up slices
+//!   use it because wall-clock deadlines are nondeterministic.
 //!
 //! Budgets are cheap to clone and are owned by one worker thread at a
 //! time (the amortization counter is a `Cell`, so `Budget` is `Send`
@@ -33,10 +36,14 @@ pub const CHECK_PERIOD: u32 = 64;
 
 /// The error a budgeted operation returns when its budget ran out.
 ///
-/// Deliberately carries no payload: the interrupted computation's
-/// partial results are meaningless under every plugged-in semantics
-/// (top-k sets are only correct when the enumeration ran to its own
-/// termination condition), so interruption discards them wholesale.
+/// Deliberately carries no payload. Under the strict
+/// `search_budgeted` contract a truncated top-k is not a correct
+/// top-k, so interruption discards partial results wholesale; callers
+/// that *can* use best-effort partial results go through
+/// `KeywordSearch::search_anytime`, which returns them with an
+/// explicit `Completeness` marker instead of this error. `Interrupted`
+/// therefore means "nothing usable was produced before the budget ran
+/// out".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interrupted;
 
@@ -54,6 +61,10 @@ impl std::error::Error for Interrupted {}
 pub struct Budget {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    // Checks remaining before a check-limited budget exhausts; `None`
+    // disables the limit. Cloning copies the *remaining* count — clones
+    // do not share the counter (share the cancel flag instead).
+    checks_left: Option<Cell<u64>>,
     // Calls remaining until the next clock read; starts at 0 so the
     // very first check always consults the clock (a 0 ms deadline must
     // trip immediately).
@@ -69,6 +80,7 @@ impl Budget {
         Budget {
             deadline: None,
             cancel: None,
+            checks_left: None,
             countdown: Cell::new(0),
             expired: Cell::new(false),
         }
@@ -92,6 +104,20 @@ impl Budget {
         }
     }
 
+    /// A deterministic budget that exhausts after `checks` calls to
+    /// [`Budget::is_exhausted`] (a zero limit is already expired — the
+    /// first check fails).
+    ///
+    /// Unlike a wall-clock deadline this stop condition is exactly
+    /// reproducible, which is what the anytime-search property tests
+    /// (quality monotone in budget) and bounded wrap-up slices need.
+    pub fn with_check_limit(checks: u64) -> Self {
+        Budget {
+            checks_left: Some(Cell::new(checks)),
+            ..Self::unlimited()
+        }
+    }
+
     /// Attaches a shared cancel flag; setting the flag to `true` (from
     /// any thread) exhausts the budget at its next check.
     #[must_use]
@@ -100,15 +126,31 @@ impl Budget {
         self
     }
 
+    /// A fresh op-limited budget for bounded *wrap-up* work after this
+    /// budget exhausted: it shares this budget's cancel flag (shutdown
+    /// still interrupts) but replaces the deadline with a deterministic
+    /// limit of `checks` exhaustion checks, so best-effort
+    /// materialization overshoots a deadline by a bounded op count
+    /// rather than stopping with nothing.
+    pub fn grace(&self, checks: u64) -> Budget {
+        Budget {
+            deadline: None,
+            cancel: self.cancel.clone(),
+            checks_left: Some(Cell::new(checks)),
+            countdown: Cell::new(0),
+            expired: Cell::new(false),
+        }
+    }
+
     /// The deadline, if one is set.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
 
-    /// True if neither a deadline nor a cancel flag is attached — no
-    /// check can ever fail.
+    /// True if no deadline, cancel flag, or check limit is attached —
+    /// no check can ever fail.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.cancel.is_none() && self.checks_left.is_none()
     }
 
     /// Cooperative check: true once the deadline passed or the cancel
@@ -127,6 +169,14 @@ impl Budget {
                 self.expired.set(true);
                 return true;
             }
+        }
+        if let Some(left) = &self.checks_left {
+            let n = left.get();
+            if n == 0 {
+                self.expired.set(true);
+                return true;
+            }
+            left.set(n - 1);
         }
         if let Some(deadline) = self.deadline {
             let left = self.countdown.get();
@@ -233,6 +283,38 @@ mod tests {
         assert!(!b.is_exhausted()); // consumes the first clock read
         std::thread::sleep(Duration::from_millis(5));
         assert!(b.is_exhausted_now());
+    }
+
+    #[test]
+    fn check_limit_is_deterministic() {
+        let b = Budget::with_check_limit(5);
+        for _ in 0..5 {
+            assert!(!b.is_exhausted());
+        }
+        assert!(b.is_exhausted());
+        assert!(b.is_exhausted(), "exhaustion latches");
+        assert!(!b.is_unlimited());
+
+        // A zero limit trips on the first check, like a zero timeout.
+        assert!(Budget::with_check_limit(0).is_exhausted());
+    }
+
+    #[test]
+    fn grace_budget_keeps_cancel_flag_but_not_deadline() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::with_timeout(Duration::ZERO).cancelled_by(Arc::clone(&flag));
+        assert!(b.is_exhausted());
+        let g = b.grace(10);
+        // The grace slice is fresh: the parent's expiry does not carry
+        // over, and the op limit replaces the deadline.
+        for _ in 0..10 {
+            assert!(!g.is_exhausted());
+        }
+        assert!(g.is_exhausted());
+        // But a raised cancel flag still interrupts a grace slice.
+        let g2 = b.grace(1000);
+        flag.store(true, Ordering::Release);
+        assert!(g2.is_exhausted());
     }
 
     #[test]

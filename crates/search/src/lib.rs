@@ -23,7 +23,12 @@
 //!
 //! For deadline-bound serving, every algorithm also supports
 //! *cooperative* interruption through [`cancel::Budget`] — see
-//! [`semantics::KeywordSearch::search_budgeted`].
+//! [`semantics::KeywordSearch::search_budgeted`] for the strict
+//! all-or-nothing contract and
+//! [`semantics::KeywordSearch::search_anytime`] for best-effort
+//! results with an explicit [`outcome::Completeness`] marker (the
+//! r-clique implementation is a true anytime branch-and-bound with a
+//! sound optimality bound).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,7 @@ pub mod banks;
 pub mod bidirectional;
 pub mod blinks;
 pub mod cancel;
+pub mod outcome;
 pub mod query;
 pub mod rclique;
 pub mod semantics;
@@ -42,6 +48,7 @@ pub use banks::Banks;
 pub use bidirectional::Bidirectional;
 pub use blinks::Blinks;
 pub use cancel::{Budget, Interrupted};
+pub use outcome::{Completeness, SearchOutcome};
 pub use query::KeywordQuery;
 pub use rclique::RClique;
 pub use semantics::KeywordSearch;

@@ -1,0 +1,132 @@
+//! Best-effort search results with an explicit completeness marker.
+//!
+//! Deadline-bound serving must degrade, not fail: when a [`crate::Budget`]
+//! exhausts mid-search, throwing away everything the search already
+//! found turns load pressure into empty timeouts. A [`SearchOutcome`]
+//! instead carries whatever answers were discovered together with a
+//! [`Completeness`] marker that tells the caller exactly how much trust
+//! the ranking deserves — from "this is the true top-k" down to "a
+//! correct but arbitrarily incomplete subset".
+
+use crate::answer::AnswerGraph;
+
+/// How complete a search result is.
+///
+/// Ordered by degradation: [`Completeness::Exact`] is the strongest
+/// claim, [`Completeness::Truncated`] the weakest. Multi-stage
+/// pipelines combine per-stage markers with [`Completeness::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// The enumeration ran to its own termination condition: the
+    /// answers are the algorithm's true top-k.
+    Exact,
+    /// Best-first improvement was interrupted: the answers are the best
+    /// found so far, and `bound` is a *sound optimality gap* — the best
+    /// reported answer's weight exceeds the true optimum by at most
+    /// `bound` (0 means the best answer is provably optimal even though
+    /// enumeration did not finish).
+    Anytime {
+        /// Upper bound on `best_reported_weight − true_optimum_weight`.
+        bound: u64,
+    },
+    /// The enumeration was interrupted without a usable frontier bound:
+    /// every answer is individually correct, but the set may be
+    /// arbitrarily far from the true top-k.
+    Truncated,
+}
+
+impl Completeness {
+    /// True for [`Completeness::Exact`].
+    pub fn is_exact(self) -> bool {
+        matches!(self, Completeness::Exact)
+    }
+
+    /// The optimality-gap bound, if this marker carries one
+    /// (`Exact` is a zero gap by definition).
+    pub fn bound(self) -> Option<u64> {
+        match self {
+            Completeness::Exact => Some(0),
+            Completeness::Anytime { bound } => Some(bound),
+            Completeness::Truncated => None,
+        }
+    }
+
+    /// Combines two stage markers into the weaker overall claim: a
+    /// pipeline is only as complete as its least complete stage. Two
+    /// `Anytime` bounds keep the larger gap.
+    #[must_use]
+    pub fn merge(self, other: Completeness) -> Completeness {
+        use Completeness::{Anytime, Exact, Truncated};
+        match (self, other) {
+            (Exact, c) | (c, Exact) => c,
+            (Truncated, _) | (_, Truncated) => Truncated,
+            (Anytime { bound: a }, Anytime { bound: b }) => Anytime { bound: a.max(b) },
+        }
+    }
+}
+
+impl std::fmt::Display for Completeness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completeness::Exact => f.write_str("exact"),
+            Completeness::Anytime { bound } => write!(f, "anytime(bound={bound})"),
+            Completeness::Truncated => f.write_str("truncated"),
+        }
+    }
+}
+
+/// Ranked answers plus how complete they are — what
+/// [`crate::KeywordSearch::search_anytime`] returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Final answers, ranked best (lowest weight) first, at most `k`.
+    pub answers: Vec<AnswerGraph>,
+    /// How much of the search space backs the ranking.
+    pub completeness: Completeness,
+}
+
+impl SearchOutcome {
+    /// An exact outcome (the default for algorithms that ran to
+    /// completion).
+    pub fn exact(answers: Vec<AnswerGraph>) -> SearchOutcome {
+        SearchOutcome {
+            answers,
+            completeness: Completeness::Exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_the_weaker_claim() {
+        use Completeness::{Anytime, Exact, Truncated};
+        assert_eq!(Exact.merge(Exact), Exact);
+        assert_eq!(Exact.merge(Anytime { bound: 3 }), Anytime { bound: 3 });
+        assert_eq!(
+            Anytime { bound: 3 }.merge(Anytime { bound: 7 }),
+            Anytime { bound: 7 }
+        );
+        assert_eq!(Anytime { bound: 3 }.merge(Truncated), Truncated);
+        assert_eq!(Truncated.merge(Exact), Truncated);
+    }
+
+    #[test]
+    fn bound_reflects_the_marker() {
+        assert_eq!(Completeness::Exact.bound(), Some(0));
+        assert_eq!(Completeness::Anytime { bound: 9 }.bound(), Some(9));
+        assert_eq!(Completeness::Truncated.bound(), None);
+    }
+
+    #[test]
+    fn display_is_wire_friendly() {
+        assert_eq!(Completeness::Exact.to_string(), "exact");
+        assert_eq!(
+            Completeness::Anytime { bound: 4 }.to_string(),
+            "anytime(bound=4)"
+        );
+        assert_eq!(Completeness::Truncated.to_string(), "truncated");
+    }
+}

@@ -13,11 +13,16 @@
 //!   "neighbor list"; its `O(mn)` size is what blows up on IMDB in the
 //!   original evaluation, and [`neighbor_index::NeighborIndex::estimated_bytes`]
 //!   reproduces that accounting).
+//! - `search_space` (crate-private) — the interruptible anytime search
+//!   space: greedy
+//!   seed answer, branch-and-bound improvement under a cooperative
+//!   budget, and a sound optimality bound on interruption.
 //! - [`search::RClique`] — greedy best answer + Lawler-style top-k
-//!   decomposition.
+//!   decomposition on top of the engine.
 
 pub mod neighbor_index;
 pub mod search;
+pub(crate) mod search_space;
 
-pub use neighbor_index::{NeighborIndex, NeighborIndexParams};
+pub use neighbor_index::{BuildError, NeighborIndex, NeighborIndexParams, BUILD_POLL_STRIDE};
 pub use search::{RClique, RCliqueIndex};

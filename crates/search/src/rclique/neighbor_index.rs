@@ -7,8 +7,17 @@
 //! accounting via [`NeighborIndex::estimated_bytes`] and let callers
 //! enforce a budget with [`NeighborIndex::try_build`].
 
+use crate::cancel::Budget;
 use bgi_graph::{DiGraph, VId};
 use std::collections::VecDeque;
+
+/// How many construction ops (BFS discoveries or dense-scan slots)
+/// separate two budget polls during [`NeighborIndex::try_build_budgeted`].
+///
+/// The stride bounds cancellation latency: once the budget expires, the
+/// build notices within one stride of ops — the regression test pins
+/// the observed op count to `(checks + 1) × BUILD_POLL_STRIDE`.
+pub const BUILD_POLL_STRIDE: u64 = 1024;
 
 /// Parameters for the neighbor index.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +69,33 @@ impl std::fmt::Display for IndexTooLarge {
 
 impl std::error::Error for IndexTooLarge {}
 
+/// Error from [`NeighborIndex::try_build_budgeted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The estimated index size exceeds the configured memory budget.
+    TooLarge(IndexTooLarge),
+    /// The execution budget expired mid-build.
+    Interrupted {
+        /// Construction ops performed before the build noticed the
+        /// expiry — at most one [`BUILD_POLL_STRIDE`] past the op at
+        /// which the budget ran out.
+        ops_done: u64,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TooLarge(e) => e.fmt(f),
+            BuildError::Interrupted { ops_done } => {
+                write!(f, "neighbor index build interrupted after {ops_done} ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 impl NeighborIndex {
     /// Builds the index unconditionally.
     pub fn build(g: &DiGraph, radius: u32) -> Self {
@@ -78,34 +114,81 @@ impl NeighborIndex {
     /// vertices, mirroring how the original evaluation estimated 16 TB
     /// for IMDB without materializing the index.
     pub fn try_build(g: &DiGraph, params: &NeighborIndexParams) -> Result<Self, IndexTooLarge> {
+        match Self::try_build_budgeted(g, params, &Budget::unlimited()) {
+            Ok(ix) => Ok(ix),
+            Err(BuildError::TooLarge(e)) => Err(e),
+            Err(BuildError::Interrupted { .. }) => {
+                unreachable!("an unlimited budget never interrupts")
+            }
+        }
+    }
+
+    /// [`NeighborIndex::try_build`] under a cooperative execution
+    /// [`Budget`], polled every [`BUILD_POLL_STRIDE`] construction ops
+    /// so an index rebuild can be cancelled with bounded latency even
+    /// inside the O(n)-per-vertex dense-ball scan.
+    pub fn try_build_budgeted(
+        g: &DiGraph,
+        params: &NeighborIndexParams,
+        budget: &Budget,
+    ) -> Result<Self, BuildError> {
         let n = g.num_vertices();
-        if let Some(budget) = params.max_bytes {
+        if let Some(max) = params.max_bytes {
             let estimated = Self::estimate_bytes(g, params.radius);
-            if estimated > budget {
-                return Err(IndexTooLarge {
+            if estimated > max {
+                return Err(BuildError::TooLarge(IndexTooLarge {
                     estimated_bytes: estimated,
-                    budget_bytes: budget,
-                });
+                    budget_bytes: max,
+                }));
             }
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u64);
         let mut entries = Vec::new();
         let mut scratch = Scratch::new(n);
+        // Construction ops performed and the op count of the next
+        // budget poll; both the per-vertex BFS and the dense scan
+        // advance them at stride granularity.
+        let mut ops: u64 = 0;
+        let mut next_poll: u64 = BUILD_POLL_STRIDE;
         for v in g.vertices() {
             let start = entries.len();
-            scratch.undirected_ball(g, v, params.radius, &mut entries);
+            if !scratch.undirected_ball_polled(
+                g,
+                v,
+                params.radius,
+                &mut entries,
+                budget,
+                &mut ops,
+                &mut next_poll,
+            ) {
+                return Err(BuildError::Interrupted { ops_done: ops });
+            }
             let ball = entries.len() - start;
             if ball * 8 >= n {
                 // Dense ball: emit in id order by scanning the distance
                 // array — O(n), beating the O(ball·log ball) sort that
                 // dominates construction when radius covers the graph.
+                // The scan polls every stride so cancellation latency
+                // stays bounded even when one ball covers the graph.
                 entries.truncate(start);
-                for u in 0..n as u32 {
-                    let d = scratch.dist[u as usize];
-                    if d != u32::MAX && d != 0 {
-                        entries.push((VId(u), d as u16));
+                let mut lo = 0usize;
+                while lo < n {
+                    let hi = n.min(lo + BUILD_POLL_STRIDE as usize);
+                    ops += (hi - lo) as u64;
+                    if ops >= next_poll {
+                        next_poll = ops + BUILD_POLL_STRIDE;
+                        if budget.is_exhausted() {
+                            return Err(BuildError::Interrupted { ops_done: ops });
+                        }
                     }
+                    for u in lo..hi {
+                        let d = scratch.dist[u];
+                        if d != u32::MAX && d != 0 {
+                            entries.push((VId(u as u32), d as u16));
+                        }
+                    }
+                    lo = hi;
                 }
             } else {
                 entries[start..].sort_unstable_by_key(|&(u, _)| u);
@@ -203,6 +286,28 @@ impl Scratch {
     /// Appends `(u, dist)` for every `u ≠ v` within `r` undirected hops
     /// of `v` to `out`.
     fn undirected_ball(&mut self, g: &DiGraph, v: VId, r: u32, out: &mut Vec<(VId, u16)>) {
+        // `next_poll = u64::MAX` disables polling entirely, so the
+        // unbudgeted path pays nothing.
+        let (mut ops, mut next_poll) = (0u64, u64::MAX);
+        self.undirected_ball_polled(g, v, r, out, &Budget::unlimited(), &mut ops, &mut next_poll);
+    }
+
+    /// [`Scratch::undirected_ball`] polling `budget` at op-count stride
+    /// boundaries (`ops` counts BFS pops; `next_poll` is the op count of
+    /// the next poll). Returns `false` — with `out` in an unspecified
+    /// partial state — once the budget expires.
+    #[allow(clippy::too_many_arguments)]
+    fn undirected_ball_polled(
+        &mut self,
+        g: &DiGraph,
+        v: VId,
+        r: u32,
+        out: &mut Vec<(VId, u16)>,
+        budget: &Budget,
+        ops: &mut u64,
+        next_poll: &mut u64,
+    ) -> bool {
+        // budget-exempt: scratch reset, bounded by the previous ball
         for &t in &self.touched {
             self.dist[t.index()] = u32::MAX;
         }
@@ -212,6 +317,13 @@ impl Scratch {
         self.touched.push(v);
         self.queue.push_back(v);
         while let Some(u) = self.queue.pop_front() {
+            *ops += 1;
+            if *ops >= *next_poll {
+                *next_poll = *ops + BUILD_POLL_STRIDE;
+                if budget.is_exhausted() {
+                    return false;
+                }
+            }
             let d = self.dist[u.index()];
             if d >= r {
                 continue;
@@ -225,6 +337,7 @@ impl Scratch {
                 }
             }
         }
+        true
     }
 }
 
@@ -300,6 +413,52 @@ mod tests {
             est > actual / 3 && est < actual * 3,
             "est {est}, actual {actual}"
         );
+    }
+
+    #[test]
+    fn budgeted_build_matches_unbudgeted() {
+        let g = bgi_graph::generate::uniform_random(300, 900, 3, 13);
+        let params = NeighborIndexParams {
+            radius: 4,
+            max_bytes: None,
+        };
+        let plain = NeighborIndex::try_build(&g, &params).unwrap();
+        let budgeted =
+            NeighborIndex::try_build_budgeted(&g, &params, &Budget::unlimited()).unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn cancellation_latency_is_bounded_by_the_poll_stride() {
+        // A graph big and dense enough that radius 4 covers most of it,
+        // forcing the dense-ball branch and far more construction ops
+        // than a few poll strides.
+        let g = bgi_graph::generate::uniform_random(2000, 8000, 3, 21);
+        let params = NeighborIndexParams {
+            radius: 4,
+            max_bytes: None,
+        };
+        for checks in [0u64, 1, 3] {
+            let err =
+                NeighborIndex::try_build_budgeted(&g, &params, &Budget::with_check_limit(checks))
+                    .unwrap_err();
+            match err {
+                BuildError::Interrupted { ops_done } => {
+                    // Polls are at most 2×stride of ops apart (stride
+                    // spacing plus one dense-scan chunk), so the build
+                    // must notice an expired budget within that many
+                    // ops of the failing check.
+                    assert!(
+                        ops_done <= (checks + 1) * 2 * BUILD_POLL_STRIDE,
+                        "checks={checks}: noticed only after {ops_done} ops"
+                    );
+                }
+                other => panic!("expected interruption, got {other:?}"),
+            }
+        }
+        // Sanity: the same build runs to completion unbudgeted, i.e.
+        // the op count above truly truncated it early.
+        assert!(NeighborIndex::try_build(&g, &params).is_ok());
     }
 
     #[test]

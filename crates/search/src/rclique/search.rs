@@ -1,5 +1,6 @@
 //! r-clique search: greedy best answer + top-k search-space
-//! decomposition (Sec. 5.2 of the BiG-index paper).
+//! decomposition (Sec. 5.2 of the BiG-index paper), implemented on the
+//! interruptible anytime engine in `super::search_space`.
 //!
 //! The best answer of a search space `SP = (V_q1, …, V_qn)` is
 //! approximated greedily: for each content node `u` of the most
@@ -9,17 +10,24 @@
 //! candidate (weight = sum of pairwise distances). Top-k answers are
 //! enumerated Lawler-style: when `(SP, a)` is popped, `SP` is split into
 //! disjoint subspaces by fixing a prefix of `a` and excluding one node,
-//! each subspace queued with its own best answer.
+//! each subspace queued with its own best answer. Spaces whose greedy
+//! scan comes up empty are binary-branched rather than dropped, so a
+//! full run enumerates every feasible answer.
+//!
+//! Under a [`Budget`], [`RClique::search_anytime`] returns best-so-far
+//! answers with a sound optimality bound instead of failing; see the
+//! engine module for the search-space shape and the bound derivation.
 
 use super::neighbor_index::{NeighborIndex, NeighborIndexParams};
+use super::search_space::AnytimeSearch;
 use crate::answer::{rank_and_truncate, AnswerGraph};
 use crate::cancel::{Budget, Interrupted};
+use crate::outcome::SearchOutcome;
 use crate::query::KeywordQuery;
 use crate::semantics::KeywordSearch;
 use bgi_graph::{DiGraph, VId};
 use rustc_hash::FxHashMap;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// The r-clique keyword search algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,41 +67,6 @@ impl RCliqueIndex {
     /// The inverted label table (persistence export).
     pub fn label_lists(&self) -> &[Vec<VId>] {
         &self.label_vertices
-    }
-}
-
-/// One slot of a search (sub)space.
-#[derive(Debug, Clone)]
-enum Slot {
-    /// Fixed to a single content node (by Lawler decomposition).
-    Fixed(VId),
-    /// The keyword's full content-node list minus exclusions.
-    Open { excluded: Vec<VId> },
-}
-
-/// Heap item: `(weight, answer nodes, space)`, min-ordered by weight.
-struct SpaceItem {
-    weight: u64,
-    answer: Vec<VId>,
-    space: Vec<Slot>,
-}
-
-impl PartialEq for SpaceItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.weight == other.weight && self.answer == other.answer
-    }
-}
-impl Eq for SpaceItem {}
-impl PartialOrd for SpaceItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for SpaceItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.weight
-            .cmp(&other.weight)
-            .then_with(|| self.answer.cmp(&other.answer))
     }
 }
 
@@ -177,8 +150,10 @@ impl KeywordSearch for RClique {
         k: usize,
     ) -> Vec<AnswerGraph> {
         // An unlimited budget never interrupts.
-        self.search_impl(g, index, query, k, &Budget::unlimited())
-            .unwrap_or_default()
+        match self.search_anytime(g, index, query, k, &Budget::unlimited()) {
+            Ok(outcome) => outcome.answers,
+            Err(Interrupted) => Vec::new(),
+        }
     }
 
     fn search_budgeted(
@@ -189,21 +164,27 @@ impl KeywordSearch for RClique {
         k: usize,
         budget: &Budget,
     ) -> Result<Vec<AnswerGraph>, Interrupted> {
-        self.search_impl(g, index, query, k, budget)
+        // Strict contract: only a run that reached the enumeration's own
+        // termination condition counts; best-effort partial results are
+        // the `search_anytime` surface.
+        let outcome = self.search_anytime(g, index, query, k, budget)?;
+        if outcome.completeness.is_exact() {
+            Ok(outcome.answers)
+        } else {
+            Err(Interrupted)
+        }
     }
-}
 
-impl RClique {
-    fn search_impl(
+    fn search_anytime(
         &self,
         g: &DiGraph,
         index: &RCliqueIndex,
         query: &KeywordQuery,
         k: usize,
         budget: &Budget,
-    ) -> Result<Vec<AnswerGraph>, Interrupted> {
+    ) -> Result<SearchOutcome, Interrupted> {
         if query.is_empty() || k == 0 {
-            return Ok(Vec::new());
+            return Ok(SearchOutcome::exact(Vec::new()));
         }
         let r = query.dmax.min(index.neighbor.radius());
         // Per-query content node lists (the search space SP).
@@ -218,142 +199,43 @@ impl RClique {
             })
             .collect();
         if content.iter().any(|c| c.is_empty()) {
-            return Ok(Vec::new());
+            return Ok(SearchOutcome::exact(Vec::new()));
         }
-        let n = query.len();
-
-        // Local closure versions of best_answer using per-query content.
-        let candidates = |space: &[Slot], i: usize| -> Vec<VId> {
-            match &space[i] {
-                Slot::Fixed(v) => vec![*v],
-                Slot::Open { excluded } => content[i]
-                    .iter()
-                    .copied()
-                    .filter(|v| !excluded.contains(v))
-                    .collect(),
-            }
+        let engine = AnytimeSearch {
+            content,
+            neighbor: &index.neighbor,
+            r,
         };
-        let best_answer = |space: &[Slot]| -> Result<Option<(u64, Vec<VId>)>, Interrupted> {
-            let cand_lists: Vec<Vec<VId>> = (0..n).map(|i| candidates(space, i)).collect();
-            if cand_lists.iter().any(Vec::is_empty) {
-                return Ok(None);
-            }
-            let pivot = (0..n).min_by_key(|&i| cand_lists[i].len()).unwrap();
-            let mut best: Option<(u64, Vec<VId>)> = None;
-            for &u in &cand_lists[pivot] {
-                budget.check()?;
-                let mut picked = vec![u; n];
-                let mut feasible = true;
-                for j in 0..n {
-                    if j == pivot {
-                        continue;
-                    }
-                    let mut best_j: Option<(u32, VId)> = None;
-                    for &w in &cand_lists[j] {
-                        if let Some(d) = index.neighbor.distance(u, w) {
-                            if d <= r && best_j.is_none_or(|(bd, bw)| (d, w) < (bd, bw)) {
-                                best_j = Some((d, w));
-                            }
-                        }
-                    }
-                    match best_j {
-                        Some((_, w)) => picked[j] = w,
-                        None => {
-                            feasible = false;
-                            break;
-                        }
-                    }
-                }
-                if !feasible {
-                    continue;
-                }
-                let mut weight = 0u64;
-                let mut valid = true;
-                'pairs: for a in 0..n {
-                    for b in a + 1..n {
-                        match index.neighbor.distance(picked[a], picked[b]) {
-                            Some(d) if d <= r => weight += d as u64,
-                            _ => {
-                                valid = false;
-                                break 'pairs;
-                            }
-                        }
-                    }
-                }
-                if valid
-                    && best
-                        .as_ref()
-                        .is_none_or(|(bw, ba)| (weight, &picked) < (*bw, ba))
-                {
-                    best = Some((weight, picked));
-                }
-            }
-            Ok(best)
-        };
-
-        let root_space: Vec<Slot> = (0..n)
-            .map(|_| Slot::Open {
-                excluded: Vec::new(),
-            })
+        let run = engine.run(k, budget);
+        if run.answers.is_empty() {
+            return if run.completeness.is_exact() {
+                Ok(SearchOutcome::exact(Vec::new()))
+            } else {
+                // Nothing usable was found before the budget ran out.
+                Err(Interrupted)
+            };
+        }
+        // Bounded wrap-up: rank the discovered node sets first so only
+        // the k best are materialized (an interrupted run's frontier
+        // sweep can return many more).
+        let mut found = run.answers;
+        found.sort();
+        found.truncate(k);
+        let answers: Vec<AnswerGraph> = found
+            .iter()
+            .map(|(weight, picked)| Self::materialize(g, r, picked, *weight))
             .collect();
-        let mut heap: BinaryHeap<Reverse<SpaceItem>> = BinaryHeap::new();
-        if let Some((weight, answer)) = best_answer(&root_space)? {
-            heap.push(Reverse(SpaceItem {
-                weight,
-                answer,
-                space: root_space,
-            }));
-        }
-        let mut results = Vec::new();
-        while let Some(Reverse(item)) = heap.pop() {
-            budget.check()?;
-            results.push(Self::materialize(g, r, &item.answer, item.weight));
-            if results.len() >= k {
-                break;
-            }
-            // Lawler decomposition into disjoint subspaces.
-            for i in 0..n {
-                if matches!(item.space[i], Slot::Fixed(_)) {
-                    continue;
-                }
-                let mut child: Vec<Slot> = Vec::with_capacity(n);
-                for (j, slot) in item.space.iter().enumerate() {
-                    if j < i {
-                        child.push(match slot {
-                            Slot::Fixed(v) => Slot::Fixed(*v),
-                            Slot::Open { .. } => Slot::Fixed(item.answer[j]),
-                        });
-                    } else if j == i {
-                        let mut excluded = match slot {
-                            Slot::Open { excluded } => excluded.clone(),
-                            Slot::Fixed(_) => unreachable!(),
-                        };
-                        excluded.push(item.answer[i]);
-                        child.push(Slot::Open { excluded });
-                    } else {
-                        child.push(slot.clone());
-                    }
-                }
-                if let Some((weight, answer)) = best_answer(&child)? {
-                    heap.push(Reverse(SpaceItem {
-                        weight,
-                        answer,
-                        space: child,
-                    }));
-                }
-            }
-        }
-        // `best_answer` is a greedy approximation (exact r-clique is
-        // NP-hard), so a child space can yield a lighter answer than an
-        // already-popped parent; re-rank the emitted answers so the
-        // returned list is non-decreasing in weight.
-        Ok(rank_and_truncate(results, k))
+        Ok(SearchOutcome {
+            answers: rank_and_truncate(answers, k),
+            completeness: run.completeness,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outcome::Completeness;
     use bgi_graph::generate::uniform_random;
     use bgi_graph::{GraphBuilder, LabelId};
 
@@ -463,5 +345,71 @@ mod tests {
         let mut nodes: Vec<VId> = answers.iter().map(|a| a.keyword_matches[0][0]).collect();
         nodes.sort_unstable();
         assert_eq!(nodes, vec![VId(1), VId(3)]);
+    }
+
+    #[test]
+    fn zero_budget_still_returns_the_greedy_seed() {
+        let g = uniform_random(150, 450, 4, 5);
+        let rc = RClique::default();
+        let idx = rc.build_index(&g);
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 4);
+        // The strict contract discards partial results...
+        assert_eq!(
+            rc.search_budgeted(&g, &idx, &q, 10, &Budget::with_check_limit(0)),
+            Err(Interrupted)
+        );
+        // ...but the anytime surface returns the greedy seed (computed
+        // under its own deterministic op slice) with a finite bound.
+        let outcome = rc
+            .search_anytime(&g, &idx, &q, 10, &Budget::with_check_limit(0))
+            .expect("seed answer expected on a populated query");
+        assert!(!outcome.answers.is_empty());
+        match outcome.completeness {
+            Completeness::Anytime { bound } => {
+                // The seed's weight can exceed the true optimum by at
+                // most the reported gap.
+                let exact = rc.search(&g, &idx, &q, 10);
+                assert!(outcome.answers[0].score <= exact[0].score + bound);
+            }
+            other => panic!("expected an anytime marker, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_anytime_matches_plain_search_and_is_exact() {
+        let g = uniform_random(150, 450, 4, 6);
+        let rc = RClique::default();
+        let idx = rc.build_index(&g);
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(2)], 4);
+        let plain = rc.search(&g, &idx, &q, 10);
+        let outcome = rc
+            .search_anytime(&g, &idx, &q, 10, &Budget::unlimited())
+            .unwrap();
+        assert!(outcome.completeness.is_exact());
+        let scores: Vec<u64> = outcome.answers.iter().map(|a| a.score).collect();
+        let plain_scores: Vec<u64> = plain.iter().map(|a| a.score).collect();
+        assert_eq!(scores, plain_scores);
+    }
+
+    #[test]
+    fn exhaustive_enumeration_is_complete() {
+        // Run to completion with a huge k, the engine must enumerate
+        // every feasible r-clique: cross-check against brute force over
+        // the content-list product.
+        let g = uniform_random(60, 150, 3, 11);
+        let rc = RClique::default();
+        let idx = rc.build_index(&g);
+        let q = KeywordQuery::new(vec![LabelId(0), LabelId(1)], 4);
+        let answers = rc.search(&g, &idx, &q, 100_000);
+        let lists = idx.label_lists();
+        let mut expect = 0usize;
+        for &u in &lists[0] {
+            for &v in &lists[1] {
+                if idx.neighbor.distance(u, v).is_some_and(|d| d <= 4) {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(answers.len(), expect);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::answer::AnswerGraph;
 use crate::cancel::{Budget, Interrupted};
+use crate::outcome::SearchOutcome;
 use crate::query::KeywordQuery;
 use bgi_graph::DiGraph;
 
@@ -51,6 +52,31 @@ pub trait KeywordSearch {
     ) -> Result<Vec<AnswerGraph>, Interrupted> {
         budget.check_now()?;
         Ok(self.search(g, index, query, k))
+    }
+
+    /// Best-effort [`KeywordSearch::search`] under a cooperative
+    /// [`Budget`]: on budget exhaustion the algorithm returns whatever
+    /// answers it already discovered, marked with a
+    /// [`crate::Completeness`] describing how much of the search space
+    /// backs them, instead of discarding them. [`Interrupted`] is
+    /// reserved for the case where *nothing* was found before the
+    /// budget ran out — a caller never receives an empty best-effort
+    /// success.
+    ///
+    /// The default implementation delegates to
+    /// [`KeywordSearch::search_budgeted`] (all-or-nothing): exact on
+    /// success, [`Interrupted`] otherwise. The built-in algorithms
+    /// override it with real partial-result support.
+    fn search_anytime(
+        &self,
+        g: &DiGraph,
+        index: &Self::Index,
+        query: &KeywordQuery,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<SearchOutcome, Interrupted> {
+        self.search_budgeted(g, index, query, k, budget)
+            .map(SearchOutcome::exact)
     }
 
     /// Convenience: build the index and search in one call.

@@ -3,9 +3,12 @@
 //! [`run_batch`] replays a workload through a [`Service`] from
 //! `clients` concurrent threads, each submitting its next request only
 //! after the previous one answered (a classic closed loop). Shed
-//! submissions ([`QueryError::Overloaded`]) are retried after a yield —
-//! back-pressure slows the batch down, it never loses queries — so a
-//! clean run reports zero failures by construction.
+//! submissions ([`QueryError::Overloaded`]) are retried with capped
+//! exponential backoff seeded from the server's `retry_after_hint`,
+//! jittered per client so a herd of shed clients doesn't re-stampede
+//! the queue in lockstep — back-pressure slows the batch down, it
+//! never loses queries — so a clean run reports zero failures by
+//! construction.
 //!
 //! With `repeat > 1` the workload is replayed that many times; repeats
 //! re-ask identical (normalized) queries, so they land in the answer
@@ -68,40 +71,61 @@ pub fn run_batch(
     let failed = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|s| {
-        for _ in 0..clients.max(1) {
-            s.spawn(|| loop {
-                // relaxed: pure work-claim ticket; the scope join is the
-                // only synchronization the report needs.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let request = requests[i % requests.len()].clone();
+        for client in 0..clients.max(1) {
+            let (next, served, cache_hits, timeouts, failed) =
+                (&next, &served, &cache_hits, &timeouts, &failed);
+            s.spawn(move || {
+                // Per-client xorshift64 jitter stream, seeded by the
+                // client index so runs are reproducible and no two
+                // clients share a backoff schedule.
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15
+                    ^ ((client as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
                 loop {
-                    match service.query(request.clone()) {
-                        Ok(resp) => {
-                            // relaxed: outcome counters, read only after
-                            // the thread scope joins.
-                            served.fetch_add(1, Ordering::Relaxed);
-                            if resp.cache_hit {
-                                // relaxed: see `served` above.
-                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                    // relaxed: pure work-claim ticket; the scope join is
+                    // the only synchronization the report needs.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let request = requests[i % requests.len()].clone();
+                    let mut shed_attempts: u32 = 0;
+                    loop {
+                        match service.query(request.clone()) {
+                            Ok(resp) => {
+                                // relaxed: outcome counters, read only
+                                // after the thread scope joins.
+                                served.fetch_add(1, Ordering::Relaxed);
+                                if resp.cache_hit {
+                                    // relaxed: see `served` above.
+                                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
                             }
-                            break;
-                        }
-                        Err(QueryError::Overloaded) => {
-                            // Back-pressure: yield and retry, never drop.
-                            std::thread::yield_now();
-                        }
-                        Err(QueryError::Timeout) => {
-                            // relaxed: see `served` above.
-                            timeouts.fetch_add(1, Ordering::Relaxed);
-                            break;
-                        }
-                        Err(_) => {
-                            // relaxed: see `served` above.
-                            failed.fetch_add(1, Ordering::Relaxed);
-                            break;
+                            Err(QueryError::Overloaded { retry_after_hint }) => {
+                                // Back-pressure: capped exponential
+                                // backoff with full jitter off the
+                                // server's drain estimate; retry until
+                                // admitted, never drop.
+                                let base = retry_after_hint.max(Duration::from_micros(50));
+                                let ceiling = base.saturating_mul(1 << shed_attempts.min(6));
+                                rng ^= rng << 13;
+                                rng ^= rng >> 7;
+                                rng ^= rng << 17;
+                                let unit = (rng >> 11) as f64 / (1u64 << 53) as f64;
+                                let wait = ceiling.mul_f64(unit).max(Duration::from_micros(10));
+                                std::thread::sleep(wait);
+                                shed_attempts += 1;
+                            }
+                            Err(QueryError::Timeout) => {
+                                // relaxed: see `served` above.
+                                timeouts.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(_) => {
+                                // relaxed: see `served` above.
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
                         }
                     }
                 }

@@ -273,6 +273,7 @@ mod tests {
             answers: Vec::new(),
             layer,
             fell_back: false,
+            completeness: bgi_search::Completeness::Exact,
         })
     }
 

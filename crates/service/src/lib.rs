@@ -51,6 +51,8 @@ pub use cache::{AnswerCache, CacheStats};
 pub use flight::{Flight, SingleFlight};
 pub use log::Logger;
 pub use request::{QueryError, QueryRequest, QueryResponse, Semantics};
-pub use service::{ApplyError, ApplyReport, ReloadError, Service, ServiceConfig};
+pub use service::{
+    ApplyError, ApplyReport, DegradationPolicy, ReloadError, Service, ServiceConfig,
+};
 pub use snapshot::{IndexSnapshot, SnapshotConfig, SnapshotError};
 pub use stats::ServiceStats;

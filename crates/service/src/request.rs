@@ -8,7 +8,7 @@
 //! hit, latency) for clients and benchmarks to reason about them.
 
 use bgi_graph::LabelId;
-use bgi_search::AnswerGraph;
+use bgi_search::{AnswerGraph, Completeness};
 use std::time::Duration;
 
 /// Which plugged-in keyword search semantics evaluates the query.
@@ -78,6 +78,17 @@ pub struct QueryRequest {
     /// that waits out its deadline in the admission queue times out
     /// without ever running.
     pub deadline: Option<Duration>,
+    /// Per-request *soft* deadline, measured from **execution start**:
+    /// queue wait does not burn it, and reaching it does not fail the
+    /// query — the search degrades to best-effort answers marked
+    /// non-exact in [`QueryResponse::completeness`]. Combines with
+    /// `deadline` (whichever expires first drives the budget).
+    pub soft_deadline: Option<Duration>,
+    /// Minimum acceptable answer count for a *degraded* response: a
+    /// best-effort (non-exact) result with fewer answers than this is
+    /// reported as [`QueryError::Timeout`] instead. `0` accepts any
+    /// non-empty best-effort result. Exact results are never filtered.
+    pub min_results: usize,
 }
 
 impl QueryRequest {
@@ -91,6 +102,8 @@ impl QueryRequest {
             k,
             layer: None,
             deadline: None,
+            soft_deadline: None,
+            min_results: 0,
         }
     }
 }
@@ -109,6 +122,10 @@ pub struct QueryResponse {
     pub cache_hit: bool,
     /// Submission-to-completion latency.
     pub latency: Duration,
+    /// How complete the answer set is: `Exact` for a full run, a
+    /// non-exact marker when the deadline cut the search short and
+    /// these are best-effort answers (see [`Completeness`]).
+    pub completeness: Completeness,
 }
 
 /// Why a query was not served.
@@ -117,7 +134,12 @@ pub enum QueryError {
     /// The per-request deadline expired (in the queue or mid-execution).
     Timeout,
     /// The admission queue was full; the request was shed, not queued.
-    Overloaded,
+    Overloaded {
+        /// Server-estimated wait before a retry is likely to be
+        /// admitted: current queue drain time from the served-latency
+        /// median. Clients should back off at least this long.
+        retry_after_hint: Duration,
+    },
     /// The service is shutting down.
     Shutdown,
     /// The request carried no keywords.
@@ -142,7 +164,10 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::Timeout => f.write_str("deadline exceeded"),
-            QueryError::Overloaded => f.write_str("admission queue full; request shed"),
+            QueryError::Overloaded { retry_after_hint } => write!(
+                f,
+                "admission queue full; request shed (retry after ~{retry_after_hint:?})"
+            ),
             QueryError::Shutdown => f.write_str("service shutting down"),
             QueryError::EmptyQuery => f.write_str("query has no keywords"),
             QueryError::InvalidLayer {

@@ -56,6 +56,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
+    /// The overload degradation ladder; `None` disables it (budgets
+    /// are never shrunk).
+    pub degradation: Option<DegradationPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +69,41 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity: 1024,
             default_deadline: None,
+            degradation: Some(DegradationPolicy::default()),
+        }
+    }
+}
+
+/// When and how far the service trades answer quality for queue drain
+/// under sustained overload.
+///
+/// The ladder watches admission-queue occupancy at every submission.
+/// Once the queue has been at least `pressure_threshold` full for
+/// `sustain` consecutive submissions, workers shrink each deadline-
+/// carrying request's execution budget by `budget_shrink` (never below
+/// `floor`) until the pressure streak breaks. Shrunk budgets make the
+/// anytime search return earlier best-effort answers, which drains the
+/// queue instead of letting every queued request time out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Queue occupancy (`len / capacity`, in `[0, 1]`) that counts as
+    /// pressure.
+    pub pressure_threshold: f64,
+    /// Consecutive pressured submissions before budgets shrink.
+    pub sustain: u64,
+    /// Multiplier applied to the effective deadline while degraded.
+    pub budget_shrink: f64,
+    /// Shrunk deadlines never drop below this.
+    pub floor: Duration,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            pressure_threshold: 0.75,
+            sustain: 32,
+            budget_shrink: 0.5,
+            floor: Duration::from_millis(2),
         }
     }
 }
@@ -87,6 +125,13 @@ struct Shared {
     stats: StatsRegistry,
     log: Logger,
     default_deadline: Option<Duration>,
+    degradation: Option<DegradationPolicy>,
+    queue_capacity: usize,
+    workers: usize,
+    /// Consecutive submissions that found the queue above the pressure
+    /// threshold (reset on any relaxed submission). Workers read it to
+    /// decide whether the degradation ladder is engaged.
+    pressure_streak: AtomicU64,
     /// Jobs currently being executed by a worker (not queued ones);
     /// [`Service::drain`] waits for this to hit zero.
     active: AtomicU64,
@@ -97,24 +142,84 @@ impl Shared {
         Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
     }
 
+    /// Updates the sustained-pressure streak from the current queue
+    /// occupancy. Called on every submission (admitted or shed).
+    fn track_pressure(&self) {
+        let Some(policy) = self.degradation.as_ref() else {
+            return;
+        };
+        let occupancy = self.queue.len() as f64 / self.queue_capacity as f64;
+        if occupancy >= policy.pressure_threshold {
+            // relaxed: advisory streak counter; a racing submission
+            // moves ladder engagement by at most one submission.
+            self.pressure_streak.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // relaxed: same advisory counter, reset on calm occupancy.
+            self.pressure_streak.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Server-estimated queue drain time: the served-latency median
+    /// times the queued-requests-per-worker depth, capped so a client
+    /// backoff never stalls long after the spike clears.
+    fn retry_after_hint(&self) -> Duration {
+        const MIN_HINT: Duration = Duration::from_micros(50);
+        const MAX_HINT: Duration = Duration::from_millis(100);
+        let p50 = self.stats.snapshot().p50.max(MIN_HINT);
+        let waves = self.queue.len().div_ceil(self.workers).max(1) as u32;
+        p50.saturating_mul(waves).min(MAX_HINT)
+    }
+
     /// The worker loop body for one job.
     fn serve(&self, job: Job) {
-        let deadline = job
+        let hard_deadline = job
             .request
             .deadline
             .or(self.default_deadline)
             .map(|d| job.submitted + d);
-        let budget = match deadline {
+        // Deadline may have burned away in the queue (or be 0 to begin
+        // with): answer Timeout without touching the index. The *soft*
+        // deadline is anchored at execution start below, so queue wait
+        // never pre-expires it.
+        if let Some(dl) = hard_deadline {
+            if Budget::with_deadline(dl).is_exhausted_now() {
+                self.stats.record_timeout();
+                let _ = job.reply.send(Err(QueryError::Timeout));
+                return;
+            }
+        }
+        // Degradation ladder: under sustained queue pressure, shrink
+        // the remaining execution budget so the anytime search returns
+        // earlier best-effort answers and the queue drains.
+        let degraded = self.degradation.as_ref().filter(|p| {
+            // relaxed: advisory pressure signal; off-by-a-few is fine.
+            self.pressure_streak.load(Ordering::Relaxed) >= p.sustain
+        });
+        let shrink = |d: Duration| -> Duration {
+            match degraded {
+                Some(p) => d
+                    .mul_f64(p.budget_shrink.clamp(0.0, 1.0))
+                    .max(p.floor)
+                    .min(d),
+                None => d,
+            }
+        };
+        let now = Instant::now();
+        let hard_exec = hard_deadline.map(|dl| now + shrink(dl.saturating_duration_since(now)));
+        // The soft deadline anchors here, at execution start.
+        let soft_exec = job.request.soft_deadline.map(|d| now + shrink(d));
+        let exec_deadline = match (hard_exec, soft_exec) {
+            (Some(h), Some(s)) => Some(h.min(s)),
+            (h, s) => h.or(s),
+        };
+        if degraded.is_some() && exec_deadline.is_some() {
+            self.stats.record_degraded_budget();
+        }
+        let budget = match exec_deadline {
             Some(dl) => Budget::with_deadline(dl),
             None => Budget::unlimited(),
         };
-        // Deadline may have burned away in the queue (or be 0 to begin
-        // with): answer Timeout without touching the index.
-        if budget.is_exhausted_now() {
-            self.stats.record_timeout();
-            let _ = job.reply.send(Err(QueryError::Timeout));
-            return;
-        }
+        let deadline = hard_deadline;
         let key = CacheKey::of(&job.request);
         // Cache-check / leader-election loop: a miss elects a single
         // leader per key (crate::flight); coalesced waiters re-check
@@ -130,14 +235,19 @@ impl Shared {
                     self.stats.record_coalesced();
                 }
                 let latency = job.submitted.elapsed();
-                self.stats
-                    .record_served(job.request.semantics, latency, hit.fell_back);
+                self.stats.record_served(
+                    job.request.semantics,
+                    latency,
+                    hit.fell_back,
+                    hit.completeness,
+                );
                 let _ = job.reply.send(Ok(QueryResponse {
                     answers: hit.answers.clone(),
                     layer: hit.layer,
                     fell_back: hit.fell_back,
                     cache_hit: true,
                     latency,
+                    completeness: hit.completeness,
                 }));
                 return;
             }
@@ -161,19 +271,29 @@ impl Shared {
                 let outcome = Arc::new(outcome);
                 // Insert *before* leaving the flight, so a woken
                 // follower's cache re-read finds the entry instead of
-                // electing itself leader and recomputing.
-                self.cache
-                    .insert_at(generation, key.clone(), Arc::clone(&outcome));
+                // electing itself leader and recomputing. Only *exact*
+                // outcomes are cacheable: a best-effort set is an
+                // artifact of one request's budget, and serving it to a
+                // later, unhurried query would silently degrade it.
+                if outcome.completeness.is_exact() {
+                    self.cache
+                        .insert_at(generation, key.clone(), Arc::clone(&outcome));
+                }
                 self.flight.leave(&key);
                 let latency = job.submitted.elapsed();
-                self.stats
-                    .record_served(job.request.semantics, latency, outcome.fell_back);
+                self.stats.record_served(
+                    job.request.semantics,
+                    latency,
+                    outcome.fell_back,
+                    outcome.completeness,
+                );
                 let _ = job.reply.send(Ok(QueryResponse {
                     answers: outcome.answers.clone(),
                     layer: outcome.layer,
                     fell_back: outcome.fell_back,
                     cache_hit: false,
                     latency,
+                    completeness: outcome.completeness,
                 }));
             }
             Err(err) => {
@@ -226,6 +346,10 @@ impl Service {
             stats: StatsRegistry::new(),
             log,
             default_deadline: config.default_deadline,
+            degradation: config.degradation,
+            queue_capacity: config.queue_capacity.max(1),
+            workers: config.workers.max(1),
+            pressure_streak: AtomicU64::new(0),
             active: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
@@ -261,10 +385,16 @@ impl Service {
             reply,
         };
         match self.shared.queue.push(job) {
-            Ok(()) => Ok(rx),
+            Ok(()) => {
+                self.shared.track_pressure();
+                Ok(rx)
+            }
             Err(PushError::Full) => {
+                self.shared.track_pressure();
                 self.shared.stats.record_overloaded();
-                Err(QueryError::Overloaded)
+                Err(QueryError::Overloaded {
+                    retry_after_hint: self.shared.retry_after_hint(),
+                })
             }
             Err(PushError::Closed) => Err(QueryError::Shutdown),
         }

@@ -12,9 +12,10 @@ use bgi_search::banks::BanksIndex;
 use bgi_search::blinks::{BlinksIndex, BlinksParams};
 use bgi_search::rclique::RCliqueIndex;
 use bgi_search::{
-    AnswerGraph, Banks, Blinks, Budget, Interrupted, KeywordQuery, KeywordSearch, RClique,
+    AnswerGraph, Banks, Blinks, Budget, Completeness, Interrupted, KeywordQuery, KeywordSearch,
+    RClique,
 };
-use big_index::eval::eval_at_layer_budgeted;
+use big_index::eval::eval_at_layer_anytime;
 use big_index::query_gen::{keywords_stay_distinct, optimal_layer};
 use big_index::{BiGIndex, EvalOptions, RealizerKind};
 
@@ -100,6 +101,9 @@ pub struct ExecOutcome {
     /// True if the summary-layer attempt realized nothing and the
     /// query was re-run on the data graph.
     pub fell_back: bool,
+    /// Whether the run finished exactly or was cut short by its budget
+    /// and returned best-effort answers (see [`Completeness`]).
+    pub completeness: Completeness,
 }
 
 /// A verified, immutable BiG-index with all three semantics' per-layer
@@ -202,8 +206,11 @@ impl IndexSnapshot {
 
     /// Executes one request under `budget`. Validation errors
     /// ([`QueryError::EmptyQuery`], [`QueryError::InvalidLayer`],
-    /// [`QueryError::MergedKeywords`]) are typed; budget exhaustion
-    /// maps to [`QueryError::Timeout`].
+    /// [`QueryError::MergedKeywords`]) are typed. Budget exhaustion is
+    /// *anytime*: whenever the search found at least one answer, the
+    /// outcome carries it with a non-exact [`Completeness`] marker;
+    /// only a run interrupted before producing anything maps to
+    /// [`QueryError::Timeout`].
     pub fn execute(&self, req: &QueryRequest, budget: &Budget) -> Result<ExecOutcome, QueryError> {
         let query = KeywordQuery::new(req.keywords.clone(), req.dmax);
         if query.is_empty() {
@@ -265,7 +272,15 @@ impl IndexSnapshot {
                 budget,
             ),
         };
-        run.map_err(|Interrupted| QueryError::Timeout)
+        let outcome = run.map_err(|Interrupted| QueryError::Timeout)?;
+        // The client's floor for degraded results: a best-effort set
+        // smaller than `min_results` is worth no more than a timeout to
+        // them. Exact results are never filtered — fewer than
+        // `min_results` answers may be all that exist.
+        if !outcome.completeness.is_exact() && outcome.answers.len() < req.min_results {
+            return Err(QueryError::Timeout);
+        }
+        Ok(outcome)
     }
 
     /// Algo. 2 at layer `m` with the `Boosted::query` empty-answer
@@ -285,7 +300,7 @@ impl IndexSnapshot {
         opts: &EvalOptions,
         budget: &Budget,
     ) -> Result<ExecOutcome, Interrupted> {
-        let attempt = eval_at_layer_budgeted(
+        let attempt = eval_at_layer_anytime(
             &self.index,
             algo,
             &layer_indexes[m],
@@ -295,14 +310,21 @@ impl IndexSnapshot {
             opts,
             budget,
         )?;
-        if m == 0 || explicit_layer || !attempt.answers.is_empty() {
+        // A best-effort attempt never falls back: its budget is spent,
+        // and best-effort answers beat an empty retry.
+        if m == 0
+            || explicit_layer
+            || !attempt.answers.is_empty()
+            || !attempt.completeness.is_exact()
+        {
             return Ok(ExecOutcome {
                 answers: attempt.answers,
                 layer: attempt.layer,
                 fell_back: false,
+                completeness: attempt.completeness,
             });
         }
-        let fallback = eval_at_layer_budgeted(
+        let fallback = eval_at_layer_anytime(
             &self.index,
             algo,
             &layer_indexes[0],
@@ -316,6 +338,7 @@ impl IndexSnapshot {
             answers: fallback.answers,
             layer: 0,
             fell_back: true,
+            completeness: fallback.completeness,
         })
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::request::Semantics;
 use bgi_check::sync::atomic::{AtomicU64, Ordering};
+use bgi_search::Completeness;
 use std::time::Duration;
 
 /// Bumps a monotonic event counter. Every registry counter funnels
@@ -46,7 +47,13 @@ pub struct StatsRegistry {
     ingest_batches: AtomicU64,
     ingest_rebuilds: AtomicU64,
     ingest_rollbacks: AtomicU64,
+    anytime_responses: AtomicU64,
+    degraded_budget_requests: AtomicU64,
     latency_us: [AtomicU64; BUCKETS],
+    /// Optimality-gap histogram for `Anytime` responses: bucket `i`
+    /// counts reported bounds in `[2^i, 2^(i+1))` (bucket 0 includes
+    /// bound 0 — provably optimal despite interruption).
+    bound_gap: [AtomicU64; BUCKETS],
 }
 
 impl Default for StatsRegistry {
@@ -72,19 +79,40 @@ impl StatsRegistry {
             ingest_batches: AtomicU64::new(0),
             ingest_rebuilds: AtomicU64::new(0),
             ingest_rollbacks: AtomicU64::new(0),
+            anytime_responses: AtomicU64::new(0),
+            degraded_budget_requests: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            bound_gap: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
     /// Records one successfully served query.
-    pub fn record_served(&self, semantics: Semantics, latency: Duration, fell_back: bool) {
+    pub fn record_served(
+        &self,
+        semantics: Semantics,
+        latency: Duration,
+        fell_back: bool,
+        completeness: Completeness,
+    ) {
         bump(&self.served);
         bump(&self.per_semantics[semantics.index()]);
         if fell_back {
             bump(&self.fallbacks);
         }
+        if !completeness.is_exact() {
+            bump(&self.anytime_responses);
+        }
+        if let Completeness::Anytime { bound } = completeness {
+            bump(&self.bound_gap[Self::bucket(bound)]);
+        }
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         bump(&self.latency_us[Self::bucket(us)]);
+    }
+
+    /// Records a request whose budget was shrunk by the degradation
+    /// ladder under sustained admission-queue pressure.
+    pub fn record_degraded_budget(&self) {
+        bump(&self.degraded_budget_requests);
     }
 
     /// Records a deadline expiry (queued or mid-execution).
@@ -195,6 +223,9 @@ impl StatsRegistry {
             ingest_batches: read(&self.ingest_batches),
             ingest_rebuilds: read(&self.ingest_rebuilds),
             ingest_rollbacks: read(&self.ingest_rollbacks),
+            anytime_responses: read(&self.anytime_responses),
+            degraded_budget_requests: read(&self.degraded_budget_requests),
+            bound_gap: self.bound_gap.iter().map(read).collect(),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -235,6 +266,17 @@ pub struct ServiceStats {
     /// Update batches whose snapshot was refused (previous snapshot
     /// kept serving) — the write-path analogue of `reload_rollbacks`.
     pub ingest_rollbacks: u64,
+    /// Served responses carrying best-effort (non-exact) answers — the
+    /// queries that would have been empty timeouts without anytime
+    /// search.
+    pub anytime_responses: u64,
+    /// Requests whose budget was shrunk by the degradation ladder under
+    /// sustained queue pressure.
+    pub degraded_budget_requests: u64,
+    /// Optimality-gap histogram over `Anytime` responses: bucket `i`
+    /// counts reported bounds in `[2^i, 2^(i+1))`, bucket 0 includes a
+    /// zero gap. Empty before any anytime response is recorded.
+    pub bound_gap: Vec<u64>,
     /// Median served latency (histogram estimate).
     pub p50: Duration,
     /// 95th-percentile served latency (histogram estimate).
@@ -243,6 +285,27 @@ pub struct ServiceStats {
     pub p99: Duration,
     /// Answer-cache counters at snapshot time.
     pub cache: crate::cache::CacheStats,
+}
+
+impl ServiceStats {
+    /// Percentile estimate over the recorded `Anytime` optimality gaps
+    /// (bucket representative values); `None` before any anytime
+    /// response carried a bound.
+    pub fn bound_gap_pct(&self, p: f64) -> Option<u64> {
+        let total: u64 = self.bound_gap.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64 * p).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.bound_gap.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(StatsRegistry::bucket_mid_us(i));
+            }
+        }
+        Some(StatsRegistry::bucket_mid_us(self.bound_gap.len() - 1))
+    }
 }
 
 impl std::fmt::Display for ServiceStats {
@@ -255,6 +318,14 @@ impl std::fmt::Display for ServiceStats {
             self.per_semantics[1],
             self.per_semantics[2],
             self.fallbacks
+        )?;
+        writeln!(
+            f,
+            "anytime {} (degraded budgets {}), bound gap p50 {} p95 {}",
+            self.anytime_responses,
+            self.degraded_budget_requests,
+            self.bound_gap_pct(0.50).unwrap_or(0),
+            self.bound_gap_pct(0.95).unwrap_or(0)
         )?;
         writeln!(
             f,
@@ -311,10 +382,20 @@ mod tests {
         let r = StatsRegistry::new();
         // 90 fast queries (~100 µs), 10 slow (~100 ms).
         for _ in 0..90 {
-            r.record_served(Semantics::Bkws, Duration::from_micros(100), false);
+            r.record_served(
+                Semantics::Bkws,
+                Duration::from_micros(100),
+                false,
+                Completeness::Exact,
+            );
         }
         for _ in 0..10 {
-            r.record_served(Semantics::Rkws, Duration::from_millis(100), false);
+            r.record_served(
+                Semantics::Rkws,
+                Duration::from_millis(100),
+                false,
+                Completeness::Exact,
+            );
         }
         let s = r.snapshot();
         assert_eq!(s.served, 100);
@@ -334,7 +415,12 @@ mod tests {
     #[test]
     fn display_mentions_key_fields() {
         let r = StatsRegistry::new();
-        r.record_served(Semantics::Dkws, Duration::from_micros(50), true);
+        r.record_served(
+            Semantics::Dkws,
+            Duration::from_micros(50),
+            true,
+            Completeness::Anytime { bound: 6 },
+        );
         r.record_timeout();
         let text = r.snapshot().to_string();
         assert!(text.contains("served 1"));

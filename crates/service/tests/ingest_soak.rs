@@ -181,6 +181,7 @@ fn background_rebuild_adopts_without_blocking_writes() {
             cache_shards: 2,
             cache_capacity: 32,
             default_deadline: None,
+            degradation: None,
         },
     );
     let config = EngineConfig {
@@ -266,6 +267,7 @@ fn storm_with_wal_kills_recovers_to_last_committed_batch() {
             cache_shards: 4,
             cache_capacity: 128,
             default_deadline: None,
+            degradation: None,
         },
     ));
 

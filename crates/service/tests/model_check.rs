@@ -155,6 +155,7 @@ fn exec_outcome() -> Arc<ExecOutcome> {
         answers: Vec::new(),
         layer: 0,
         fell_back: false,
+        completeness: bgi_search::Completeness::Exact,
     })
 }
 
@@ -279,6 +280,7 @@ fn one_worker_config() -> ServiceConfig {
         cache_shards: 1,
         cache_capacity: 8,
         default_deadline: None,
+        degradation: None,
     }
 }
 

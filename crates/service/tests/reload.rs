@@ -83,6 +83,7 @@ fn config() -> ServiceConfig {
         cache_shards: 2,
         cache_capacity: 128,
         default_deadline: None,
+        degradation: None,
     }
 }
 

@@ -47,6 +47,7 @@ fn small_config(workers: usize) -> ServiceConfig {
         cache_shards: 4,
         cache_capacity: 256,
         default_deadline: None,
+        degradation: None,
     }
 }
 
@@ -109,7 +110,10 @@ fn overload_sheds_with_typed_rejection() {
     for i in 0..200 {
         match service.submit(requests[i % requests.len()].clone()) {
             Ok(rx) => receivers.push(rx),
-            Err(QueryError::Overloaded) => shed += 1,
+            Err(QueryError::Overloaded { retry_after_hint }) => {
+                assert!(retry_after_hint > Duration::ZERO, "hint must be usable");
+                shed += 1;
+            }
             Err(other) => panic!("unexpected rejection: {other:?}"),
         }
     }
@@ -189,4 +193,118 @@ fn shutdown_fails_pending_and_is_idempotent() {
     service.shutdown();
     service.shutdown();
     assert_eq!(service.query(req), Err(QueryError::Shutdown));
+}
+
+#[test]
+fn deadline_storm_yields_anytime_answers_never_empty_timeouts() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(4));
+    // dkws requests pinned to layer 0 — the r-clique anytime engine's
+    // greedy seed slice runs even on an expired clock, so any query
+    // with answers must produce them. First find which ones do.
+    let mut storm: Vec<QueryRequest> = Vec::new();
+    for mut req in workload(ds) {
+        req.semantics = Semantics::Dkws;
+        req.layer = Some(0);
+        if let Ok(resp) = service.query(req.clone()) {
+            if !resp.answers.is_empty() {
+                storm.push(req);
+            }
+        }
+    }
+    assert!(!storm.is_empty(), "no dkws query has answers");
+    // The storm: a soft deadline that is already ash by the time any
+    // worker looks at the clock. Soft deadlines anchor at execution
+    // start, so nothing times out while queued.
+    let mut served = 0u64;
+    let mut degraded = 0u64;
+    for round in 0..4 {
+        for req in &storm {
+            let mut req = req.clone();
+            req.soft_deadline = Some(Duration::from_nanos(1));
+            // Vary k per round so responses can't ride the exact-result
+            // cache entries warmed up by the probe above.
+            req.k = 50 + round;
+            let resp = service
+                .query(req)
+                .expect("a query with answers must never time out empty");
+            assert!(
+                !resp.answers.is_empty(),
+                "anytime response carries best-effort answers"
+            );
+            served += 1;
+            if !resp.completeness.is_exact() {
+                degraded += 1;
+            }
+        }
+    }
+    assert!(
+        degraded as f64 >= served as f64 * 0.95,
+        "a 1ns soft deadline must degrade nearly every response \
+         ({degraded}/{served} degraded)"
+    );
+    let stats = service.stats();
+    assert!(stats.anytime_responses >= degraded);
+    assert!(
+        stats.bound_gap.iter().sum::<u64>() > 0,
+        "dkws anytime responses must record their optimality gaps"
+    );
+}
+
+#[test]
+fn min_results_turns_thin_degraded_responses_into_timeouts() {
+    let (ds, snapshot) = shared();
+    let service = Service::start(Arc::clone(snapshot), small_config(2));
+    let mut req = workload(ds)
+        .into_iter()
+        .find(|r| {
+            let mut probe = r.clone();
+            probe.semantics = Semantics::Dkws;
+            probe.layer = Some(0);
+            service
+                .query(probe)
+                .is_ok_and(|resp| !resp.answers.is_empty())
+        })
+        .expect("a dkws query with answers");
+    req.semantics = Semantics::Dkws;
+    req.layer = Some(0);
+    req.k = 64; // avoid the probe's cache entry
+    req.soft_deadline = Some(Duration::from_nanos(1));
+    // Accepting any best-effort result: served.
+    req.min_results = 0;
+    let resp = service.query(req.clone()).expect("best-effort accepted");
+    assert!(!resp.completeness.is_exact());
+    // Demanding more answers than a degraded run can deliver: Timeout.
+    req.min_results = 10_000;
+    req.k = 65;
+    assert_eq!(service.query(req), Err(QueryError::Timeout));
+}
+
+#[test]
+fn degradation_ladder_shrinks_budgets_under_sustained_pressure() {
+    let (ds, snapshot) = shared();
+    let mut config = small_config(2);
+    // A ladder that treats any queue occupancy as pressure and engages
+    // after two pressured submissions.
+    config.degradation = Some(bgi_service::DegradationPolicy {
+        pressure_threshold: 0.0,
+        sustain: 2,
+        budget_shrink: 0.5,
+        floor: Duration::from_millis(1),
+    });
+    let service = Service::start(Arc::clone(snapshot), config);
+    let mut requests = workload(ds);
+    for req in &mut requests {
+        req.deadline = Some(Duration::from_secs(30));
+    }
+    for req in requests.iter().cycle().take(16) {
+        let _ = service.query(req.clone());
+    }
+    let stats = service.stats();
+    assert!(
+        stats.degraded_budget_requests > 0,
+        "sustained pressure must engage the ladder: {stats}"
+    );
+    // A 15 s shrunk budget is still generous: everything serves.
+    assert!(stats.served > 0);
 }

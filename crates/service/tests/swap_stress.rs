@@ -102,6 +102,7 @@ fn responses_under_swap_storm_match_exactly_one_snapshot() {
             cache_shards: 4,
             cache_capacity: 256,
             default_deadline: None,
+            degradation: None,
         },
     ));
     let stop = Arc::new(AtomicBool::new(false));
@@ -171,6 +172,7 @@ fn cache_never_serves_stale_generation_after_swap() {
             cache_shards: 2,
             cache_capacity: 128,
             default_deadline: None,
+            degradation: None,
         },
     );
     // Warm the cache against A.
@@ -266,6 +268,7 @@ fn parallel_builds_and_disk_reloads_never_expose_partial_snapshots() {
             cache_shards: 4,
             cache_capacity: 256,
             default_deadline: None,
+            degradation: None,
         },
     ));
     let stop = Arc::new(AtomicBool::new(false));
@@ -357,6 +360,7 @@ fn drain_finishes_inflight_and_rejects_new_work() {
             cache_shards: 2,
             cache_capacity: 64,
             default_deadline: None,
+            degradation: None,
         },
     );
     let mut receivers = Vec::new();

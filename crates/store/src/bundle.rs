@@ -359,6 +359,7 @@ pub fn encode_params(blinks: &BlinksParams, rclique: &RClique, eval: &EvalOption
     e.u8(u8::from(eval.use_spec_order));
     e.u8(u8::from(eval.early_keyword_spec));
     e.u64(eval.overfetch as u64);
+    e.u64(eval.grace_ops);
     e.finish()
 }
 
@@ -396,6 +397,7 @@ pub fn decode_params(bytes: &[u8]) -> Result<(BlinksParams, RClique, EvalOptions
         use_spec_order: d.u8()? != 0,
         early_keyword_spec: d.u8()? != 0,
         overfetch: d.u64()? as usize,
+        grace_ops: d.u64()?,
     };
     d.finish()?;
     Ok((blinks, rclique, eval))
@@ -627,6 +629,7 @@ mod tests {
             use_spec_order: false,
             early_keyword_spec: true,
             overfetch: 2,
+            grace_ops: 123_456,
         };
         let bytes = encode_params(&blinks, &rclique, &eval);
         let (b2, r2, e2) = decode_params(&bytes).unwrap();

@@ -10,7 +10,7 @@
 /// 4-byte file magic.
 pub const MAGIC: [u8; 4] = *b"BGIS";
 /// Format version; bump on any layout change.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Section tags identifying what a file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
