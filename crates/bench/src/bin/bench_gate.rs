@@ -5,24 +5,61 @@
 //! ```
 //!
 //! Every numeric key ending in `_ms`, `_us`, or `_regret` (lower is
-//! better) that appears in both the baseline and a current artifact is
-//! compared;
-//! the gate fails (exit 1) when `current > baseline * factor`. The
-//! factor defaults to 1.3 (the 30% budget from CONTRIBUTING.md) and
-//! can be overridden with `BGI_BENCH_GATE_FACTOR`. A gated baseline
-//! key missing from every current artifact also fails — a metric
-//! cannot silently stop being measured.
+//! better) or in `_per_s` (higher is better) that appears in both the
+//! baseline and a current artifact is compared. The gate fails (exit 1)
+//! when a lower-is-better metric exceeds `baseline * factor`, or a
+//! higher-is-better metric drops below `baseline / factor`. The factor
+//! defaults to 1.3 (the 30% budget from CONTRIBUTING.md) and can be
+//! overridden with `BGI_BENCH_GATE_FACTOR`. A gated baseline key
+//! missing from every current artifact also fails — a metric cannot
+//! silently stop being measured.
 //!
-//! `BGI_BENCH_GATE_INJECT=<x>` multiplies every current gated value by
-//! `x` before comparing. CI runs the gate a second time with `2.0`
-//! and asserts it exits non-zero, so every green run also proves the
-//! gate still trips on a 2x slowdown.
+//! `BGI_BENCH_GATE_INJECT=<x>` simulates an `x`-fold slowdown before
+//! comparing: it multiplies lower-is-better values and *divides*
+//! higher-is-better ones (a slow system takes more microseconds and
+//! sustains fewer ops per second). CI runs the gate a second time with
+//! `2.0` and asserts it exits non-zero, so every green run also proves
+//! the gate still trips on a 2x slowdown — in both directions.
+//!
+//! When `GITHUB_STEP_SUMMARY` names a file, the per-metric
+//! baseline-vs-measured delta table is also appended there as GitHub
+//! markdown, so the comparison shows up on the workflow run page
+//! without digging through logs.
 use bgi_bench::json::{self, Value};
 use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::process::ExitCode;
 
-fn is_gated(key: &str) -> bool {
-    key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_regret")
+/// Direction of a gated metric: which way is a regression?
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// `_ms` / `_us` / `_regret`: regression when current grows.
+    LowerIsBetter,
+    /// `_per_s`: regression when current shrinks.
+    HigherIsBetter,
+}
+
+fn direction(key: &str) -> Option<Direction> {
+    if key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_regret") {
+        Some(Direction::LowerIsBetter)
+    } else if key.ends_with("_per_s") {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+/// One compared metric, shared by the console table, the exit code and
+/// the step-summary markdown.
+struct Row {
+    key: String,
+    base: f64,
+    /// Inject-adjusted current value; `None` when not measured.
+    cur: Option<f64>,
+    /// `current / baseline` (so >1 is slower for `_us`, faster for
+    /// `_per_s`); `None` when not measured.
+    ratio: Option<f64>,
+    ok: bool,
 }
 
 fn load(path: &str) -> BTreeMap<String, Value> {
@@ -38,6 +75,53 @@ fn env_factor(name: &str, default: f64) -> f64 {
             .parse::<f64>()
             .unwrap_or_else(|e| panic!("bench_gate: bad {name}={s:?}: {e}")),
         Err(_) => default,
+    }
+}
+
+/// Append the delta table to `$GITHUB_STEP_SUMMARY` when it names a
+/// file. Best-effort: a summary write failure must not flip the gate.
+fn write_step_summary(rows: &[Row], factor: f64, inject: f64, failures: usize) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    let mut md = String::new();
+    md.push_str("### Bench gate\n\n");
+    if inject != 1.0 {
+        md.push_str(&format!(
+            "_Injected {inject}x slowdown (`BGI_BENCH_GATE_INJECT`) — self-test run._\n\n"
+        ));
+    }
+    md.push_str("| metric | baseline | measured | ratio | status |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+    for row in rows {
+        let (cur, ratio) = match (row.cur, row.ratio) {
+            (Some(c), Some(r)) => (format!("{c:.1}"), format!("{r:.2}x")),
+            _ => ("—".to_string(), "—".to_string()),
+        };
+        let status = match (row.ok, row.cur.is_some()) {
+            (true, _) => "✅ ok",
+            (false, true) => "❌ regressed",
+            (false, false) => "❌ not measured",
+        };
+        md.push_str(&format!(
+            "| `{}` | {:.1} | {} | {} | {} |\n",
+            row.key, row.base, cur, ratio, status
+        ));
+    }
+    md.push_str(&format!(
+        "\n{} metric(s) checked against a {factor:.2}x budget; {failures} regression(s).\n",
+        rows.len()
+    ));
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(md.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("bench_gate: cannot append step summary to {path}: {e}");
     }
 }
 
@@ -62,48 +146,67 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut failures = 0usize;
-    let mut checked = 0usize;
+    let mut rows: Vec<Row> = Vec::new();
     println!(
-        "{:<24} {:>12} {:>12} {:>8}  status (budget {factor:.2}x)",
+        "{:<28} {:>12} {:>12} {:>8}  status (budget {factor:.2}x)",
         "metric", "baseline", "current", "ratio"
     );
     for (key, value) in &baseline {
         let Some(base) = value.as_num() else { continue };
-        if !is_gated(key) || base <= 0.0 {
+        let Some(dir) = direction(key) else { continue };
+        if base <= 0.0 {
             continue;
         }
-        checked += 1;
         match current.get(key) {
             None => {
-                failures += 1;
                 println!(
-                    "{key:<24} {base:>12.1} {:>12} {:>8}  FAIL (not measured)",
+                    "{key:<28} {base:>12.1} {:>12} {:>8}  FAIL (not measured)",
                     "-", "-"
                 );
+                rows.push(Row {
+                    key: key.clone(),
+                    base,
+                    cur: None,
+                    ratio: None,
+                    ok: false,
+                });
             }
             Some(&raw) => {
-                let cur = raw * inject;
+                // A simulated slowdown inflates latencies and deflates
+                // throughputs — the injection must trip both kinds.
+                let cur = match dir {
+                    Direction::LowerIsBetter => raw * inject,
+                    Direction::HigherIsBetter => raw / inject,
+                };
                 let ratio = cur / base;
-                let ok = ratio <= factor;
-                if !ok {
-                    failures += 1;
-                }
+                let ok = match dir {
+                    Direction::LowerIsBetter => ratio <= factor,
+                    Direction::HigherIsBetter => ratio >= 1.0 / factor,
+                };
                 println!(
-                    "{key:<24} {base:>12.1} {cur:>12.1} {ratio:>7.2}x  {}",
+                    "{key:<28} {base:>12.1} {cur:>12.1} {ratio:>7.2}x  {}",
                     if ok { "ok" } else { "FAIL" }
                 );
+                rows.push(Row {
+                    key: key.clone(),
+                    base,
+                    cur: Some(cur),
+                    ratio: Some(ratio),
+                    ok,
+                });
             }
         }
     }
     for key in current
         .keys()
-        .filter(|k| is_gated(k) && !baseline.contains_key(*k))
+        .filter(|k| direction(k).is_some() && !baseline.contains_key(*k))
     {
-        println!("{key:<24} (no baseline — add it to ci/bench_baseline.json)");
+        println!("{key:<28} (no baseline — add it to ci/bench_baseline.json)");
     }
-    if checked == 0 {
-        eprintln!("bench_gate: baseline has no gated (_ms/_us/_regret) metrics");
+    let failures = rows.iter().filter(|r| !r.ok).count();
+    write_step_summary(&rows, factor, inject, failures);
+    if rows.is_empty() {
+        eprintln!("bench_gate: baseline has no gated (_ms/_us/_regret/_per_s) metrics");
         return ExitCode::from(2);
     }
     if failures > 0 {
@@ -113,6 +216,6 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    println!("bench_gate: {checked} metric(s) within budget");
+    println!("bench_gate: {} metric(s) within budget", rows.len());
     ExitCode::SUCCESS
 }

@@ -17,8 +17,11 @@ use bgi_datasets::{update_stream, DatasetSpec, UpdateMix, UpdateOp};
 use bgi_ingest::{Engine, EngineConfig, IngestUpdate};
 use bgi_search::blinks::BlinksParams;
 use bgi_search::RClique;
-use bgi_store::IndexBundle;
+use bgi_service::{IndexSnapshot, Service, ServiceConfig, WriteHub};
+use bgi_store::{IndexBundle, Store};
 use big_index::EvalOptions;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Converts a dataset update stream into engine updates.
@@ -32,8 +35,140 @@ pub fn as_ingest_updates(ops: &[UpdateOp]) -> Vec<IngestUpdate> {
         .collect()
 }
 
+/// Scratch directory for the WAL-backed throughput points; removed on
+/// drop so repeated runs don't accumulate stores under `$TMPDIR`.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("bgi-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Order-independent single-edge inserts over existing vertices: the
+/// concurrent point scrambles commit order, so every op must be valid
+/// and commutative regardless of interleaving.
+fn commutative_ops(n: u32, count: usize) -> Vec<IngestUpdate> {
+    (0..count as u32)
+        .map(|i| {
+            let src = (i * 7) % n;
+            let mut dst = (i * 13 + 1) % n;
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            IngestUpdate::InsertEdge { src, dst }
+        })
+        .collect()
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache_shards: 2,
+        cache_capacity: 32,
+        default_deadline: None,
+        degradation: None,
+    }
+}
+
+/// Best-of-`TRIALS` throughput measurement: peak sustainable rate is
+/// the capability being measured, and a single trial is at the mercy
+/// of transient page-cache writeback inflating fsync latency.
+const COMMIT_TRIALS: usize = 2;
+
+/// WAL-backed write-path throughput, one op per call: a single caller
+/// committing serially vs `writers` concurrent callers whose commits
+/// coalesce in the [`WriteHub`] group-commit queue. Both sides run the
+/// full durable path — WAL append + fsync, summary/index refresh and a
+/// snapshot swap per commit cycle. Returns
+/// `(serial_per_s, group_per_s, group_fsyncs)`.
+fn group_commit_throughput(
+    bundle: &IndexBundle,
+    writers: usize,
+    per_writer: usize,
+) -> (f64, f64, u64) {
+    let n = bundle.index.base().num_vertices() as u32;
+    // One extra op past the measured range warms each engine past the
+    // one-time first-apply cost (initial flat-partition stabilization),
+    // so both sides time the steady-state commit path.
+    let mut ops = commutative_ops(n, writers * per_writer + 1);
+    let warmup = ops.pop().expect("nonempty op stream");
+
+    // Serial caller: one durable commit per update.
+    let mut serial_per_s = 0f64;
+    for _ in 0..COMMIT_TRIALS {
+        let dir = TempDir::new("serial");
+        let store = Store::open(&dir.0).expect("open serial store");
+        let (mut engine, _) =
+            Engine::with_wal(bundle.clone(), EngineConfig::default(), &store).expect("seed engine");
+        let service = Service::start(
+            Arc::new(IndexSnapshot::from_bundle(bundle.clone()).expect("bundle verifies")),
+            service_config(),
+        );
+        service
+            .apply_updates(&mut engine, std::slice::from_ref(&warmup))
+            .expect("warmup update applies");
+        let t = Instant::now();
+        for op in &ops {
+            service
+                .apply_updates(&mut engine, std::slice::from_ref(op))
+                .expect("serial update applies");
+        }
+        serial_per_s = serial_per_s.max(ops.len() as f64 / t.elapsed().as_secs_f64());
+    }
+
+    // Group commit: the same updates from concurrent callers.
+    let (mut group_per_s, mut fsyncs) = (0f64, 0u64);
+    for _ in 0..COMMIT_TRIALS {
+        let dir = TempDir::new("group");
+        let store = Store::open(&dir.0).expect("open group store");
+        let (engine, _) =
+            Engine::with_wal(bundle.clone(), EngineConfig::default(), &store).expect("seed engine");
+        let hub = WriteHub::new(engine);
+        let service = Service::start(
+            Arc::new(IndexSnapshot::from_bundle(bundle.clone()).expect("bundle verifies")),
+            service_config(),
+        );
+        service
+            .apply_updates_grouped(&hub, vec![warmup])
+            .expect("warmup update applies");
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let (service, hub, ops) = (&service, &hub, &ops);
+                s.spawn(move || {
+                    for k in 0..per_writer {
+                        let op = ops[w * per_writer + k];
+                        service
+                            .apply_updates_grouped(hub, vec![op])
+                            .expect("grouped update applies");
+                    }
+                });
+            }
+        });
+        let trial = ops.len() as f64 / t.elapsed().as_secs_f64();
+        if trial > group_per_s {
+            group_per_s = trial;
+            // Report the fsync count of the trial whose rate we report
+            // (minus the warmup commit's own fsync).
+            fsyncs = hub.with_engine(|e| e.wal_fsyncs()).saturating_sub(1);
+        }
+    }
+    (serial_per_s, group_per_s, fsyncs)
+}
+
 /// One sweep point: apply `stream` in `batch`-sized chunks on a fresh
-/// engine, consulting drift after each batch. Returns (wall, rebuilds).
+/// engine, consulting drift after every batch. Returns (wall, rebuilds).
 fn apply_all(bundle: &IndexBundle, stream: &[IngestUpdate], batch: usize) -> (Duration, usize) {
     let mut engine =
         Engine::new(bundle.clone(), EngineConfig::default()).expect("bundle seeds the engine");
@@ -126,6 +261,22 @@ pub fn run_with_metrics(scale: usize) -> (String, Vec<(String, f64)>) {
         single.len()
     ));
     metrics.push(("single_update_us".into(), per_update.as_secs_f64() * 1e6));
+
+    // Group commit: 16 concurrent single-op writers through the
+    // service's WriteHub vs the same updates from one serial caller,
+    // both on the full durable path (WAL fsync + snapshot swap).
+    let writers = 16usize;
+    let per_writer = 24usize;
+    let (serial_per_s, group_per_s, fsyncs) = group_commit_throughput(&bundle, writers, per_writer);
+    out.push_str(&format!(
+        "group commit: {group_per_s:.0} updates/s with {writers} writers \
+         vs {serial_per_s:.0} updates/s serial ({:.1}x, {fsyncs} fsyncs \
+         for {} commits)\n",
+        group_per_s / serial_per_s,
+        writers * per_writer,
+    ));
+    metrics.push(("group_commit_updates_per_s".into(), group_per_s));
+    metrics.push(("serial_commit_updates_per_s".into(), serial_per_s));
     (out, metrics)
 }
 
@@ -147,5 +298,7 @@ mod tests {
         assert!(get("batch_8192_ms") > 0.0);
         assert!(get("updates_per_s") > 0.0);
         assert!(get("single_update_us") > 0.0);
+        assert!(get("group_commit_updates_per_s") > 0.0);
+        assert!(get("serial_commit_updates_per_s") > 0.0);
     }
 }

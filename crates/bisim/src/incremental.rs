@@ -198,16 +198,57 @@ impl IncrementalBisim {
 
 /// Runs split-only refinement to its fixpoint. Because refinement only
 /// splits, the result refines `part` and is a stable bisimulation of
-/// `g`.
-fn stabilize(g: &DiGraph, mut part: Partition, dir: BisimDirection) -> Partition {
+/// `g`. Block ids are renumbered onto `part`'s ids (see
+/// [`remap_onto_parent`]) so that incremental maintenance keeps ids
+/// stable: untouched blocks keep their number, split-off fragments get
+/// fresh ids past the old count. Downstream consumers (the ingest
+/// engine's summary patching, per-layer index patching) depend on this
+/// to localize their work to the touched blocks.
+fn stabilize(g: &DiGraph, part: Partition, dir: BisimDirection) -> Partition {
+    let mut refined = part.clone();
     loop {
-        let next = refine_round(g, &part, dir);
-        let done = next.num_blocks() == part.num_blocks();
-        part = next;
+        let next = refine_round(g, &refined, dir);
+        let done = next.num_blocks() == refined.num_blocks();
+        refined = next;
         if done {
-            return part;
+            break;
         }
     }
+    remap_onto_parent(&part, &refined)
+}
+
+/// Renumbers `refined` — a refinement of `parent` — so ids are stable
+/// across maintenance rounds: within each parent block, the fragment
+/// containing the parent block's lowest-id vertex inherits the parent's
+/// id, and every other fragment gets a fresh id `≥ parent.num_blocks()`,
+/// assigned in order of each fragment's lowest vertex. When refinement
+/// split nothing the result is bit-identical to `parent`.
+fn remap_onto_parent(parent: &Partition, refined: &Partition) -> Partition {
+    let n = refined.num_vertices();
+    // Lowest-id vertex of each parent block.
+    let mut parent_first = vec![u32::MAX; parent.num_blocks()];
+    for v in (0..n as u32).rev() {
+        parent_first[parent.block_of(VId(v)) as usize] = v;
+    }
+    let mut map = vec![u32::MAX; refined.num_blocks()];
+    let mut next = parent.num_blocks() as u32;
+    for v in 0..n as u32 {
+        let rb = refined.block_of(VId(v)) as usize;
+        if map[rb] != u32::MAX {
+            continue; // not this fragment's lowest vertex
+        }
+        let pb = parent.block_of(VId(v));
+        map[rb] = if parent_first[pb as usize] == v {
+            pb
+        } else {
+            next += 1;
+            next - 1
+        };
+    }
+    let assignment = (0..n as u32)
+        .map(|v| map[refined.block_of(VId(v)) as usize])
+        .collect();
+    Partition::new(assignment, next as usize)
 }
 
 #[cfg(test)]
@@ -224,6 +265,38 @@ mod tests {
             b.add_edge(p, hub);
         }
         b.build()
+    }
+
+    #[test]
+    fn split_keeps_untouched_block_ids_stable() {
+        // 10 bisimilar persons plus hub and other: splitting one person
+        // off must leave every untouched block's id unchanged and put
+        // the fragment at the end — the contract summary patching and
+        // per-layer index patching rely on.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(LabelId(1));
+        let other = b.add_vertex(LabelId(2));
+        let mut persons = vec![];
+        for _ in 0..10 {
+            let p = b.add_vertex(LabelId(0));
+            b.add_edge(p, hub);
+            persons.push(p);
+        }
+        let g = b.build();
+        let mut inc = IncrementalBisim::new(g, BisimDirection::Forward);
+        let before = inc.partition().assignment().to_vec();
+        let old_blocks = inc.partition().num_blocks();
+        // Split a person that is NOT the lowest-id member of its block.
+        inc.apply(Update::InsertEdge(persons[3], other));
+        let after = inc.partition().assignment();
+        for v in 0..before.len() {
+            if VId(v as u32) == persons[3] {
+                assert_eq!(after[v] as usize, old_blocks, "fragment gets a fresh id");
+            } else {
+                assert_eq!(after[v], before[v], "untouched vertex {v} moved blocks");
+            }
+        }
+        assert_eq!(inc.partition().num_blocks(), old_blocks + 1);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use bgi_graph::{DiGraph, GraphBuilder, LabelId, Ontology, VId};
 use bgi_search::banks::BanksIndex;
 use bgi_search::blinks::BlinksIndex;
 use bgi_search::rclique::RCliqueIndex;
-use bgi_search::{Banks, Blinks, KeywordSearch};
+use bgi_search::{diff_graphs, Banks, Blinks, KeywordSearch};
 use bgi_store::{build_layer_indexes, GraphUpdate, IndexBundle, Store, Wal};
 use big_index::cost::construction_cost_with_compress;
 use big_index::layer::Layer;
@@ -80,7 +80,11 @@ pub struct ApplyOutcome {
     /// Layers (incl. layer 0) whose search indexes were reused because
     /// their summary graph did not change.
     pub reused_layers: usize,
-    /// Layers whose search indexes had to be rebuilt.
+    /// Layers whose search indexes were *patched* in place of a rebuild
+    /// — the summary changed, but the structural diff was small enough
+    /// for the incremental entry points on all three indexes.
+    pub patched_layers: usize,
+    /// Layers whose search indexes had to be rebuilt from scratch.
     pub rebuilt_layers: usize,
 }
 
@@ -116,6 +120,53 @@ pub struct Engine {
     /// since [`Engine::start_rebuild`] captured its inputs, to be
     /// replayed onto the rebuilt hierarchy at adoption.
     rebuild_delta: Option<Vec<GraphUpdate>>,
+    /// Per-layer `(assignment, num_blocks)` snapshot of the flat
+    /// partitions as of the served bundle — the baseline against which
+    /// [`Engine::materialize`] decides whether a layer's summary can be
+    /// patched block-by-block instead of re-summarized from scratch.
+    prev_parts: Vec<(Vec<u32>, usize)>,
+}
+
+/// Structural diffs above this many edge operations always fall back
+/// to a full per-layer index rebuild: past a few hundred touched edges
+/// the incremental entry points stop paying for themselves.
+const MAX_PATCH_EDGE_OPS: usize = 512;
+
+/// The three per-layer search indexes produced by the incremental
+/// patch path (all three must succeed or the layer is rebuilt).
+struct PatchedLayer {
+    banks: BanksIndex,
+    blinks: BlinksIndex,
+    rclique: RCliqueIndex,
+}
+
+/// Snapshots every flat partition for the patchability baseline.
+fn snapshot_parts(flats: &[IncrementalBisim]) -> Vec<(Vec<u32>, usize)> {
+    flats
+        .iter()
+        .map(|f| {
+            let p = f.partition();
+            (p.assignment().to_vec(), p.num_blocks())
+        })
+        .collect()
+}
+
+/// Whether `part` extends the snapshot `prev` by appended singleton
+/// blocks only: every pre-existing vertex keeps its block, and each
+/// appended vertex sits in a fresh block numbered consecutively after
+/// the old ones. Exactly the shape under which the old summary graph
+/// can be patched per update op instead of re-derived.
+fn extends_by_singletons(prev: &(Vec<u32>, usize), part: &Partition) -> bool {
+    let (prev_bo, prev_nb) = prev;
+    let bo = part.assignment();
+    let n_old = prev_bo.len();
+    bo.len() >= n_old
+        && part.num_blocks() == prev_nb + (bo.len() - n_old)
+        && bo[..n_old] == prev_bo[..]
+        && bo[n_old..]
+            .iter()
+            .enumerate()
+            .all(|(k, &b)| b as usize == prev_nb + k)
 }
 
 impl Engine {
@@ -125,6 +176,7 @@ impl Engine {
     /// seed the flat partitions (which a verified index always can).
     pub fn new(bundle: IndexBundle, config: EngineConfig) -> Result<Engine, IngestError> {
         let seed = Seed::from_index(&bundle.index, config.policy.alpha)?;
+        let prev_parts = snapshot_parts(&seed.flats);
         Ok(Engine {
             ontology: seed.ontology,
             direction: seed.direction,
@@ -143,6 +195,7 @@ impl Engine {
             baseline: seed.baseline,
             updates_since_rebuild: 0,
             rebuild_delta: None,
+            prev_parts,
         })
     }
 
@@ -159,12 +212,14 @@ impl Engine {
         let mut engine = Engine::new(bundle, config)?;
         let (wal, batches) = store.open_wal()?;
         let mut replayed = 0usize;
+        let mut all: Vec<GraphUpdate> = Vec::new();
         for batch in &batches {
             replayed += engine.apply_to_state(&batch.updates)?;
             engine.last_seq = batch.seq;
+            all.extend_from_slice(&batch.updates);
         }
         if !batches.is_empty() {
-            engine.materialize()?;
+            engine.materialize(&all)?;
         }
         engine.wal = Some(wal);
         Ok((engine, replayed))
@@ -197,15 +252,11 @@ impl Engine {
     /// one batch of updates. On any error the serving bundle is left at
     /// its previous value (validation rejects before logging; a logged
     /// batch that fails mid-apply is recovered from the WAL on
-    /// restart).
+    /// restart). An empty batch is a complete no-op: nothing is logged
+    /// (no WAL append, no fsync) and the serving bundle is untouched.
     pub fn apply_batch(&mut self, updates: &[IngestUpdate]) -> Result<ApplyOutcome, IngestError> {
         if updates.is_empty() {
-            return Ok(ApplyOutcome {
-                seq: None,
-                applied: 0,
-                reused_layers: self.bundle.index.num_layers() + 1,
-                rebuilt_layers: 0,
-            });
+            return Ok(self.noop_outcome());
         }
         let logged = self.validate(updates)?;
         let seq = match &mut self.wal {
@@ -219,13 +270,90 @@ impl Engine {
         if let Some(delta) = &mut self.rebuild_delta {
             delta.extend_from_slice(&logged);
         }
-        let (reused_layers, rebuilt_layers) = self.materialize()?;
+        let (reused_layers, patched_layers, rebuilt_layers) = self.materialize(&logged)?;
         Ok(ApplyOutcome {
             seq,
             applied,
             reused_layers,
+            patched_layers,
             rebuilt_layers,
         })
+    }
+
+    /// Commits several callers' batches as **one group**: one WAL
+    /// append + fsync for the whole group
+    /// ([`bgi_store::Wal::append_group`]), one state application, one
+    /// re-materialization. This is the engine half of the group-commit
+    /// write path — [`bgi_store::CommitQueue`] coalesces concurrent
+    /// callers into the `batches` slice and a single leader calls this.
+    ///
+    /// Every batch is validated up front (in order, with vertex
+    /// additions numbered across batch boundaries); the first invalid
+    /// update rejects the *whole group* before anything is logged.
+    /// Empty batches are no-ops: they get no WAL record and a `None`
+    /// seq. The per-layer reuse/patch/rebuild counts describe the one
+    /// shared materialization and are repeated on every outcome.
+    pub fn apply_group(
+        &mut self,
+        batches: &[Vec<IngestUpdate>],
+    ) -> Result<Vec<ApplyOutcome>, IngestError> {
+        let mut n = self.base.num_vertices() as u32;
+        let mut logged: Vec<Vec<GraphUpdate>> = Vec::with_capacity(batches.len());
+        for batch in batches {
+            let (out, next_n) = self.validate_from(n, batch)?;
+            n = next_n;
+            logged.push(out);
+        }
+        let nonempty: Vec<Vec<GraphUpdate>> =
+            logged.iter().filter(|b| !b.is_empty()).cloned().collect();
+        if nonempty.is_empty() {
+            return Ok(batches.iter().map(|_| self.noop_outcome()).collect());
+        }
+        let seqs = match &mut self.wal {
+            Some(wal) => wal.append_group(&nonempty)?,
+            None => Vec::new(),
+        };
+        if let Some(&last) = seqs.last() {
+            self.last_seq = last;
+        }
+        let mut seq_iter = seqs.into_iter();
+        let per_batch_seq: Vec<Option<u64>> = logged
+            .iter()
+            .map(|b| if b.is_empty() { None } else { seq_iter.next() })
+            .collect();
+        let flat: Vec<GraphUpdate> = logged.iter().flatten().copied().collect();
+        self.apply_to_state(&flat)?;
+        if let Some(delta) = &mut self.rebuild_delta {
+            delta.extend_from_slice(&flat);
+        }
+        let (reused_layers, patched_layers, rebuilt_layers) = self.materialize(&flat)?;
+        Ok(logged
+            .iter()
+            .zip(per_batch_seq)
+            .map(|(b, seq)| ApplyOutcome {
+                seq,
+                applied: b.len(),
+                reused_layers,
+                patched_layers,
+                rebuilt_layers,
+            })
+            .collect())
+    }
+
+    /// Total WAL fsyncs issued by this engine's log (0 without a WAL) —
+    /// the quantity group commit exists to amortize.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::fsyncs)
+    }
+
+    fn noop_outcome(&self) -> ApplyOutcome {
+        ApplyOutcome {
+            seq: None,
+            applied: 0,
+            reused_layers: self.bundle.index.num_layers() + 1,
+            patched_layers: 0,
+            rebuilt_layers: 0,
+        }
     }
 
     /// Measures drift since the last full build and evaluates the
@@ -319,13 +447,14 @@ impl Engine {
         self.step_maps = seed.step_maps;
         self.composed = seed.composed;
         self.base = seed.base;
+        self.prev_parts = snapshot_parts(&seed.flats);
         self.flats = seed.flats;
         self.baseline = seed.baseline;
         self.bundle = bundle;
         self.updates_since_rebuild = 0;
         if !delta.is_empty() {
             self.apply_to_state(&delta)?;
-            self.materialize()?;
+            self.materialize(&delta)?;
         }
         Ok(())
     }
@@ -357,7 +486,20 @@ impl Engine {
     /// batch on the first invalid update — nothing is logged or
     /// applied.
     fn validate(&self, updates: &[IngestUpdate]) -> Result<Vec<GraphUpdate>, IngestError> {
-        let mut n = self.base.num_vertices() as u32;
+        let n = self.base.num_vertices() as u32;
+        self.validate_from(n, updates).map(|(out, _)| out)
+    }
+
+    /// [`Engine::validate`] starting from an explicit vertex count, so
+    /// a group of batches can be validated in order with vertex
+    /// additions numbered across batch boundaries. Returns the logged
+    /// form plus the vertex count after the batch.
+    fn validate_from(
+        &self,
+        start_n: u32,
+        updates: &[IngestUpdate],
+    ) -> Result<(Vec<GraphUpdate>, u32), IngestError> {
+        let mut n = start_n;
         let mut out = Vec::with_capacity(updates.len());
         for (index, u) in updates.iter().enumerate() {
             match *u {
@@ -397,7 +539,7 @@ impl Engine {
                 }
             }
         }
-        Ok(out)
+        Ok((out, n))
     }
 
     /// Applies logged updates to the base graph and every flat layer —
@@ -464,17 +606,127 @@ impl Engine {
         Ok(applied)
     }
 
+    /// Patches layer `m`'s summary graph from the served one instead of
+    /// re-summarizing: valid only when the layer's partition extends
+    /// the served snapshot by appended singleton blocks (checked by the
+    /// caller via [`extends_by_singletons`]), so every update op maps
+    /// to a summary-local edit. Edge inserts add the block-pair edge;
+    /// edge deletes drop it only after a **witness scan over the
+    /// touched block** finds no surviving member edge into the target
+    /// block — the dirty-block scoping that keeps the cost proportional
+    /// to the touched blocks' degree, not the base graph.
+    fn patch_summary(
+        &self,
+        m: usize,
+        ops: &[GraphUpdate],
+        part: &Partition,
+        flat: &DiGraph,
+        n_old: usize,
+    ) -> DiGraph {
+        let old = self.bundle.index.graph_at(m);
+        let mut labels: Vec<LabelId> = old.labels().to_vec();
+        let mut edges: BTreeSet<(VId, VId)> = old.edges().collect();
+        let mut members: Option<Vec<Vec<VId>>> = None;
+        for u in ops {
+            match *u {
+                GraphUpdate::InsertEdge { src, dst } => {
+                    edges.insert((VId(part.block_of(VId(src))), VId(part.block_of(VId(dst)))));
+                }
+                GraphUpdate::DeleteEdge { src, dst } => {
+                    let (bs, bd) = (part.block_of(VId(src)), part.block_of(VId(dst)));
+                    let mem = members.get_or_insert_with(|| part.blocks());
+                    // The scan runs against the post-batch flat graph,
+                    // so out-of-order ops within the batch (delete then
+                    // re-insert, insert then delete) still converge on
+                    // the final edge set.
+                    let witness = mem[bs as usize].iter().any(|&w| {
+                        flat.out_neighbors(w)
+                            .iter()
+                            .any(|&x| part.block_of(x) == bd)
+                    });
+                    if !witness {
+                        edges.remove(&(VId(bs), VId(bd)));
+                    }
+                }
+                GraphUpdate::AddVertex { label, expected } => {
+                    if (expected as usize) < n_old {
+                        continue; // replay of an already-absorbed addition
+                    }
+                    let gl = self.composed[m - 1]
+                        .get(label as usize)
+                        .copied()
+                        .unwrap_or(LabelId(label));
+                    labels.push(gl);
+                }
+            }
+        }
+        GraphBuilder::from_edges(labels, edges.into_iter().collect())
+    }
+
+    /// Tries the incremental patch path for changed layer `m`: a small
+    /// structural diff of the summary graphs, pushed through the
+    /// per-vertex-local patch entry points of all three search indexes.
+    /// `None` (diff too large, or any index declines) sends the layer
+    /// to the full rebuild fan-out.
+    fn try_patch_layer(&self, m: usize, index: &BiGIndex) -> Option<PatchedLayer> {
+        if m > self.bundle.index.num_layers()
+            || self.bundle.banks.len() <= m
+            || self.bundle.blinks.len() <= m
+            || self.bundle.rclique.len() <= m
+        {
+            return None;
+        }
+        let old_g = self.bundle.index.graph_at(m);
+        let new_g = index.graph_at(m);
+        let diff = diff_graphs(old_g, new_g, MAX_PATCH_EDGE_OPS)?;
+        // A blinks decline is cost-based (patch would out-cost a
+        // rebuild), not a correctness failure: rebuild blinks alone and
+        // keep the cheap banks and lazy rclique patches for the layer.
+        let blinks = match self.bundle.blinks[m].patched(old_g, new_g, &diff) {
+            Some(p) => p,
+            None => Blinks::new(self.bundle.blinks_params).build_index(new_g),
+        };
+        let rclique = self.bundle.rclique[m].patched(old_g, new_g, &diff)?;
+        let banks = self.bundle.banks[m].patched(new_g, &diff);
+        Some(PatchedLayer {
+            banks,
+            blinks,
+            rclique,
+        })
+    }
+
     /// Rebuilds the `Layer` tables and the serving bundle from the flat
-    /// state. Search indexes are rebuilt only for layers whose summary
-    /// graph changed; returns `(reused, rebuilt)` layer counts.
-    fn materialize(&mut self) -> Result<(usize, usize), IngestError> {
+    /// state, given the update ops applied since the last
+    /// materialization. Layers whose partition only grew by appended
+    /// singletons get their summary graph *patched* from the served one
+    /// ([`Engine::patch_summary`]); search indexes of changed layers
+    /// are patched incrementally when the structural diff is small
+    /// ([`Engine::try_patch_layer`]) and rebuilt otherwise. Returns
+    /// `(reused, patched, rebuilt)` layer counts.
+    fn materialize(&mut self, ops: &[GraphUpdate]) -> Result<(usize, usize, usize), IngestError> {
         let n = self.base.num_vertices();
         let h = self.flats.len();
+        let served_layers_match = self.bundle.index.num_layers() == h;
         let mut layers: Vec<Layer> = Vec::with_capacity(h);
         for m in 1..=h {
             let flat = &self.flats[m - 1];
             let part = flat.partition();
-            let summary = summarize(flat.graph(), part);
+            let summary_graph = if served_layers_match
+                && self
+                    .prev_parts
+                    .get(m - 1)
+                    .is_some_and(|prev| extends_by_singletons(prev, part))
+            {
+                let n_old = self.prev_parts[m - 1].0.len();
+                let patched = self.patch_summary(m, ops, part, flat.graph(), n_old);
+                debug_assert!(
+                    patched == summarize(flat.graph(), part).graph,
+                    "patched summary diverged from summarize at layer {m}"
+                );
+                patched
+            } else {
+                summarize(flat.graph(), part).graph
+            };
             let supernode_of: Vec<VId> = if m == 1 {
                 (0..n).map(|u| VId(part.block_of(VId(u as u32)))).collect()
             } else {
@@ -511,7 +763,7 @@ impl Engine {
             layers.push(Layer::new(
                 self.configs[m - 1].clone(),
                 self.step_maps[m - 1].clone(),
-                summary.graph,
+                summary_graph,
                 supernode_of,
                 members,
             ));
@@ -527,7 +779,8 @@ impl Engine {
         if index == self.bundle.index {
             // Every update in the batch was absorbed without changing any
             // summary: keep the served bundle untouched.
-            return Ok((h + 1, 0));
+            self.prev_parts = snapshot_parts(&self.flats);
+            return Ok((h + 1, 0, 0));
         }
         let blinks_params = self.bundle.blinks_params;
         let rclique_params = self.bundle.rclique_params;
@@ -540,20 +793,36 @@ impl Engine {
                     && index.graph_at(m) == self.bundle.index.graph_at(m))
             })
             .collect();
-        // Rebuild the three search indexes of every changed layer in
-        // parallel — `(layer, algorithm)` granularity, same task shape
-        // (and same determinism argument) as the store's full build.
-        let mut built: Vec<Option<BuiltIndex>> = par_map(self.threads, changed.len() * 3, |t| {
-            let g = index.graph_at(changed[t / 3]);
-            match t % 3 {
-                0 => BuiltIndex::Banks(Banks.build_index(g)),
-                1 => BuiltIndex::Blinks(blinks_algo.build_index(g)),
-                _ => BuiltIndex::RClique(rclique_params.build_index(g)),
-            }
-        })
-        .into_iter()
-        .map(Some)
-        .collect();
+        // Patch changed layers incrementally where the diff allows it —
+        // layers are independent, so in parallel; everything else goes
+        // to the parallel rebuild fan-out.
+        let mut patches: Vec<Option<PatchedLayer>> = par_map(self.threads, changed.len(), |i| {
+            self.try_patch_layer(changed[i], &index)
+        });
+        let rebuild_list: Vec<usize> = changed
+            .iter()
+            .zip(&patches)
+            .filter(|(_, p)| p.is_none())
+            .map(|(&m, _)| m)
+            .collect();
+        // Rebuild the three search indexes of every unpatchable layer
+        // in parallel — `(layer, algorithm)` granularity, same task
+        // shape (and same determinism argument) as the store's full
+        // build.
+        let mut built: Vec<Option<BuiltIndex>> =
+            par_map(self.threads, rebuild_list.len() * 3, |t| {
+                let g = index.graph_at(rebuild_list[t / 3]);
+                match t % 3 {
+                    0 => BuiltIndex::Banks(Banks.build_index(g)),
+                    1 => BuiltIndex::Blinks(blinks_algo.build_index(g)),
+                    // Lazy rows: an eager ball construction here would
+                    // stall the commit for ~the full index build.
+                    _ => BuiltIndex::RClique(rclique_params.build_index_lazy(g)),
+                }
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
         // Move the unchanged layers' indexes out of the old bundle instead
         // of cloning them — per-layer r-clique tables are the bulk of a
         // bundle's footprint, and the old bundle is dead after the swap.
@@ -576,7 +845,7 @@ impl Engine {
         let mut banks = Vec::with_capacity(h + 1);
         let mut blinks = Vec::with_capacity(h + 1);
         let mut rclique = Vec::with_capacity(h + 1);
-        let (mut reused, mut rebuilt) = (0usize, 0usize);
+        let (mut reused, mut patched, mut rebuilt) = (0usize, 0usize, 0usize);
         for m in 0..=h {
             match changed.iter().position(|&c| c == m) {
                 None => {
@@ -598,10 +867,24 @@ impl Engine {
                     reused += 1;
                 }
                 Some(p) => {
+                    if let Some(pl) = patches[p].take() {
+                        banks.push(pl.banks);
+                        blinks.push(pl.blinks);
+                        rclique.push(pl.rclique);
+                        patched += 1;
+                        continue;
+                    }
+                    let Some(rp) = rebuild_list.iter().position(|&c| c == m) else {
+                        // Unreachable: an unpatched changed layer is
+                        // always in the rebuild fan-out.
+                        return Err(IngestError::Inconsistent {
+                            detail: format!("layer {m}: neither patched nor rebuilt"),
+                        });
+                    };
                     let slots = (
-                        built[p * 3].take(),
-                        built[p * 3 + 1].take(),
-                        built[p * 3 + 2].take(),
+                        built[rp * 3].take(),
+                        built[rp * 3 + 1].take(),
+                        built[rp * 3 + 2].take(),
                     );
                     let (
                         Some(BuiltIndex::Banks(ba)),
@@ -624,7 +907,8 @@ impl Engine {
         self.bundle.banks = banks;
         self.bundle.blinks = blinks;
         self.bundle.rclique = rclique;
-        Ok((reused, rebuilt))
+        self.prev_parts = snapshot_parts(&self.flats);
+        Ok((reused, patched, rebuilt))
     }
 }
 
@@ -834,7 +1118,7 @@ mod tests {
         let mut e = Engine::new(bundle, EngineConfig::default()).unwrap();
         // Materializing with zero updates must reproduce the original
         // hierarchy byte for byte (same supernode numbering included).
-        e.materialize().unwrap();
+        e.materialize(&[]).unwrap();
         assert!(e.index() == &reference);
         assert!(e.index().verify().is_clean());
     }
@@ -885,11 +1169,117 @@ mod tests {
             .unwrap();
         assert_eq!(out.rebuilt_layers, 0);
         assert_eq!(out.reused_layers, e.index().num_layers() + 1);
-        // A real edge change rebuilds at least layer 0.
+        // A real edge change refreshes at least layer 0 — through the
+        // incremental patch path when the diff is small, like here.
         let out = e
             .apply_batch(&[IngestUpdate::InsertEdge { src: 5, dst: 2 }])
             .unwrap();
-        assert!(out.rebuilt_layers >= 1);
+        assert!(out.patched_layers + out.rebuilt_layers >= 1);
+        assert!(out.reused_layers < e.index().num_layers() + 1);
+    }
+
+    #[test]
+    fn vertex_addition_patches_every_layer() {
+        let mut e = engine();
+        // A fresh isolated vertex extends every partition by one
+        // singleton block: the summaries patch in place and all three
+        // search indexes take the per-vertex-local entry points — no
+        // layer pays a rebuild.
+        let out = e
+            .apply_batch(&[IngestUpdate::AddVertex { label: 1 }])
+            .unwrap();
+        assert_eq!(out.rebuilt_layers, 0, "vertex append must not rebuild");
+        assert_eq!(out.patched_layers, e.index().num_layers() + 1);
+        assert!(e.index().verify().is_clean(), "{}", e.index().verify());
+        // The debug_assert in materialize already cross-checked the
+        // patched summaries against summarize(); spot-check the base.
+        assert_eq!(e.index().base().num_vertices(), 34);
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("bgi-ingest-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn group_commit_shares_one_fsync_across_batches() {
+        let (g, o) = setup();
+        let dir = tempdir("group");
+        let store = bgi_store::Store::open(&dir).unwrap();
+        let (mut e, replayed) =
+            Engine::with_wal(build_bundle(g, o), EngineConfig::default(), &store).unwrap();
+        assert_eq!(replayed, 0);
+        let before = e.wal_fsyncs();
+        let outcomes = e
+            .apply_group(&[
+                vec![IngestUpdate::InsertEdge { src: 3, dst: 1 }],
+                Vec::new(),
+                vec![
+                    IngestUpdate::AddVertex { label: 2 },
+                    // Cross-batch numbering: vertex 33 was added by
+                    // this very group.
+                    IngestUpdate::InsertEdge { src: 33, dst: 0 },
+                ],
+            ])
+            .unwrap();
+        assert_eq!(e.wal_fsyncs(), before + 1, "a group commits on one fsync");
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].seq.is_some());
+        assert_eq!(outcomes[1].seq, None, "empty batch gets no WAL record");
+        assert!(outcomes[2].seq > outcomes[0].seq);
+        assert_eq!(outcomes[2].applied, 2);
+        assert!(e.index().base().has_edge(VId(33), VId(0)));
+        assert!(e.index().verify().is_clean(), "{}", e.index().verify());
+
+        // Recovery sees exactly the two non-empty batches.
+        drop(e);
+        let (_, batches) = store.open_wal().unwrap();
+        assert_eq!(batches.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_batches_skip_the_wal_entirely() {
+        let (g, o) = setup();
+        let dir = tempdir("noop");
+        let store = bgi_store::Store::open(&dir).unwrap();
+        let (mut e, _) =
+            Engine::with_wal(build_bundle(g, o), EngineConfig::default(), &store).unwrap();
+        let before = e.wal_fsyncs();
+        let bundle_before = e.bundle().index.clone();
+        let out = e.apply_batch(&[]).unwrap();
+        assert_eq!(out.seq, None);
+        assert_eq!(out.applied, 0);
+        let outs = e.apply_group(&[Vec::new(), Vec::new()]).unwrap();
+        assert!(outs.iter().all(|o| o.seq.is_none() && o.applied == 0));
+        assert_eq!(e.wal_fsyncs(), before, "no-op batches must not fsync");
+        assert!(e.bundle().index == bundle_before);
+        let (_, batches) = store.open_wal().unwrap();
+        assert!(batches.is_empty(), "no-op batches must not reach the log");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_batch_rejects_the_whole_group_before_logging() {
+        let (g, o) = setup();
+        let dir = tempdir("reject");
+        let store = bgi_store::Store::open(&dir).unwrap();
+        let (mut e, _) =
+            Engine::with_wal(build_bundle(g, o), EngineConfig::default(), &store).unwrap();
+        let before = e.index().clone();
+        let err = e
+            .apply_group(&[
+                vec![IngestUpdate::InsertEdge { src: 0, dst: 1 }],
+                vec![IngestUpdate::InsertEdge { src: 0, dst: 999 }],
+            ])
+            .unwrap_err();
+        assert!(matches!(err, IngestError::InvalidUpdate { index: 0, .. }));
+        assert_eq!(e.wal_fsyncs(), 0, "rejected group must not touch the WAL");
+        assert!(e.index() == &before);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -137,6 +137,33 @@ proptest! {
                     );
                 }
             }
+
+            // The *served* per-layer search indexes — whether reused,
+            // incrementally patched, or rebuilt — must be exactly what a
+            // fresh build on the served graph produces. (BLINKS keeps
+            // its original partition across patches, so its reference
+            // build runs over the served partition.)
+            let bundle = engine.bundle();
+            for m in 0..=engine.index().num_layers() {
+                let g = engine.index().graph_at(m);
+                prop_assert!(
+                    bundle.banks[m] == Banks.build_index(g),
+                    "layer {} served BANKS index diverged from a fresh build", m
+                );
+                prop_assert!(
+                    bundle.rclique[m] == bundle.rclique_params.build_index(g),
+                    "layer {} served r-clique index diverged from a fresh build", m
+                );
+                let reference = bgi_search::blinks::BlinksIndex::build_with_partition(
+                    g,
+                    bundle.blinks[m].partition().clone(),
+                    bundle.blinks_params.prune_dist,
+                );
+                prop_assert!(
+                    bundle.blinks[m] == reference,
+                    "layer {} served BLINKS index diverged from a same-partition build", m
+                );
+            }
         }
     }
 }

@@ -44,6 +44,23 @@ impl BanksIndex {
     pub fn from_parts(label_vertices: Vec<Vec<VId>>) -> Self {
         BanksIndex { label_vertices }
     }
+
+    /// Incrementally patched copy of this index for the graph described
+    /// by `diff` (see [`crate::patch`]). Edge changes do not touch the
+    /// inverted table; appended vertices are pushed onto their label's
+    /// list in id order, which is exactly the order a rebuild visits
+    /// them — the result equals `build_index` on the new graph.
+    pub fn patched(&self, new_g: &DiGraph, diff: &crate::patch::GraphDiff) -> BanksIndex {
+        let mut label_vertices = self.label_vertices.clone();
+        if label_vertices.len() < new_g.alphabet_size() {
+            label_vertices.resize(new_g.alphabet_size(), Vec::new());
+        }
+        let n_old = new_g.num_vertices() - diff.added_labels.len();
+        for (k, &l) in diff.added_labels.iter().enumerate() {
+            label_vertices[l.index()].push(VId((n_old + k) as u32));
+        }
+        BanksIndex { label_vertices }
+    }
 }
 
 /// Per-keyword backward BFS result: for each reached vertex, its

@@ -54,6 +54,16 @@ impl BlinksIndex {
     /// Builds the index for `g`.
     pub fn build(g: &DiGraph, params: &BlinksParams) -> Self {
         let partition = bfs_partition(g, params.block_size.max(1));
+        Self::build_with_partition(g, partition, params.prune_dist)
+    }
+
+    /// Builds the index for `g` over a caller-supplied partition.
+    ///
+    /// The partition only drives block-level pruning; any partition
+    /// covering `g`'s vertices yields a correct index. This is the
+    /// reference constructor the incremental [`BlinksIndex::patched`]
+    /// path is equivalent to.
+    pub fn build_with_partition(g: &DiGraph, partition: GraphPartition, prune_dist: u32) -> Self {
         let mut knl: FxHashMap<LabelId, Vec<(u16, VId)>> = FxHashMap::default();
         let mut nkm: FxHashMap<(VId, LabelId), u16> = FxHashMap::default();
         let mut kbl: FxHashMap<LabelId, Vec<u32>> = FxHashMap::default();
@@ -65,7 +75,7 @@ impl BlinksIndex {
         }
 
         for (&label, sources) in &by_label {
-            let reach = backward_reach(g, sources, params.prune_dist);
+            let reach = backward_reach(g, sources, prune_dist);
             let mut entries: Vec<(u16, VId)> =
                 reach.iter().map(|(&v, &(d, _))| (d as u16, v)).collect();
             // Sort by distance, then block, then vertex: within a
@@ -86,7 +96,7 @@ impl BlinksIndex {
 
         BlinksIndex {
             partition,
-            prune_dist: params.prune_dist,
+            prune_dist,
             knl,
             nkm,
             kbl,
@@ -125,6 +135,234 @@ impl BlinksIndex {
             nkm,
             kbl,
         }
+    }
+
+    /// Incrementally patched copy of this index for the graph described
+    /// by `diff` (see [`crate::patch`]).
+    ///
+    /// The partition is kept (appended vertices become fresh singleton
+    /// blocks) — it only drives block-level pruning, so any partition
+    /// yields exact answers. A vertex's keyword distances can change
+    /// only if a bounded path from it crosses a changed edge, which
+    /// requires reaching that edge's source within `τ_prune − 1` hops;
+    /// the *affected set* is the union of those backward balls in the
+    /// old and new graphs plus all appended vertices. Affected
+    /// distances are recomputed by bounded relaxation against boundary
+    /// distances (provably unchanged — a non-affected vertex cannot
+    /// route a bounded path over a changed edge in either graph), and
+    /// per-label lists are spliced in `(dist, block, vertex)` order.
+    /// The result equals [`BlinksIndex::build_with_partition`] on the
+    /// new graph with the extended partition. Returns `None` when the
+    /// affected set covers half the graph or more — rebuild instead.
+    pub fn patched(
+        &self,
+        old_g: &DiGraph,
+        new_g: &DiGraph,
+        diff: &crate::patch::GraphDiff,
+    ) -> Option<BlinksIndex> {
+        let n_new = new_g.num_vertices();
+        let n_old = n_new - diff.added_labels.len();
+        let prune = self.prune_dist;
+
+        // Extend the partition: appended vertices get fresh singleton
+        // blocks, existing assignments are untouched.
+        let mut block_of = self.partition.block_table().to_vec();
+        let mut num_blocks = self.partition.num_blocks();
+        for _ in n_old..n_new {
+            block_of.push(num_blocks as u32);
+            num_blocks += 1;
+        }
+        let partition = GraphPartition::from_parts(block_of, num_blocks);
+
+        // Affected set: backward balls of radius τ_prune − 1 around
+        // changed-edge sources, in both graph versions, plus appended
+        // vertices. A bounded path using edge (a, b) reaches `a` in at
+        // most τ_prune − 1 hops, so every vertex whose distances can
+        // change is marked.
+        let mut in_a = vec![false; n_new];
+        let mut sources: Vec<VId> = diff
+            .inserted
+            .iter()
+            .chain(diff.deleted.iter())
+            .map(|&(u, _)| u)
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let back = prune.saturating_sub(1);
+        for g in [old_g, new_g] {
+            for &s in &sources {
+                if s.index() >= g.num_vertices() {
+                    continue;
+                }
+                for &v in backward_reach(g, &[s], back).keys() {
+                    in_a[v.index()] = true;
+                }
+            }
+        }
+        for a in in_a.iter_mut().skip(n_old) {
+            *a = true;
+        }
+        let a_list: Vec<VId> = (0..n_new as u32)
+            .map(VId)
+            .filter(|v| in_a[v.index()])
+            .collect();
+        if a_list.len() * 2 > n_new {
+            return None;
+        }
+
+        // Boundary: out-neighbors of affected vertices outside the set.
+        let mut boundary: Vec<VId> = Vec::new();
+        for &v in &a_list {
+            for &w in new_g.out_neighbors(v) {
+                if !in_a[w.index()] {
+                    boundary.push(w);
+                }
+            }
+        }
+        boundary.sort_unstable();
+        boundary.dedup();
+
+        // Candidate labels: anything an affected vertex carries in the
+        // new graph (fresh 0-distance entries), plus any label with an
+        // old entry on an affected vertex (stale entries to revise) or
+        // a boundary vertex (distances that may now extend inward).
+        let mut candidates: Vec<LabelId> = a_list.iter().map(|&v| new_g.label(v)).collect();
+        for &l in self.knl.keys() {
+            if a_list
+                .iter()
+                .chain(boundary.iter())
+                .any(|&v| self.nkm.contains_key(&(v, l)))
+            {
+                candidates.push(l);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        // The relaxation below costs |candidates| × |affected| × deg;
+        // a rebuild costs roughly one bounded BFS per label, ~the entry
+        // count it produces. When the patch would approach rebuild cost
+        // (coalesced group-commit diffs can push the affected set near
+        // the n/2 cap, where nearly every label is a candidate), decline
+        // and let the caller rebuild — the 2× margin keeps the write
+        // path on the predictable side of the crossover.
+        if candidates.len() * a_list.len() * 2 > self.nkm.len() + n_new {
+            return None;
+        }
+
+        let mut knl = self.knl.clone();
+        let mut nkm = self.nkm.clone();
+        let mut kbl = self.kbl.clone();
+        const INF: u32 = u32::MAX;
+        let mut dist = vec![INF; n_new];
+        for &l in &candidates {
+            // Exact bounded distances for affected vertices: seed with
+            // own-label zeros and boundary hops, then relax within the
+            // set. A path leaving the set is covered by its first
+            // boundary vertex's term (a true shortest distance, even if
+            // the path re-enters the set later).
+            for &v in &a_list {
+                let mut d = if new_g.label(v) == l { 0 } else { INF };
+                for &w in new_g.out_neighbors(v) {
+                    if !in_a[w.index()] {
+                        if let Some(&dw) = self.nkm.get(&(w, l)) {
+                            let c = dw as u32 + 1;
+                            if c <= prune && c < d {
+                                d = c;
+                            }
+                        }
+                    }
+                }
+                dist[v.index()] = d;
+            }
+            loop {
+                let mut changed = false;
+                for &v in &a_list {
+                    let mut d = dist[v.index()];
+                    for &w in new_g.out_neighbors(v) {
+                        if in_a[w.index()] && dist[w.index()] != INF {
+                            let c = dist[w.index()] + 1;
+                            if c <= prune && c < d {
+                                d = c;
+                            }
+                        }
+                    }
+                    if d < dist[v.index()] {
+                        dist[v.index()] = d;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let mut fresh: Vec<(u16, VId)> = a_list
+                .iter()
+                .filter(|&&v| dist[v.index()] != INF)
+                .map(|&v| (dist[v.index()] as u16, v))
+                .collect();
+            let old_count = a_list
+                .iter()
+                .filter(|&&v| nkm.contains_key(&(v, l)))
+                .count();
+            let unchanged = fresh.len() == old_count
+                && fresh.iter().all(|&(d, v)| nkm.get(&(v, l)) == Some(&d));
+            if unchanged {
+                continue;
+            }
+            for &v in &a_list {
+                nkm.remove(&(v, l));
+            }
+            for &(d, v) in &fresh {
+                nkm.insert((v, l), d);
+            }
+            // Splice: retained entries stay in their original relative
+            // order (already sorted by this key — block ids of old
+            // vertices are unchanged), fresh ones merge in.
+            fresh.sort_unstable_by_key(|&(d, v)| (d, partition.block_of(v), v));
+            let retained: Vec<(u16, VId)> = knl
+                .remove(&l)
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|&(_, v)| !in_a[v.index()])
+                .collect();
+            let mut merged = Vec::with_capacity(retained.len() + fresh.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < retained.len() && j < fresh.len() {
+                let ki = (
+                    retained[i].0,
+                    partition.block_of(retained[i].1),
+                    retained[i].1,
+                );
+                let kj = (fresh[j].0, partition.block_of(fresh[j].1), fresh[j].1);
+                if ki <= kj {
+                    merged.push(retained[i]);
+                    i += 1;
+                } else {
+                    merged.push(fresh[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&retained[i..]);
+            merged.extend_from_slice(&fresh[j..]);
+            if merged.is_empty() {
+                kbl.remove(&l);
+            } else {
+                let mut blocks: Vec<u32> =
+                    merged.iter().map(|&(_, v)| partition.block_of(v)).collect();
+                blocks.sort_unstable();
+                blocks.dedup();
+                kbl.insert(l, blocks);
+                knl.insert(l, merged);
+            }
+        }
+
+        Some(BlinksIndex {
+            partition,
+            prune_dist: prune,
+            knl,
+            nkm,
+            kbl,
+        })
     }
 
     /// The full keyword-node-list table (persistence export;

@@ -39,6 +39,7 @@ pub mod bidirectional;
 pub mod blinks;
 pub mod cancel;
 pub mod outcome;
+pub mod patch;
 pub mod query;
 pub mod rclique;
 pub mod semantics;
@@ -49,6 +50,7 @@ pub use bidirectional::Bidirectional;
 pub use blinks::Blinks;
 pub use cancel::{Budget, Interrupted};
 pub use outcome::{Completeness, SearchOutcome};
+pub use patch::{diff_graphs, GraphDiff};
 pub use query::KeywordQuery;
 pub use rclique::RClique;
 pub use semantics::KeywordSearch;

@@ -9,7 +9,10 @@
 
 use crate::cancel::Budget;
 use bgi_graph::{DiGraph, VId};
+use rustc_hash::FxHashMap;
+use std::borrow::Cow;
 use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
 
 /// How many construction ops (BFS discoveries or dense-scan slots)
 /// separate two budget polls during [`NeighborIndex::try_build_budgeted`].
@@ -39,14 +42,57 @@ impl Default for NeighborIndexParams {
 }
 
 /// Per-vertex bounded undirected neighborhoods with distances.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The materialized rows live in an `Arc`-shared CSR; an incrementally
+/// [`NeighborIndex::patched`] copy overlays it with a set of *dirty*
+/// rows that are recomputed lazily on first access (see
+/// [`PendingRows`]). Equality is semantic — two indexes are equal when
+/// every row agrees, regardless of how much of either is still pending.
+#[derive(Debug, Clone)]
 pub struct NeighborIndex {
     radius: u32,
     // CSR layout: entries[offsets[v]..offsets[v+1]] = (neighbor, dist),
-    // sorted by neighbor id.
-    offsets: Vec<u64>,
-    entries: Vec<(VId, u16)>,
+    // sorted by neighbor id. Shared so a patched copy costs O(dirty
+    // set), not O(index).
+    offsets: Arc<Vec<u64>>,
+    entries: Arc<Vec<(VId, u16)>>,
+    pending: Option<Box<PendingRows>>,
 }
+
+/// Dirty-row overlay of a patched index: rows whose balls may have
+/// changed since the CSR was materialized, recomputed against `graph`
+/// on first access and cached. A single edge flip can invalidate the
+/// balls of half the vertices (radius-`R` balls overlap heavily), so an
+/// eager patch would cost as much as a rebuild; deferring the recompute
+/// makes updates O(dirty-set discovery) and bills the BFS to the
+/// queries that actually read an invalidated row.
+#[derive(Debug, Clone)]
+struct PendingRows {
+    /// The graph every row of this index describes.
+    graph: DiGraph,
+    /// Total rows, including vertices appended past the CSR.
+    n: usize,
+    /// Dirty rows: an unset slot is recomputed (and cached) on first
+    /// read; rows absent from the map are served from the CSR.
+    rows: FxHashMap<u32, BallRow>,
+}
+
+/// One dirty row: the vertex's recomputed ball, filled on first read.
+type BallRow = OnceLock<Arc<[(VId, u16)]>>;
+
+/// Borrowed-or-owned CSR export of [`NeighborIndex::csr_parts`].
+pub type CsrParts<'a> = (Cow<'a, [u64]>, Cow<'a, [(VId, u16)]>);
+
+impl PartialEq for NeighborIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.radius == other.radius
+            && self.num_rows() == other.num_rows()
+            && (0..self.num_rows() as u32)
+                .all(|v| self.neighbors(VId(v)) == other.neighbors(VId(v)))
+    }
+}
+
+impl Eq for NeighborIndex {}
 
 /// Error returned when the index would exceed its memory budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +153,29 @@ impl NeighborIndex {
             },
         )
         .expect("no budget set")
+    }
+
+    /// Builds an index whose every row is pending: construction costs
+    /// one map insert per vertex, and each ball is computed on first
+    /// read (then cached), exactly as a [`NeighborIndex::patched`]
+    /// dirty row is. Compares equal to [`NeighborIndex::build`] on the
+    /// same graph. This is the write-path rebuild fallback — when a
+    /// patch declines mid-update, an eager rebuild would stall the
+    /// commit for the full `O(m·n)` ball construction; deferring it
+    /// bills that cost to the queries that actually read the rows.
+    pub fn build_lazy(g: &DiGraph, radius: u32) -> Self {
+        let n = g.num_vertices();
+        let rows = (0..n as u32).map(|v| (v, OnceLock::new())).collect();
+        NeighborIndex {
+            radius,
+            offsets: Arc::new(vec![0]),
+            entries: Arc::new(Vec::new()),
+            pending: Some(Box::new(PendingRows {
+                graph: g.clone(),
+                n,
+                rows,
+            })),
+        }
     }
 
     /// Builds the index, failing early if the estimated size exceeds
@@ -197,8 +266,9 @@ impl NeighborIndex {
         }
         Ok(NeighborIndex {
             radius: params.radius,
-            offsets,
-            entries,
+            offsets: Arc::new(offsets),
+            entries: Arc::new(entries),
+            pending: None,
         })
     }
 
@@ -222,21 +292,137 @@ impl NeighborIndex {
         (avg * n as f64) as usize * std::mem::size_of::<(VId, u16)>()
     }
 
+    /// Incrementally patched copy of this index for the graph described
+    /// by `diff` (see [`crate::patch`]).
+    ///
+    /// A vertex's ball can only change if a path of length `≤ radius`
+    /// from it crosses a changed edge, which puts it within
+    /// `radius` undirected hops of a changed-edge endpoint in the graph
+    /// where that path exists. The affected set is therefore the union
+    /// of the endpoints' radius-balls in the *old* and *new* graphs,
+    /// plus every appended vertex. Those rows are *not* recomputed here:
+    /// they are marked dirty in a [`PendingRows`] overlay sharing the
+    /// CSR of `self`, and each is recomputed against `new_g` on first
+    /// access. The result compares equal to a full rebuild on `new_g`
+    /// and costs O(affected-set discovery) up front — an edge touching
+    /// a hub can invalidate half the graph's balls, and eagerly
+    /// recomputing them would cost as much as the rebuild this patch
+    /// exists to avoid.
+    ///
+    /// Patches chain: rows already dirty in `self` stay dirty (their
+    /// balls are identical in `self`'s graph and `new_g` unless the new
+    /// diff touched them again, so a later recompute against `new_g` is
+    /// exact), cached recomputes survive unless re-invalidated.
+    ///
+    /// Returns `None` only when `self` cannot describe `old_g` (row
+    /// count mismatch) — the caller should rebuild.
+    pub fn patched(
+        &self,
+        old_g: &DiGraph,
+        new_g: &DiGraph,
+        diff: &crate::patch::GraphDiff,
+    ) -> Option<NeighborIndex> {
+        let n_new = new_g.num_vertices();
+        let n_old = n_new - diff.added_labels.len();
+        if self.num_rows() != n_old {
+            return None;
+        }
+        let r = self.radius;
+        let mut scratch = Scratch::new(n_new);
+        let mut ball: Vec<(VId, u16)> = Vec::new();
+        let mut endpoints: Vec<VId> = Vec::new();
+        for &(u, v) in diff.inserted.iter().chain(diff.deleted.iter()) {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut rows = match &self.pending {
+            Some(p) => p.rows.clone(),
+            None => FxHashMap::default(),
+        };
+        // The union of the endpoints' radius-balls is exactly one
+        // multi-source BFS per graph (a vertex is in some ball iff its
+        // distance to the *nearest* endpoint is ≤ radius), so dirty-set
+        // discovery costs two traversals regardless of how many edits a
+        // group-commit batch coalesced.
+        for g in [old_g, new_g] {
+            let seeds: Vec<VId> = endpoints
+                .iter()
+                .copied()
+                .filter(|e| e.index() < g.num_vertices())
+                .collect();
+            if seeds.is_empty() {
+                continue;
+            }
+            ball.clear();
+            scratch.undirected_ball_multi(g, &seeds, r, &mut ball);
+            // `insert` also discards a cached recompute that this
+            // diff just re-invalidated.
+            for &e in &seeds {
+                rows.insert(e.0, OnceLock::new());
+            }
+            for &(u, _) in &ball {
+                rows.insert(u.0, OnceLock::new());
+            }
+        }
+        for v in n_old..n_new {
+            rows.insert(v as u32, OnceLock::new());
+        }
+        Some(NeighborIndex {
+            radius: r,
+            offsets: Arc::clone(&self.offsets),
+            entries: Arc::clone(&self.entries),
+            pending: Some(Box::new(PendingRows {
+                graph: new_g.clone(),
+                n: n_new,
+                rows,
+            })),
+        })
+    }
+
     /// Reassembles an index from its CSR arrays (the persistence path).
     /// Offsets must be non-decreasing and cover `entries`; decoders
     /// validate this before calling.
     pub fn from_parts(radius: u32, offsets: Vec<u64>, entries: Vec<(VId, u16)>) -> Self {
         NeighborIndex {
             radius,
-            offsets,
-            entries,
+            offsets: Arc::new(offsets),
+            entries: Arc::new(entries),
+            pending: None,
         }
     }
 
     /// The CSR arrays `(offsets, entries)` (persistence export;
-    /// [`NeighborIndex::neighbors`] is the per-vertex lookup).
-    pub fn csr_parts(&self) -> (&[u64], &[(VId, u16)]) {
-        (&self.offsets, &self.entries)
+    /// [`NeighborIndex::neighbors`] is the per-vertex lookup). A
+    /// patched index forces every still-dirty row first, so the export
+    /// is always fully materialized — borrowed when nothing is pending,
+    /// owned otherwise.
+    pub fn csr_parts(&self) -> CsrParts<'_> {
+        if self.pending.is_none() {
+            return (
+                Cow::Borrowed(&self.offsets[..]),
+                Cow::Borrowed(&self.entries[..]),
+            );
+        }
+        let n = self.num_rows();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut entries: Vec<(VId, u16)> = Vec::new();
+        for v in 0..n {
+            entries.extend_from_slice(self.neighbors(VId(v as u32)));
+            offsets.push(entries.len() as u64);
+        }
+        (Cow::Owned(offsets), Cow::Owned(entries))
+    }
+
+    /// Number of per-vertex rows (the vertex count of the graph the
+    /// index describes, including rows still pending recompute).
+    pub fn num_rows(&self) -> usize {
+        match &self.pending {
+            Some(p) => p.n,
+            None => self.offsets.len() - 1,
+        }
     }
 
     /// The distance bound the index was built with.
@@ -256,11 +442,30 @@ impl NeighborIndex {
     }
 
     /// All `(neighbor, distance)` pairs of `v`, sorted by neighbor id.
+    /// A row invalidated by [`NeighborIndex::patched`] is recomputed
+    /// against the patched graph on first access and cached; clean rows
+    /// are served straight from the shared CSR.
     pub fn neighbors(&self, v: VId) -> &[(VId, u16)] {
+        if let Some(p) = &self.pending {
+            if let Some(slot) = p.rows.get(&v.0) {
+                return slot.get_or_init(|| Self::compute_row(&p.graph, v, self.radius));
+            }
+        }
         &self.entries[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
-    /// Actual size of the materialized index in bytes.
+    /// One vertex's ball on `g`, sorted by neighbor id — the lazy-row
+    /// recompute, identical to what a full build stores for `v`.
+    fn compute_row(g: &DiGraph, v: VId, radius: u32) -> Arc<[(VId, u16)]> {
+        let mut scratch = Scratch::new(g.num_vertices());
+        let mut out: Vec<(VId, u16)> = Vec::new();
+        scratch.undirected_ball(g, v, radius, &mut out);
+        out.sort_unstable_by_key(|&(u, _)| u);
+        out.into()
+    }
+
+    /// Actual size of the materialized index in bytes (pending lazy
+    /// rows are accounted at their CSR footprint).
     pub fn estimated_bytes(&self) -> usize {
         self.entries.len() * std::mem::size_of::<(VId, u16)>()
             + self.offsets.len() * std::mem::size_of::<u64>()
@@ -290,6 +495,44 @@ impl Scratch {
         // unbudgeted path pays nothing.
         let (mut ops, mut next_poll) = (0u64, u64::MAX);
         self.undirected_ball_polled(g, v, r, out, &Budget::unlimited(), &mut ops, &mut next_poll);
+    }
+
+    /// Appends `(u, dist-to-nearest-seed)` for every `u` not in `seeds`
+    /// within `r` undirected hops of *any* seed to `out` — the union of
+    /// the seeds' radius-`r` balls in one traversal.
+    fn undirected_ball_multi(
+        &mut self,
+        g: &DiGraph,
+        seeds: &[VId],
+        r: u32,
+        out: &mut Vec<(VId, u16)>,
+    ) {
+        for &t in &self.touched {
+            self.dist[t.index()] = u32::MAX;
+        }
+        self.touched.clear();
+        self.queue.clear();
+        for &s in seeds {
+            if self.dist[s.index()] == u32::MAX {
+                self.dist[s.index()] = 0;
+                self.touched.push(s);
+                self.queue.push_back(s);
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let d = self.dist[u.index()];
+            if d >= r {
+                continue;
+            }
+            for &w in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if self.dist[w.index()] == u32::MAX {
+                    self.dist[w.index()] = d + 1;
+                    self.touched.push(w);
+                    self.queue.push_back(w);
+                    out.push((w, (d + 1) as u16));
+                }
+            }
+        }
     }
 
     /// [`Scratch::undirected_ball`] polling `budget` at op-count stride
@@ -459,6 +702,17 @@ mod tests {
         // Sanity: the same build runs to completion unbudgeted, i.e.
         // the op count above truly truncated it early.
         assert!(NeighborIndex::try_build(&g, &params).is_ok());
+    }
+
+    #[test]
+    fn lazy_build_matches_eager() {
+        let g = bgi_graph::generate::uniform_random(300, 900, 3, 17);
+        let eager = NeighborIndex::build(&g, 3);
+        let lazy = NeighborIndex::build_lazy(&g, 3);
+        assert_eq!(lazy, eager);
+        let (lo, le) = lazy.csr_parts();
+        let (eo, ee) = eager.csr_parts();
+        assert_eq!((&*lo, &*le), (&*eo, &*ee));
     }
 
     #[test]

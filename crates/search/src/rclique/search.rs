@@ -68,9 +68,56 @@ impl RCliqueIndex {
     pub fn label_lists(&self) -> &[Vec<VId>] {
         &self.label_vertices
     }
+
+    /// Incrementally patched copy of this index for the graph described
+    /// by `diff` (see [`crate::patch`]): the neighbor CSR is patched
+    /// locally via [`NeighborIndex::patched`], the inverted label table
+    /// is extended exactly as [`crate::banks::BanksIndex::patched`]
+    /// does. Equivalent to a full rebuild; `None` when the neighbor
+    /// patch declines (affected region too large).
+    pub fn patched(
+        &self,
+        old_g: &DiGraph,
+        new_g: &DiGraph,
+        diff: &crate::patch::GraphDiff,
+    ) -> Option<RCliqueIndex> {
+        let neighbor = self.neighbor.patched(old_g, new_g, diff)?;
+        let mut label_vertices = self.label_vertices.clone();
+        if label_vertices.len() < new_g.alphabet_size() {
+            label_vertices.resize(new_g.alphabet_size(), Vec::new());
+        }
+        let n_old = new_g.num_vertices() - diff.added_labels.len();
+        for (k, &l) in diff.added_labels.iter().enumerate() {
+            label_vertices[l.index()].push(VId((n_old + k) as u32));
+        }
+        Some(RCliqueIndex {
+            neighbor,
+            label_vertices,
+        })
+    }
 }
 
 impl RClique {
+    /// [`KeywordSearch::build_index`] with lazily materialized neighbor
+    /// rows ([`NeighborIndex::build_lazy`]): the label table is built
+    /// eagerly (it is `O(n)`), every ball defers to first read.
+    /// Compares equal to the eager build. Falls back to the eager path
+    /// when a memory budget is configured — an over-budget index must
+    /// fail at construction, not at first read.
+    pub fn build_index_lazy(&self, g: &DiGraph) -> RCliqueIndex {
+        if self.max_index_bytes.is_some() {
+            return self.build_index(g);
+        }
+        let mut label_vertices = vec![Vec::new(); g.alphabet_size()];
+        for v in g.vertices() {
+            label_vertices[g.label(v).index()].push(v);
+        }
+        RCliqueIndex {
+            neighbor: NeighborIndex::build_lazy(g, self.radius),
+            label_vertices,
+        }
+    }
+
     /// Builds the answer graph for a picked node set: keyword nodes plus
     /// undirected witness paths from the first node to every other.
     fn materialize(g: &DiGraph, r: u32, picked: &[VId], weight: u64) -> AnswerGraph {

@@ -52,7 +52,7 @@ pub use flight::{Flight, SingleFlight};
 pub use log::Logger;
 pub use request::{QueryError, QueryRequest, QueryResponse, Semantics};
 pub use service::{
-    ApplyError, ApplyReport, DegradationPolicy, ReloadError, Service, ServiceConfig,
+    ApplyError, ApplyReport, DegradationPolicy, ReloadError, Service, ServiceConfig, WriteHub,
 };
 pub use snapshot::{IndexSnapshot, SnapshotConfig, SnapshotError};
 pub use stats::ServiceStats;

@@ -38,7 +38,7 @@ use bgi_check::sync::thread::{self, JoinHandle};
 use bgi_check::sync::{Mutex, PoisonError, RwLock};
 use bgi_ingest::{ApplyOutcome, Engine, IngestError, IngestUpdate};
 use bgi_search::Budget;
-use bgi_store::{IndexBundle, Store, StoreError};
+use bgi_store::{CommitQueue, IndexBundle, Store, StoreError};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -498,6 +498,16 @@ impl Service {
         engine: &mut Engine,
         updates: &[IngestUpdate],
     ) -> Result<ApplyReport, ApplyError> {
+        if updates.is_empty() {
+            // Complete no-op: nothing logged, nothing re-materialized —
+            // skip the snapshot clone + swap as well.
+            let outcome = engine.apply_batch(updates).map_err(ApplyError::Ingest)?;
+            return Ok(ApplyReport {
+                outcome,
+                rebuilt: false,
+                rebuild_started: false,
+            });
+        }
         let outcome = engine.apply_batch(updates).map_err(ApplyError::Ingest)?;
         let rebuilt = self.adopt_finished_rebuild(engine)?;
         let rebuild_started = self.maybe_start_rebuild(engine);
@@ -515,6 +525,98 @@ impl Service {
                 self.shared.stats.record_ingest_rollback();
                 self.shared.log.line(&format!(
                     "update batch refused at snapshot admission ({err}); \
+                     previous snapshot keeps serving"
+                ));
+                Err(ApplyError::Snapshot(err))
+            }
+        }
+    }
+
+    /// The *group-commit* write path: like [`Service::apply_updates`],
+    /// but concurrent callers coalesce into one commit cycle through
+    /// the hub's [`CommitQueue`]. Exactly one caller (the leader) locks
+    /// the engine and commits every concurrent batch with **one** WAL
+    /// append + fsync ([`Engine::apply_group`]), one materialization,
+    /// and one snapshot swap; the others wait for their own
+    /// [`ApplyReport`] without ever touching the engine. Under 16
+    /// single-op writers this turns 16 fsyncs into a handful.
+    ///
+    /// Failure semantics: a whole-group failure (validation, WAL I/O,
+    /// snapshot admission) is delivered to every caller in the group as
+    /// [`ApplyError::Group`] sharing the underlying cause. A leader
+    /// that *panics* mid-cycle yields [`ApplyError::LeaderDied`] for
+    /// the batches it had drained — their commit outcome is unknown,
+    /// exactly like a client losing its connection mid-commit.
+    pub fn apply_updates_grouped(
+        &self,
+        hub: &WriteHub,
+        updates: Vec<IngestUpdate>,
+    ) -> Result<ApplyReport, ApplyError> {
+        match hub
+            .queue
+            .commit(updates, |batches| self.commit_group(hub, batches))
+        {
+            Some(Ok(report)) => Ok(report),
+            Some(Err(shared)) => Err(ApplyError::Group(shared)),
+            None => Err(ApplyError::LeaderDied),
+        }
+    }
+
+    /// Leader body for [`Service::apply_updates_grouped`]: one engine
+    /// lock, one group apply, one snapshot swap, one report per batch.
+    fn commit_group(
+        &self,
+        hub: &WriteHub,
+        batches: Vec<Vec<IngestUpdate>>,
+    ) -> Vec<Result<ApplyReport, Arc<ApplyError>>> {
+        let count = batches.len();
+        let mut engine = hub.engine.lock().unwrap_or_else(PoisonError::into_inner);
+        match self.commit_group_locked(&mut engine, &batches) {
+            Ok(reports) => reports.into_iter().map(Ok).collect(),
+            Err(err) => {
+                let shared = Arc::new(err);
+                (0..count).map(|_| Err(Arc::clone(&shared))).collect()
+            }
+        }
+    }
+
+    fn commit_group_locked(
+        &self,
+        engine: &mut Engine,
+        batches: &[Vec<IngestUpdate>],
+    ) -> Result<Vec<ApplyReport>, ApplyError> {
+        let outcomes = engine.apply_group(batches).map_err(ApplyError::Ingest)?;
+        if batches.iter().all(Vec::is_empty) {
+            // Whole group was a no-op: nothing changed, so skip the
+            // rebuild bookkeeping and the snapshot clone + swap.
+            return Ok(outcomes
+                .into_iter()
+                .map(|outcome| ApplyReport {
+                    outcome,
+                    rebuilt: false,
+                    rebuild_started: false,
+                })
+                .collect());
+        }
+        let rebuilt = self.adopt_finished_rebuild(engine)?;
+        let rebuild_started = self.maybe_start_rebuild(engine);
+        match IndexSnapshot::from_bundle(engine.bundle().clone()) {
+            Ok(snapshot) => {
+                self.swap_snapshot(Arc::new(snapshot));
+                self.shared.stats.record_ingest_batch();
+                Ok(outcomes
+                    .into_iter()
+                    .map(|outcome| ApplyReport {
+                        outcome,
+                        rebuilt,
+                        rebuild_started,
+                    })
+                    .collect())
+            }
+            Err(err) => {
+                self.shared.stats.record_ingest_rollback();
+                self.shared.log.line(&format!(
+                    "update group refused at snapshot admission ({err}); \
                      previous snapshot keeps serving"
                 ));
                 Err(ApplyError::Snapshot(err))
@@ -679,6 +781,41 @@ impl Drop for Service {
     }
 }
 
+/// The shared write-side state for [`Service::apply_updates_grouped`]:
+/// the engine behind a mutex plus the [`CommitQueue`] that coalesces
+/// concurrent callers into single commit cycles. Create one per engine
+/// and hand `&WriteHub` to every writer thread.
+pub struct WriteHub {
+    engine: Mutex<Engine>,
+    queue: CommitQueue<Vec<IngestUpdate>, Result<ApplyReport, Arc<ApplyError>>>,
+}
+
+impl WriteHub {
+    /// Wraps `engine` for concurrent grouped writers.
+    pub fn new(engine: Engine) -> Self {
+        WriteHub {
+            engine: Mutex::new(engine),
+            queue: CommitQueue::new(),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the engine — for maintenance
+    /// paths (checkpoint, drift inspection, explicit rebuild) that need
+    /// the engine outside a commit cycle. Writers are blocked for the
+    /// duration, so keep it short.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&mut Engine) -> T) -> T {
+        let mut engine = self.engine.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut engine)
+    }
+
+    /// Unwraps the hub back into its engine (e.g. at shutdown).
+    pub fn into_engine(self) -> Engine {
+        self.engine
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// What one [`Service::apply_updates`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ApplyReport {
@@ -703,6 +840,15 @@ pub enum ApplyError {
     /// The updated bundle failed snapshot admission; the previous
     /// snapshot keeps serving.
     Snapshot(SnapshotError),
+    /// This batch was coalesced into a group
+    /// ([`Service::apply_updates_grouped`]) that failed as a whole; the
+    /// shared cause is delivered to every caller in the group. The
+    /// batch was **not** committed.
+    Group(Arc<ApplyError>),
+    /// The group leader handling this batch died (panicked) mid-cycle;
+    /// the commit outcome is unknown — the batch may or may not have
+    /// reached the WAL. Callers should re-check state before retrying.
+    LeaderDied,
 }
 
 impl std::fmt::Display for ApplyError {
@@ -710,6 +856,10 @@ impl std::fmt::Display for ApplyError {
         match self {
             ApplyError::Ingest(e) => write!(f, "update batch failed: {e}"),
             ApplyError::Snapshot(e) => write!(f, "updated index refused: {e}"),
+            ApplyError::Group(e) => write!(f, "update group failed: {e}"),
+            ApplyError::LeaderDied => {
+                write!(f, "group leader died mid-commit; batch outcome unknown")
+            }
         }
     }
 }
@@ -719,6 +869,8 @@ impl std::error::Error for ApplyError {
         match self {
             ApplyError::Ingest(e) => Some(e),
             ApplyError::Snapshot(e) => Some(e),
+            ApplyError::Group(e) => Some(e.as_ref()),
+            ApplyError::LeaderDied => None,
         }
     }
 }

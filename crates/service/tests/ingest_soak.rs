@@ -17,7 +17,7 @@ use bgi_graph::{DiGraph, GraphBuilder, LabelId, Ontology, VId};
 use bgi_ingest::{Engine, EngineConfig, IngestUpdate, RebuildPolicy};
 use bgi_search::blinks::BlinksParams;
 use bgi_search::{Banks, KeywordQuery, KeywordSearch, RClique};
-use bgi_service::{IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig};
+use bgi_service::{IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig, WriteHub};
 use bgi_store::{FailAction, Failpoints, IndexBundle, RetryPolicy, Store};
 use big_index::{eval_at_layer, BiGIndex, EvalOptions, GenConfig};
 use std::collections::BTreeSet;
@@ -418,4 +418,112 @@ fn storm_with_wal_kills_recovers_to_last_committed_batch() {
     );
     let stats = service.stats();
     assert!(stats.ingest_batches > 0);
+}
+
+#[test]
+fn sixteen_concurrent_single_op_writers_amortize_fsyncs() {
+    const WRITERS: usize = 16;
+    const CALLS_PER_WRITER: usize = 4;
+    const TOTAL_CALLS: usize = WRITERS * CALLS_PER_WRITER;
+
+    let ds = DatasetSpec::synt(300).generate();
+    let configs = step_configs(&ds.graph, &ds.ontology, 2);
+    assert!(!configs.is_empty(), "dataset produced no Gen steps");
+    let bundle = build_bundle(ds.graph.clone(), ds.ontology.clone(), &configs);
+    let n = ds.graph.num_vertices() as u32;
+
+    let dir = TempDir::new("group");
+    let store = Store::open(dir.path()).unwrap();
+    store.save(&bundle).unwrap();
+    let snapshot = Arc::new(IndexSnapshot::from_bundle(bundle.clone()).unwrap());
+    let (engine, replayed) = Engine::with_wal(bundle, EngineConfig::default(), &store).unwrap();
+    assert_eq!(replayed, 0, "fresh store must have nothing to replay");
+    let hub = WriteHub::new(engine);
+
+    let service = Service::start(
+        snapshot,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_shards: 2,
+            cache_capacity: 32,
+            default_deadline: None,
+            degradation: None,
+        },
+    );
+
+    // Every (writer, call) pair inserts a distinct edge, so the final
+    // graph is independent of commit order and grouping.
+    let edge_for = |t: usize, k: usize| {
+        let src = (t * CALLS_PER_WRITER + k) as u32 % n;
+        let dst = (src + 1 + t as u32) % n;
+        (src, dst)
+    };
+
+    let fsyncs_before = hub.with_engine(|e| e.wal_fsyncs());
+    let barrier = std::sync::Barrier::new(WRITERS);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..WRITERS {
+            let (service, hub, barrier) = (&service, &hub, &barrier);
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                for k in 0..CALLS_PER_WRITER {
+                    let (src, dst) = edge_for(t, k);
+                    let report = service
+                        .apply_updates_grouped(hub, vec![IngestUpdate::InsertEdge { src, dst }])
+                        .unwrap_or_else(|e| panic!("writer {t} call {k} failed: {e}"));
+                    assert_eq!(report.outcome.applied, 1);
+                    assert!(report.outcome.seq.is_some(), "store-backed engine logs");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer panicked");
+        }
+    });
+
+    // The whole point of group commit: callers share fsyncs. Each
+    // commit cycle re-materializes the hierarchy while up to 15 other
+    // callers pile into the queue, so the fsync count must sit well
+    // below one-per-caller. (A serial write path would spend exactly
+    // TOTAL_CALLS fsyncs here.)
+    let fsyncs = hub.with_engine(|e| e.wal_fsyncs()) - fsyncs_before;
+    assert!(fsyncs >= 1, "WAL-backed writes must fsync at least once");
+    assert!(
+        fsyncs * 2 <= TOTAL_CALLS as u64,
+        "group commit amortized poorly: {fsyncs} fsyncs for {TOTAL_CALLS} callers"
+    );
+    assert!(service.stats().ingest_batches >= 1);
+
+    // Grouping never merges durability records: every caller's batch is
+    // its own WAL record, and the final state reflects every insert.
+    let last_seq = hub.with_engine(|e| e.last_seq());
+    let engine = hub.into_engine();
+    assert!(engine.index().verify().is_clean());
+    for t in 0..WRITERS {
+        for k in 0..CALLS_PER_WRITER {
+            let (src, dst) = edge_for(t, k);
+            assert!(
+                engine
+                    .index()
+                    .base()
+                    .out_neighbors(VId(src))
+                    .contains(&VId(dst)),
+                "edge {src}->{dst} from writer {t} call {k} missing from final graph"
+            );
+        }
+    }
+    let final_base = engine.index().base().clone();
+    drop(engine); // process death: the WAL handle goes away
+
+    let (_, seed) = store.load_latest().unwrap();
+    let (recovered, replayed) = Engine::with_wal(seed, EngineConfig::default(), &store).unwrap();
+    assert_eq!(
+        replayed, TOTAL_CALLS,
+        "every caller's batch must replay as a distinct record"
+    );
+    assert_eq!(recovered.last_seq(), last_seq);
+    assert_eq!(recovered.index().base(), &final_base);
+    assert!(recovered.index().verify().is_clean());
 }

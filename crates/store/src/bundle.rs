@@ -505,9 +505,9 @@ pub fn encode_rclique(r: &RCliqueIndex) -> Vec<u8> {
     let mut e = Enc::new(Section::RClique);
     e.u32(r.neighbor.radius());
     let (offsets, entries) = r.neighbor.csr_parts();
-    e.u64_slice(offsets);
+    e.u64_slice(&offsets);
     e.u64(entries.len() as u64);
-    for &(v, dist) in entries {
+    for &(v, dist) in entries.iter() {
         e.u32(v.0);
         e.u32(u32::from(dist));
     }

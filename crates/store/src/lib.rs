@@ -34,11 +34,13 @@ pub mod codec;
 pub mod error;
 pub mod failpoint;
 pub mod fsio;
+pub mod group;
 pub mod store;
 pub mod wal;
 
 pub use bundle::{build_layer_indexes, IndexBundle};
 pub use error::{RetryPolicy, StoreError};
 pub use failpoint::{FailAction, Failpoints};
+pub use group::CommitQueue;
 pub use store::Store;
 pub use wal::{GraphUpdate, UpdateBatch, Wal};

@@ -106,6 +106,10 @@ pub struct Wal {
     /// Byte length of the committed prefix — where the next append
     /// writes. Everything past it is the residue of a failed append.
     end: u64,
+    /// Successful commit fsyncs over this handle's lifetime. Group
+    /// commit exists to keep this far below the batch count; the soak
+    /// tests assert exactly that.
+    fsyncs: u64,
 }
 
 impl Wal {
@@ -144,6 +148,7 @@ impl Wal {
                 fp,
                 next_seq,
                 end,
+                fsyncs: 0,
             },
             batches,
         ))
@@ -159,26 +164,28 @@ impl Wal {
         self.next_seq
     }
 
-    /// Appends one batch and fsyncs it — the batch is durable when this
-    /// returns `Ok`. Returns the committed sequence number. Labels:
-    /// `wal.append` (torn-able), `wal.fsync` (the commit point).
-    pub fn append(&mut self, updates: &[GraphUpdate]) -> Result<u64, StoreError> {
-        let seq = self.next_seq;
-        let record = encode_record(seq, updates);
+    /// Successful commit fsyncs performed by this handle ([`Wal::append`]
+    /// and [`Wal::append_group`]; truncation rewrites are not counted).
+    /// Group commit's whole point is that this grows far slower than the
+    /// number of committed batches.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
 
+    /// Opens the log positioned at the committed end. Writes must land
+    /// there, not at the file end: a failed append may have left bytes
+    /// past `end` (a torn frame, or a whole record whose fsync errored),
+    /// and appending after them would either hide the new record behind
+    /// the torn frame or stack a duplicate sequence number. Clamp first
+    /// — a truncation whose rename committed but whose dir-fsync didn't
+    /// leaves the file shorter than `end` — then drop the residue.
+    fn open_at_committed_end(&self) -> Result<(std::fs::File, u64), StoreError> {
         let mut f = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(false)
             .open(&self.path)
             .map_err(|e| fsio::io_err("opening", &self.path, e))?;
-        // Write at the committed end, not the file end: a failed append
-        // may have left bytes past `end` (a torn frame, or a whole
-        // record whose fsync errored), and appending after them would
-        // either hide this record behind the torn frame or stack a
-        // duplicate sequence number. Clamp first — a truncation whose
-        // rename committed but whose dir-fsync didn't leaves the file
-        // shorter than `end` — then drop the residue.
         let len = f
             .metadata()
             .map_err(|e| fsio::io_err("inspecting", &self.path, e))?
@@ -188,6 +195,16 @@ impl Wal {
             .map_err(|e| fsio::io_err("truncating", &self.path, e))?;
         f.seek(SeekFrom::Start(end))
             .map_err(|e| fsio::io_err("seeking", &self.path, e))?;
+        Ok((f, end))
+    }
+
+    /// Appends one batch and fsyncs it — the batch is durable when this
+    /// returns `Ok`. Returns the committed sequence number. Labels:
+    /// `wal.append` (torn-able), `wal.fsync` (the commit point).
+    pub fn append(&mut self, updates: &[GraphUpdate]) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let record = encode_record(seq, updates);
+        let (mut f, end) = self.open_at_committed_end()?;
 
         match self.fp.check("wal.append") {
             Some(FailAction::Transient) => return Err(fsio::transient("appending", &self.path)),
@@ -214,9 +231,69 @@ impl Wal {
         f.sync_all()
             .map_err(|e| fsio::io_err("fsyncing", &self.path, e))?;
 
+        self.fsyncs += 1;
         self.end = end + record.len() as u64;
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    /// Appends several batches as consecutive records and commits them
+    /// all with **one** write and **one** fsync — the group-commit fast
+    /// path. Returns the committed sequence numbers, in order. On `Err`
+    /// nothing is committed from this handle's point of view (`next_seq`
+    /// and the write position are unchanged, so a retry overwrites the
+    /// residue); on disk the usual prefix-durability contract holds — a
+    /// crash can persist a prefix of the group's records, which replay
+    /// picks up and idempotence makes safe, exactly like a crash at the
+    /// `wal.fsync` commit point of a single append. Labels:
+    /// `wal.group_append` (torn-able: persists a strict prefix of the
+    /// whole group image), `wal.group_fsync` (the commit point).
+    pub fn append_group(&mut self, batches: &[Vec<GraphUpdate>]) -> Result<Vec<u64>, StoreError> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut image = Vec::new();
+        let mut seqs = Vec::with_capacity(batches.len());
+        for (k, updates) in batches.iter().enumerate() {
+            let seq = self.next_seq + k as u64;
+            image.extend_from_slice(&encode_record(seq, updates));
+            seqs.push(seq);
+        }
+        let (mut f, end) = self.open_at_committed_end()?;
+
+        match self.fp.check("wal.group_append") {
+            Some(FailAction::Transient) => return Err(fsio::transient("appending", &self.path)),
+            Some(FailAction::Crash) => return Err(fsio::injected("wal.group_append")),
+            Some(FailAction::Torn) => {
+                // Persist a strict prefix of the group image, then die.
+                // The cut can land mid-record (torn tail, discarded on
+                // replay) or on a record boundary (a committed prefix
+                // of the group — safe by idempotent replay).
+                let torn = &image[..image.len() / 2];
+                f.write_all(torn)
+                    .map_err(|e| fsio::io_err("appending", &self.path, e))?;
+                let _ = f.sync_all();
+                return Err(fsio::injected("wal.group_append"));
+            }
+            None => {}
+        }
+        f.write_all(&image)
+            .map_err(|e| fsio::io_err("appending", &self.path, e))?;
+
+        match self.fp.check("wal.group_fsync") {
+            Some(FailAction::Transient) => return Err(fsio::transient("fsyncing", &self.path)),
+            Some(FailAction::Torn | FailAction::Crash) => {
+                return Err(fsio::injected("wal.group_fsync"))
+            }
+            None => {}
+        }
+        f.sync_all()
+            .map_err(|e| fsio::io_err("fsyncing", &self.path, e))?;
+
+        self.fsyncs += 1;
+        self.end = end + image.len() as u64;
+        self.next_seq += batches.len() as u64;
+        Ok(seqs)
     }
 
     /// Drops every committed batch with `seq <= through` by atomically
@@ -389,6 +466,94 @@ mod tests {
         assert_eq!(replayed[0].updates, batch(0));
         assert_eq!(replayed[1].seq, 2);
         assert_eq!(replayed[1].updates, batch(5));
+        assert_eq!(wal2.next_seq(), 3);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn group_append_commits_every_batch_with_one_fsync() {
+        let d = tmpdir("group-rt");
+        let fp = Failpoints::disabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        let seqs = wal.append_group(&[batch(0), batch(1), batch(2)]).unwrap();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(wal.fsyncs(), 1, "one fsync for the whole group");
+        assert_eq!(wal.next_seq(), 4);
+
+        let (_, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(replayed.len(), 3);
+        for (i, b) in replayed.iter().enumerate() {
+            assert_eq!(b.seq, i as u64 + 1);
+            assert_eq!(b.updates, batch(i as u32));
+        }
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn group_append_interleaves_with_single_appends() {
+        let d = tmpdir("group-mixed");
+        let fp = Failpoints::disabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        wal.append(&batch(0)).unwrap();
+        wal.append_group(&[batch(1), batch(2)]).unwrap();
+        wal.append(&batch(3)).unwrap();
+        assert_eq!(wal.fsyncs(), 3);
+        let (_, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(
+            replayed.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn empty_group_is_a_no_op() {
+        let d = tmpdir("group-empty");
+        let fp = Failpoints::disabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        assert_eq!(wal.append_group(&[]).unwrap(), Vec::<u64>::new());
+        assert_eq!(wal.fsyncs(), 0);
+        assert_eq!(wal.next_seq(), 1);
+        assert!(!wal.path().exists() || fs::metadata(wal.path()).unwrap().len() == 0);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_group_append_replays_at_most_a_prefix() {
+        let d = tmpdir("group-torn");
+        let fp = Failpoints::enabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        wal.append(&batch(9)).unwrap();
+        fp.arm("wal.group_append", 1, FailAction::Torn);
+        let err = wal.append_group(&[batch(0), batch(1)]).unwrap_err();
+        assert!(matches!(err, StoreError::Injected { .. }));
+
+        // Half the group image may cover complete leading records; the
+        // contract is prefix-or-less, never torn, never reordered.
+        let (_, replayed) = Wal::open(&d, fp).unwrap();
+        assert!(!replayed.is_empty() && replayed.len() <= 3);
+        assert_eq!(replayed[0].updates, batch(9));
+        for (i, b) in replayed.iter().enumerate().skip(1) {
+            assert_eq!(b.updates, batch(i as u32 - 1));
+        }
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn failed_group_fsync_retry_does_not_duplicate_sequences() {
+        let d = tmpdir("group-fsync");
+        let fp = Failpoints::enabled();
+        let (mut wal, _) = Wal::open(&d, fp.clone()).unwrap();
+        fp.arm("wal.group_fsync", 1, FailAction::Crash);
+        assert!(wal.append_group(&[batch(0), batch(1)]).is_err());
+        assert_eq!(wal.next_seq(), 1, "nothing committed on error");
+        // The retry overwrites the fully-written-but-unsynced residue.
+        assert_eq!(wal.append_group(&[batch(0), batch(1)]).unwrap(), vec![1, 2]);
+        let (wal2, replayed) = Wal::open(&d, fp).unwrap();
+        assert_eq!(
+            replayed.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert_eq!(wal2.next_seq(), 3);
         let _ = fs::remove_dir_all(&d);
     }

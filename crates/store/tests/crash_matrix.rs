@@ -181,6 +181,8 @@ use bgi_store::GraphUpdate;
 const WAL_WRITE_LABELS: &[&str] = &[
     "wal.append",
     "wal.fsync",
+    "wal.group_append",
+    "wal.group_fsync",
     "wal.truncate_write",
     "wal.truncate_fsync",
     "wal.truncate_rename",
@@ -198,18 +200,18 @@ fn wal_batch(k: u32) -> Vec<GraphUpdate> {
     ]
 }
 
-/// The reference WAL workload: three appends then a truncation of the
-/// first batch. Returns each write label's hit count.
+/// The reference WAL workload: a two-batch group commit, a single
+/// append, then a truncation of the first batch. Returns each write
+/// label's hit count.
 fn wal_reference_hits() -> Vec<(String, u64)> {
     let dir = TempDir::new("wal-ref");
     let fp = Failpoints::enabled();
     let store = Store::open_with(dir.path(), fp.clone(), RetryPolicy::none()).unwrap();
     let (mut wal, replayed) = store.open_wal().unwrap();
     assert!(replayed.is_empty());
-    let s1 = wal.append(&wal_batch(0)).unwrap();
-    wal.append(&wal_batch(10)).unwrap();
+    let seqs = wal.append_group(&[wal_batch(0), wal_batch(10)]).unwrap();
     wal.append(&wal_batch(20)).unwrap();
-    wal.truncate_through(s1).unwrap();
+    wal.truncate_through(seqs[0]).unwrap();
     drop(wal);
     // Recovery-side label coverage: a reopen under the same failpoint
     // registry must route through `wal.read`.
@@ -242,16 +244,24 @@ fn wal_kill_and_recover(label: &str, nth: u64, action: FailAction) {
     let (mut wal, _) = store.open_wal().unwrap();
     fp.arm(label, nth, action);
 
+    // The first two batches go through the group-commit path, the third
+    // through a single append, mirroring the reference workload so every
+    // armed label has a hit to land on.
     let batches = [wal_batch(0), wal_batch(10), wal_batch(20)];
     let mut committed: Vec<(u64, Vec<GraphUpdate>)> = Vec::new();
     let mut failed = false;
-    for b in &batches {
-        match wal.append(b) {
-            Ok(seq) => committed.push((seq, b.clone())),
-            Err(_) => {
-                failed = true;
-                break;
+    match wal.append_group(&batches[..2]) {
+        Ok(seqs) => {
+            for (s, b) in seqs.iter().zip(&batches[..2]) {
+                committed.push((*s, b.clone()));
             }
+        }
+        Err(_) => failed = true,
+    }
+    if !failed {
+        match wal.append(&batches[2]) {
+            Ok(seq) => committed.push((seq, batches[2].clone())),
+            Err(_) => failed = true,
         }
     }
     let truncated = if failed {
@@ -308,18 +318,19 @@ fn wal_kill_and_recover(label: &str, nth: u64, action: FailAction) {
                  pre-truncation {all:?} nor post-truncation {suffix:?}"
             );
         }
-        // An append died: every fsynced batch must survive, and at most
-        // the one in-flight batch beyond them may have reached the disk
-        // whole (its fsync raced the kill).
+        // An append died: every fsynced batch must survive, and beyond
+        // them at most the in-flight records may have reached the disk
+        // whole (a single append's record, or a prefix of a group's two
+        // records — the fsync or the torn cut raced the kill).
         None => {
             let durable: Vec<u64> = committed.iter().map(|(s, _)| *s).collect();
-            let with_next: Vec<u64> = durable
-                .iter()
-                .copied()
-                .chain(std::iter::once(durable.len() as u64 + 1))
-                .collect();
+            let next = durable.len() as u64 + 1;
+            let ok = (0..=2u64).any(|extra| {
+                let want: Vec<u64> = durable.iter().copied().chain(next..next + extra).collect();
+                replayed_seqs == want
+            });
             assert!(
-                replayed_seqs == durable || replayed_seqs == with_next,
+                ok,
                 "{action:?} at {label}#{nth}: replay {replayed_seqs:?} lost a \
                  committed batch (durable {durable:?})"
             );
@@ -357,7 +368,8 @@ fn wal_crash_matrix_replays_committed_prefix() {
             wal_kill_and_recover(&label, nth, FailAction::Crash);
             points += 1;
             // Torn bytes only make sense where bytes are written.
-            if label == "wal.append" || label == "wal.truncate_write" {
+            if label == "wal.append" || label == "wal.group_append" || label == "wal.truncate_write"
+            {
                 wal_kill_and_recover(&label, nth, FailAction::Torn);
                 points += 1;
             }
