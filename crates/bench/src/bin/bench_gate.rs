@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Every numeric key ending in `_ms`, `_us`, or `_regret` (lower is
-//! better) or in `_per_s` (higher is better) that appears in both the
+//! better) or in `_per_s` — or containing `_qps` anywhere, as in
+//! `sharded_qps_4shards` (higher is better) — that appears in both the
 //! baseline and a current artifact is compared. The gate fails (exit 1)
 //! when a lower-is-better metric exceeds `baseline * factor`, or a
 //! higher-is-better metric drops below `baseline / factor`. The factor
@@ -35,14 +36,16 @@ use std::process::ExitCode;
 enum Direction {
     /// `_ms` / `_us` / `_regret`: regression when current grows.
     LowerIsBetter,
-    /// `_per_s`: regression when current shrinks.
+    /// `_per_s` / `_qps`: regression when current shrinks.
     HigherIsBetter,
 }
 
 fn direction(key: &str) -> Option<Direction> {
     if key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_regret") {
         Some(Direction::LowerIsBetter)
-    } else if key.ends_with("_per_s") {
+    } else if key.ends_with("_per_s") || key.contains("_qps") {
+        // `_qps` is matched anywhere in the key: the sharded sweep
+        // names its points `sharded_qps_<n>shards`.
         Some(Direction::HigherIsBetter)
     } else {
         None

@@ -11,6 +11,7 @@
 //! bgi serve <dir> [--threads N] [--tcp ADDR]       serve queries line-by-line (stdio or TCP)
 //! bgi ingest <dir> --updates <file> [--batch N]    stream updates through the live-update engine
 //! bgi save-index <dir> <store> [--layers L]        build the index once, persist it crash-safely
+//!                               [--shards N]       ... as N shard hierarchies under one root
 //! bgi load-index <store>                           recover + verify, skipping construction
 //! bgi reload <store>                               dry-run recovery check (what would serve?)
 //! ```
@@ -34,14 +35,25 @@
 //! persists the updated index as a new generation and truncates the
 //! WAL. With `--store`, updates are WAL-logged before they apply, and
 //! boot replays any log tail left by a crash.
+//!
+//! **Sharded mode** (DESIGN.md §14): `save-index --shards N` cuts the
+//! graph with the BFS-grown partitioner and persists one independent
+//! hierarchy per shard; `serve` auto-detects a sharded root (or takes
+//! `--shards N` to build one in memory) and answers every query by
+//! scatter–gather over the shard snapshots; `batch --shards N` replays
+//! the workload against an in-memory sharded deployment. Sharded
+//! requests must keep `dmax` at or below the partition's halo ceiling
+//! (`--dmax-ceiling`, default 4).
 
 use bgi_datasets::{benchmark_queries, persist, update_stream, Dataset, DatasetSpec, UpdateMix};
 use bgi_ingest::{Engine, EngineConfig, IngestUpdate};
 use bgi_search::blinks::{Blinks, BlinksParams};
 use bgi_search::{KeywordQuery, RClique};
 use bgi_service::{
-    run_batch, IndexSnapshot, QueryError, QueryRequest, Semantics, Service, ServiceConfig,
+    boot_sharded, run_batch, snapshot_from_build, IndexSnapshot, QueryError, QueryRequest,
+    Semantics, Service, ServiceConfig, ShardedWriteHub,
 };
+use bgi_shard::{build_shard_bundles, ShardBuildParams, ShardPlan, ShardSpec, ShardedStore};
 use bgi_store::{IndexBundle, Store};
 use big_index::{Boosted, EvalOptions};
 use std::collections::HashMap;
@@ -76,10 +88,10 @@ fn main() -> ExitCode {
                  bgi workload <dir>\n\
                  bgi query <dir> <kw1,kw2,...> [dmax] [k]\n\
                  bgi verify <dir> [layers]\n\
-                 bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L] [--build-threads N]\n\
-                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S] [--build-threads N]\n\
+                 bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--k K] [--dmax D] [--layers L] [--build-threads N] [--shards N] [--dmax-ceiling D]\n\
+                 bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S] [--build-threads N] [--shards N] [--dmax-ceiling D]\n\
                  bgi ingest <dir> --updates <file> [--batch N] [--layers L] [--store S] [--build-threads N]\n\
-                 bgi save-index <dir> <store> [--layers L] [--build-threads N]\n\
+                 bgi save-index <dir> <store> [--layers L] [--build-threads N] [--shards N] [--dmax-ceiling D]\n\
                  bgi load-index <store>\n\
                  bgi reload <store>"
             );
@@ -274,16 +286,14 @@ fn flag<T: std::str::FromStr>(
     }
 }
 
-/// Loads `dir`, builds the default index (per-layer search indexes
-/// fanned over `build_threads`), and wraps it in a verified serving
-/// snapshot.
-fn load_snapshot(
-    dir: &str,
+/// Builds the default index over `ds` (per-layer search indexes fanned
+/// over `build_threads`) and wraps it in a verified serving snapshot.
+fn mono_snapshot(
+    ds: &Dataset,
     layers: usize,
     build_threads: usize,
-) -> Result<(Dataset, Arc<IndexSnapshot>), Box<dyn std::error::Error>> {
-    let ds = load(dir)?;
-    let (index, took) = bgi_bench::setup::default_index(&ds, layers);
+) -> Result<Arc<IndexSnapshot>, Box<dyn std::error::Error>> {
+    let (index, took) = bgi_bench::setup::default_index(ds, layers);
     eprintln!(
         "index: {} layer(s) over {} vertices, built in {took:?}",
         index.num_layers(),
@@ -293,15 +303,45 @@ fn load_snapshot(
         threads: build_threads,
         ..bgi_service::SnapshotConfig::default()
     };
-    let snapshot = Arc::new(IndexSnapshot::build(index, config)?);
-    Ok((ds, snapshot))
+    Ok(Arc::new(IndexSnapshot::build(index, config)?))
+}
+
+/// Cuts `ds` into `spec.shards` partitions and builds one independent
+/// hierarchy per shard — the in-memory half of `save-index --shards`,
+/// shared by `serve --shards` and `batch --shards`.
+fn build_sharded(
+    ds: &Dataset,
+    spec: &ShardSpec,
+    layers: usize,
+    build_threads: usize,
+) -> Result<(ShardPlan, Vec<IndexBundle>), Box<dyn std::error::Error>> {
+    let t = Instant::now();
+    let plan = ShardPlan::build(&ds.graph, spec)?;
+    let bundles = build_shard_bundles(
+        &ds.graph,
+        &ds.ontology,
+        &plan,
+        &ShardBuildParams {
+            max_layers: layers,
+            threads: build_threads,
+            ..ShardBuildParams::default()
+        },
+    );
+    eprintln!(
+        "cut {} vertices into {} shard hierarchies (dmax ceiling {}) in {:?}",
+        plan.num_vertices(),
+        plan.num_shards(),
+        plan.dmax_ceiling(),
+        t.elapsed()
+    );
+    Ok((plan, bundles))
 }
 
 fn cmd_batch(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dir] = positional.as_slice() else {
         return Err(
-            "usage: bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--queries Q] [--k K] [--dmax D] [--layers L] [--build-threads N]"
+            "usage: bgi batch <dir> [--threads N] [--repeat R] [--seed S] [--queries Q] [--k K] [--dmax D] [--layers L] [--build-threads N] [--shards N] [--dmax-ceiling D]"
                 .into(),
         );
     };
@@ -313,8 +353,9 @@ fn cmd_batch(args: &[String]) -> CliResult {
     let dmax: u32 = flag(&flags, "dmax", 4)?;
     let layers: usize = flag(&flags, "layers", 4)?;
     let build_threads: usize = flag(&flags, "build-threads", 1)?;
+    let shards: usize = flag(&flags, "shards", 0)?;
 
-    let (ds, snapshot) = load_snapshot(dir, layers, build_threads)?;
+    let ds = load(dir)?;
     let requests = bgi_bench::experiments::throughput::seeded_requests(&ds, dmax, k, seed, queries);
     if requests.is_empty() {
         return Err("workload generator produced no queries for this dataset".into());
@@ -323,7 +364,22 @@ fn cmd_batch(args: &[String]) -> CliResult {
         workers: threads,
         ..ServiceConfig::default()
     };
-    let service = Service::start(snapshot, config);
+    let service = if shards > 0 {
+        let dmax_ceiling: u32 = flag(&flags, "dmax-ceiling", dmax)?;
+        if dmax_ceiling < dmax {
+            return Err(format!("--dmax-ceiling {dmax_ceiling} must be >= --dmax {dmax}").into());
+        }
+        let spec = ShardSpec {
+            shards,
+            dmax_ceiling,
+            partition_block: 0,
+        };
+        let (plan, bundles) = build_sharded(&ds, &spec, layers, build_threads)?;
+        let snapshot = snapshot_from_build(Arc::new(plan), bundles, threads)?;
+        Service::start_sharded(snapshot, config)
+    } else {
+        Service::start(mono_snapshot(&ds, layers, build_threads)?, config)
+    };
     let report = run_batch(&service, &requests, repeat, threads);
     println!(
         "batch: {} queries ({} unique x {repeat}) on {threads} thread(s) in {:?}",
@@ -562,13 +618,22 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let [dir] = positional.as_slice() else {
         return Err(
             "usage: bgi serve <dir> [--threads N] [--layers L] [--tcp ADDR] [--store S] \
-             [--build-threads N]"
+             [--build-threads N] [--shards N] [--dmax-ceiling D]"
                 .into(),
         );
     };
     let threads: usize = flag(&flags, "threads", 4)?;
     let layers: usize = flag(&flags, "layers", 4)?;
     let build_threads: usize = flag(&flags, "build-threads", 1)?;
+    // Sharded serving: explicit `--shards` builds in memory; a `--store`
+    // whose root carries a shard plan is detected and booted as such.
+    let shards: usize = flag(&flags, "shards", 0)?;
+    let store_is_sharded = flags
+        .get("store")
+        .is_some_and(|s| bgi_shard::is_sharded(Path::new(s)));
+    if shards > 0 || store_is_sharded {
+        return cmd_serve_sharded(dir, &flags);
+    }
     let tcp = flags.get("tcp").copied();
     let store = match flags.get("store") {
         Some(store_dir) => Some(Store::open(Path::new(store_dir))?),
@@ -703,6 +768,230 @@ fn cmd_serve(args: &[String]) -> CliResult {
     }
 }
 
+/// Write state for a sharded serving process. Updates buffer globally;
+/// `flush` routes the batch shard-by-shard through the hub, each shard
+/// committing (or failing) independently.
+struct ShardIngest {
+    hub: Arc<ShardedWriteHub>,
+    store: ShardedStore,
+    buffer: Vec<IngestUpdate>,
+}
+
+/// Where a sharded `serve` sends its write verbs: a durable hub when
+/// booted from a sharded store, read-only when built in memory (there
+/// is no WAL to make a scattered commit crash-safe against).
+enum ShardWriter {
+    Disk(Mutex<ShardIngest>),
+    ReadOnly,
+}
+
+const SHARD_READ_ONLY: &str =
+    "err sharded serving without --store is read-only; persist with `bgi save-index --shards`";
+
+/// Applies the buffered updates through the sharded write path and
+/// reports the per-shard outcome on one protocol line.
+fn flush_updates_sharded(service: &Service, state: &mut ShardIngest) -> String {
+    if state.buffer.is_empty() {
+        return "ok applied=0 shards=0/0".to_string();
+    }
+    let batch = std::mem::take(&mut state.buffer);
+    match service.apply_updates_sharded(&state.hub, &batch) {
+        Err(e) => format!("err {e}"),
+        Ok(report) => {
+            let mut applied = 0usize;
+            let mut committed = 0usize;
+            let mut failed = Vec::new();
+            for (s, slot) in report.per_shard.iter().enumerate() {
+                match slot {
+                    None => {}
+                    Some(Ok(r)) => {
+                        applied += r.outcome.applied;
+                        committed += 1;
+                    }
+                    Some(Err(e)) => failed.push(format!("{s}: {e}")),
+                }
+            }
+            let touched = committed + failed.len();
+            if failed.is_empty() {
+                format!("ok applied={applied} shards={committed}/{touched}")
+            } else {
+                // Shard-local failure is not batch failure: the healthy
+                // shards' shares are already committed and serving.
+                format!(
+                    "err partial commit: applied={applied} shards={committed}/{touched} \
+                     failed=[{}]",
+                    failed.join("; ")
+                )
+            }
+        }
+    }
+}
+
+/// Persists every shard's current hierarchy as that shard's next
+/// generation and truncates its WAL.
+fn checkpoint_shards(state: &ShardIngest) -> String {
+    let mut generations = Vec::new();
+    for s in 0..state.hub.num_shards() {
+        match state
+            .hub
+            .with_engine(s, |e| e.checkpoint(state.store.store(s)))
+        {
+            Ok(generation) => generations.push(generation.to_string()),
+            Err(e) => return format!("err checkpoint failed on shard {s}: {e}"),
+        }
+    }
+    format!("ok checkpoint generations=[{}]", generations.join(","))
+}
+
+/// Handles one protocol line against a sharded service; `None` means
+/// the peer asked to quit.
+fn handle_line_sharded(
+    ds: &Dataset,
+    service: &Service,
+    writer: &ShardWriter,
+    line: &str,
+) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Some(String::new());
+    }
+    if let Some(op) = line.strip_prefix("update ") {
+        return Some(match writer {
+            ShardWriter::ReadOnly => SHARD_READ_ONLY.to_string(),
+            ShardWriter::Disk(state) => match IngestUpdate::parse_line(op) {
+                None => format!(
+                    "err bad update '{op}' (want insert <u> <v> | delete <u> <v> | addv <l>)"
+                ),
+                Some(update) => {
+                    let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+                    state.buffer.push(update);
+                    if state.buffer.len() >= UPDATE_AUTOFLUSH {
+                        flush_updates_sharded(service, &mut state)
+                    } else {
+                        format!("ok queued={}", state.buffer.len())
+                    }
+                }
+            },
+        });
+    }
+    match line {
+        "quit" | "exit" => None,
+        "stats" => Some(
+            service
+                .stats()
+                .to_string()
+                .lines()
+                .map(|l| format!("# {l}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        ),
+        "flush" => Some(match writer {
+            ShardWriter::ReadOnly => SHARD_READ_ONLY.to_string(),
+            ShardWriter::Disk(state) => {
+                let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+                flush_updates_sharded(service, &mut state)
+            }
+        }),
+        "checkpoint" => Some(match writer {
+            ShardWriter::ReadOnly => SHARD_READ_ONLY.to_string(),
+            ShardWriter::Disk(state) => {
+                let state = state.lock().unwrap_or_else(PoisonError::into_inner);
+                checkpoint_shards(&state)
+            }
+        }),
+        "reload" => Some(
+            "err reload is unsupported in sharded serving; restart to re-boot \
+             (per-shard WAL replay is automatic)"
+                .to_string(),
+        ),
+        _ => Some(match parse_request(ds, line) {
+            Ok(req) => format_response(service.query(req)),
+            Err(e) => format!("err {e}"),
+        }),
+    }
+}
+
+/// Sharded serving: every query is scattered over per-shard snapshots
+/// and the legs merged deterministically (DESIGN.md §14). Entered from
+/// `cmd_serve` when `--shards N` is given (in-memory build, read-only)
+/// or `--store` points at a root created by `save-index --shards`
+/// (durable, write verbs enabled).
+fn cmd_serve_sharded(dir: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    if flags.contains_key("tcp") {
+        return Err("--tcp is not supported with --shards yet; serve over stdio".into());
+    }
+    let threads: usize = flag(flags, "threads", 4)?;
+    let layers: usize = flag(flags, "layers", 4)?;
+    let build_threads: usize = flag(flags, "build-threads", 1)?;
+    let ds = load(dir)?;
+    let (snapshot, writer) = match flags.get("store") {
+        Some(store_dir) => {
+            let t = Instant::now();
+            let store = ShardedStore::open(Path::new(*store_dir))?;
+            let engine_config = EngineConfig {
+                threads: build_threads,
+                ..EngineConfig::default()
+            };
+            let (snapshot, hub, replayed) = boot_sharded(&store, engine_config, threads)?;
+            eprintln!(
+                "booted {} shard(s) (dmax ceiling {}, {} WAL update(s) replayed) in {:?}; \
+                 hierarchy construction skipped",
+                snapshot.num_shards(),
+                snapshot.plan().dmax_ceiling(),
+                replayed.iter().sum::<usize>(),
+                t.elapsed()
+            );
+            let writer = ShardWriter::Disk(Mutex::new(ShardIngest {
+                hub: Arc::new(hub),
+                store,
+                buffer: Vec::new(),
+            }));
+            (snapshot, writer)
+        }
+        None => {
+            let shards: usize = flag(flags, "shards", 1)?;
+            let dmax_ceiling: u32 = flag(flags, "dmax-ceiling", 4)?;
+            let spec = ShardSpec {
+                shards,
+                dmax_ceiling,
+                partition_block: 0,
+            };
+            let (plan, bundles) = build_sharded(&ds, &spec, layers, build_threads)?;
+            let snapshot = snapshot_from_build(Arc::new(plan), bundles, threads)?;
+            (snapshot, ShardWriter::ReadOnly)
+        }
+    };
+    let config = ServiceConfig {
+        workers: threads,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::start_sharded_with_logger(
+        snapshot,
+        config,
+        bgi_service::Logger::to(Box::new(std::io::stderr())),
+    ));
+    eprintln!(
+        "serving sharded on stdin/stdout with {threads} worker(s); one request per line, \
+         'stats' for counters (per-shard lanes included), 'update <op>'/'flush' for live \
+         writes (with --store), 'checkpoint' to persist every shard, 'quit' to stop"
+    );
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        match handle_line_sharded(&ds, &service, &writer, &line) {
+            Some(reply) => {
+                writeln!(stdout, "{reply}")?;
+                stdout.flush()?;
+            }
+            None => break,
+        }
+    }
+    stdout.flush()?;
+    graceful_shutdown(service);
+    Ok(())
+}
+
 fn cmd_ingest(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dir] = positional.as_slice() else {
@@ -830,13 +1119,38 @@ fn cmd_save_index(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args)?;
     let [dataset_dir, store_dir] = positional.as_slice() else {
         return Err(
-            "usage: bgi save-index <dataset-dir> <store-dir> [--layers L] [--build-threads N]"
+            "usage: bgi save-index <dataset-dir> <store-dir> [--layers L] [--build-threads N] \
+             [--shards N] [--dmax-ceiling D]"
                 .into(),
         );
     };
     let layers: usize = flag(&flags, "layers", 4)?;
     let build_threads: usize = flag(&flags, "build-threads", 1)?;
+    let shards: usize = flag(&flags, "shards", 0)?;
     let ds = load(dataset_dir)?;
+    if shards > 0 {
+        let dmax_ceiling: u32 = flag(&flags, "dmax-ceiling", 4)?;
+        let spec = ShardSpec {
+            shards,
+            dmax_ceiling,
+            partition_block: 0,
+        };
+        let (plan, bundles) = build_sharded(&ds, &spec, layers, build_threads)?;
+        let t = Instant::now();
+        let store = ShardedStore::create(Path::new(*store_dir), plan)?;
+        let generations = store.save_all(&bundles, build_threads)?;
+        println!(
+            "saved {shards} shard generation(s) [{}] (dmax ceiling {dmax_ceiling}) \
+             to {store_dir} in {:?}",
+            generations
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            t.elapsed()
+        );
+        return Ok(());
+    }
     let (index, took) = bgi_bench::setup::default_index(&ds, layers);
     eprintln!("built {} layer(s) in {took:?}", index.num_layers());
     let t = Instant::now();

@@ -12,7 +12,10 @@ use crate::harness::{fmt_duration, TableWriter};
 use crate::setup::Workbench;
 use bgi_datasets::queries::related_query_with;
 use bgi_datasets::{Dataset, DatasetSpec};
-use bgi_service::{run_batch, IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig};
+use bgi_service::{
+    run_batch, snapshot_from_build, IndexSnapshot, QueryRequest, Semantics, Service, ServiceConfig,
+};
+use bgi_shard::{build_shard_bundles, ShardBuildParams, ShardPlan, ShardSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -169,6 +172,136 @@ pub fn run_with_metrics(scale: usize) -> (String, Vec<(String, f64)>) {
     out.push_str(&cold.render());
     out.push_str("\nwarm cache (same workload replayed):\n");
     out.push_str(&warm.render());
+    out.push('\n');
+    let (sharded_report, sharded_metrics) = sharded_sweep();
+    out.push_str(&sharded_report);
+    metrics.extend(sharded_metrics);
+    (out, metrics)
+}
+
+/// Builds the sharded sweep's workload: distance-semantics queries
+/// (rkws/dkws) over the dataset's most *frequent* label pairs. Their
+/// cost is dominated by pairwise match-distance enumeration — roughly
+/// quadratic in the number of matches a deployment holds — which is the
+/// regime partitioning genuinely accelerates on a single core: `s`
+/// shards each enumerate pairs inside their own universe only, so the
+/// total pair work shrinks by `s / dup²` where `dup` is the halo
+/// duplication factor.
+pub fn frequent_pair_requests(ds: &Dataset, dmax: u32, k: usize, want: usize) -> Vec<QueryRequest> {
+    let mut counts: std::collections::HashMap<bgi_graph::LabelId, u32> =
+        std::collections::HashMap::new();
+    for v in ds.graph.vertices() {
+        *counts.entry(ds.graph.label(v)).or_insert(0) += 1;
+    }
+    let mut by_freq: Vec<(bgi_graph::LabelId, u32)> = counts.into_iter().collect();
+    by_freq.sort_unstable_by_key(|&(l, c)| (std::cmp::Reverse(c), l));
+    let top: Vec<bgi_graph::LabelId> = by_freq.iter().take(8).map(|&(l, _)| l).collect();
+    let mut out = Vec::new();
+    'fill: for i in 0..top.len() {
+        for j in (i + 1)..top.len() {
+            if out.len() >= want {
+                break 'fill;
+            }
+            let semantics = if out.len() % 2 == 0 {
+                Semantics::Rkws
+            } else {
+                Semantics::Dkws
+            };
+            out.push(QueryRequest::new(semantics, vec![top[i], top[j]], dmax, k));
+        }
+    }
+    out
+}
+
+/// Scatter–gather throughput vs shard count on one worker and one
+/// client, so the ratio isolates per-query execution cost rather than
+/// thread scheduling (DESIGN.md §14). Every point replays the same
+/// distinct-query workload against a fresh deployment — no repeats, so
+/// the answer cache never absorbs a query and the sweep measures the
+/// hierarchies, not the cache.
+///
+/// The workload is [`frequent_pair_requests`]: pairwise-distance
+/// semantics whose cost is quadratic in per-deployment match count, so
+/// cutting the graph beats the monolithic hierarchy even with zero
+/// parallelism (multi-core scatter adds on top). The `dup` column is
+/// the halo duplication factor — Σ|universe| / |V| — the overhead that
+/// caps the win. The gated floor (`sharded_qps_4shards`,
+/// ci/bench_baseline.json) holds the win down.
+///
+/// The sweep runs on [`DatasetSpec::road_like`], not the hub-centric
+/// knowledge-graph presets: a hub's 2-hop ball covers most of a
+/// scale-free graph, so every shard's halo universe is nearly the
+/// whole graph (`dup ≈ shards` — measured 3.7 at 4 shards on
+/// `yago_like` at every scale) and single-core sharding can only lose.
+/// Locality-rich graphs keep separators thin (`dup ≈ 1.2` here), which
+/// is the honest precondition for partitioned serving; DESIGN.md §14
+/// spells out the trade-off.
+pub fn sharded_sweep() -> (String, Vec<(String, f64)>) {
+    // The halo radius is `2 * dmax_ceiling`: a ceiling matched to a
+    // dmax-2 workload keeps shard universes from swallowing the graph.
+    // A fixed scale (independent of `BGI_SCALE`) keeps the gated
+    // baseline comparable across runs; 20k vertices is where the halo
+    // surface term drops below ~25% of a 4-shard cut.
+    const SHARD_DMAX: u32 = 2;
+    const ROAD_SCALE: usize = 20_000;
+    let ds = DatasetSpec::road_like(ROAD_SCALE).generate();
+    let requests = frequent_pair_requests(&ds, SHARD_DMAX, 10, 24);
+    let mut out = format!(
+        "sharded scatter–gather ({}, {} vertices; 1 worker, 1 client, {} distinct \
+         frequent-pair rkws/dkws queries, dmax {SHARD_DMAX}):\n",
+        ds.name,
+        ds.num_vertices(),
+        requests.len()
+    );
+    let ds = &ds;
+    let mut table = TableWriter::new(&["shards", "dup", "served", "wall", "qps", "speedup"]);
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut one_shard_qps = 0.0;
+    for shards in [1usize, 2, 4] {
+        let spec = ShardSpec {
+            shards,
+            dmax_ceiling: SHARD_DMAX,
+            partition_block: 0,
+        };
+        let plan = ShardPlan::build(&ds.graph, &spec).expect("shard plan builds");
+        let dup = (0..shards).map(|s| plan.universe(s).len()).sum::<usize>() as f64
+            / plan.num_vertices().max(1) as f64;
+        let bundles =
+            build_shard_bundles(&ds.graph, &ds.ontology, &plan, &ShardBuildParams::default());
+        let snapshot =
+            snapshot_from_build(Arc::new(plan), bundles, 1).expect("sharded snapshot admits");
+        let service = Service::start_sharded(
+            snapshot,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let report = run_batch(&service, &requests, 1, 1);
+        assert_eq!(report.failed, 0, "sharded throughput run failed queries");
+        let qps = report.throughput();
+        if shards == 1 {
+            one_shard_qps = qps;
+        }
+        let speedup = if one_shard_qps > 0.0 {
+            qps / one_shard_qps
+        } else {
+            0.0
+        };
+        table.row(&[
+            format!("{shards}"),
+            format!("{dup:.2}"),
+            format!("{}", report.served),
+            fmt_duration(report.wall()),
+            format!("{qps:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        match shards {
+            1 => metrics.push(("sharded_qps_1shard".into(), qps)),
+            n => metrics.push((format!("sharded_qps_{n}shards"), qps)),
+        }
+    }
+    out.push_str(&table.render());
     (out, metrics)
 }
 

@@ -18,25 +18,11 @@ pub fn scale_from_env(default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// The paper's "default index" configuration for one step: every label
-/// present in `g` that has a supertype is generalized once (Sec. 6.1.2:
-/// large `θ` and `Π` so "the labels of the graphs were generalized once
-/// when a layer was constructed").
+/// The paper's "default index" configuration for one step — re-exported
+/// from `big-index`, which owns the greedy layer schedule shared by the
+/// benchmarks, the CLI, and per-shard index construction.
 pub fn full_step_config(g: &DiGraph, ontology: &Ontology) -> GenConfig {
-    let counts = g.label_counts();
-    let mappings: Vec<_> = counts
-        .iter()
-        .enumerate()
-        .filter(|&(_, &c)| c > 0)
-        .filter_map(|(i, _)| {
-            let l = bgi_graph::LabelId(i as u32);
-            if l.index() >= ontology.num_labels() {
-                return None;
-            }
-            ontology.direct_supertypes(l).first().map(|&sup| (l, sup))
-        })
-        .collect();
-    GenConfig::new(mappings, ontology).expect("direct supertypes are valid")
+    big_index::full_step_config(g, ontology)
 }
 
 /// Builds the paper's default BiG-index: up to `max_layers` layers, each
@@ -44,27 +30,12 @@ pub fn full_step_config(g: &DiGraph, ontology: &Ontology) -> GenConfig {
 /// maximal bisimulation. Returns the index and its construction time.
 pub fn default_index(ds: &Dataset, max_layers: usize) -> (BiGIndex, Duration) {
     let t = Instant::now();
-    let mut configs = Vec::new();
-    let mut current = ds.graph.clone();
-    for _ in 0..max_layers {
-        let config = full_step_config(&current, &ds.ontology);
-        if config.is_empty() {
-            break;
-        }
-        // Apply one χ step to know the next layer's labels.
-        let probe = BiGIndex::build_with_configs(
-            current.clone(),
-            ds.ontology.clone(),
-            vec![config.clone()],
-            bgi_bisim::BisimDirection::Forward,
-        );
-        configs.push(config);
-        let next = probe.graph_at(1).clone();
-        if next.size() == current.size() {
-            break;
-        }
-        current = next;
-    }
+    let configs = big_index::greedy_full_step_configs(
+        &ds.graph,
+        &ds.ontology,
+        max_layers,
+        bgi_bisim::BisimDirection::Forward,
+    );
     let index = BiGIndex::build_with_configs(
         ds.graph.clone(),
         ds.ontology.clone(),

@@ -5,7 +5,7 @@
 //! none). Applying `C` to a graph replaces vertex labels simultaneously
 //! — the `Gen` operation; `Spec` is its inverse on label sets.
 
-use bgi_graph::{LabelId, Ontology};
+use bgi_graph::{DiGraph, LabelId, Ontology};
 use rustc_hash::FxHashMap;
 
 /// A label-preserving generalization configuration (Def. 2.2).
@@ -147,6 +147,68 @@ impl GenConfig {
         self.mappings.sort_unstable();
         true
     }
+}
+
+/// The paper's "default index" configuration for one step: every label
+/// present in `g` that has a supertype is generalized once (Sec. 6.1.2:
+/// large `θ` and `Π` so "the labels of the graphs were generalized once
+/// when a layer was constructed").
+pub fn full_step_config(g: &DiGraph, ontology: &Ontology) -> GenConfig {
+    let counts = g.label_counts();
+    let mappings: Vec<_> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .filter_map(|(i, _)| {
+            let l = LabelId(i as u32);
+            if l.index() >= ontology.num_labels() {
+                return None;
+            }
+            ontology.direct_supertypes(l).first().map(|&sup| (l, sup))
+        })
+        .collect();
+    // Every target is a direct supertype by construction and sources
+    // are unique, so validation cannot fail; the identity fallback only
+    // guards the type system.
+    GenConfig::new(mappings, ontology).unwrap_or_default()
+}
+
+/// The greedy per-layer schedule behind the paper's default index: up
+/// to `max_layers` full-step configurations, each probed by actually
+/// summarizing one layer, stopping early when generalization runs out
+/// of supertypes or the summary stops shrinking.
+///
+/// Shared by the benchmark workbench, the CLI index builders, and the
+/// per-shard index construction in `bgi-shard`, so every consumer
+/// derives byte-identical layer schedules from the same graph.
+pub fn greedy_full_step_configs(
+    g: &DiGraph,
+    ontology: &Ontology,
+    max_layers: usize,
+    direction: bgi_bisim::BisimDirection,
+) -> Vec<GenConfig> {
+    let mut configs = Vec::new();
+    let mut current = g.clone();
+    for _ in 0..max_layers {
+        let config = full_step_config(&current, ontology);
+        if config.is_empty() {
+            break;
+        }
+        // Apply one χ step to learn the next layer's labels.
+        let probe = crate::index::BiGIndex::build_with_configs(
+            current.clone(),
+            ontology.clone(),
+            vec![config.clone()],
+            direction,
+        );
+        configs.push(config);
+        let next = probe.graph_at(1).clone();
+        if next.size() == current.size() {
+            break;
+        }
+        current = next;
+    }
+    configs
 }
 
 #[cfg(test)]

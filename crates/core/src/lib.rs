@@ -65,7 +65,7 @@ pub mod query_gen;
 pub mod spec;
 
 pub use boost::{boost_dkws, Boosted};
-pub use config::GenConfig;
+pub use config::{full_step_config, greedy_full_step_configs, GenConfig};
 pub use eval::{
     eval_at_layer, eval_at_layer_budgeted, eval_ont, EvalOptions, EvalResult, RealizerKind,
 };

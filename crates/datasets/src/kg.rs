@@ -47,6 +47,12 @@ pub struct KgParams {
     pub noise_fraction: f64,
     /// Number of target categories in each category's schema.
     pub schema_out: usize,
+    /// When set, every edge target is drawn from vertices whose id is
+    /// within this window of the source — a road-network-like band
+    /// graph with strong spatial locality and small separators, the
+    /// regime where graph partitioning pays off. Disables popularity
+    /// hubs and noise rewiring (both are global by nature).
+    pub locality_window: Option<usize>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -237,7 +243,26 @@ pub fn generate(params: &KgParams) -> Dataset {
         let mut draws = 0;
         while chosen.len() < degree && draws < degree * 8 {
             draws += 1;
-            let target = if rng.gen_bool(params.noise_fraction.clamp(0.0, 1.0)) {
+            let target = if let Some(w) = params.locality_window {
+                // Band-graph mode: a uniform target of the schema's
+                // category within the id window (the per-category lists
+                // are in ascending id order, so the window is a slice).
+                let tc = schema[c][rng.gen_range(0..schema[c].len())];
+                let pool = &by_cat[tc];
+                if pool.is_empty() {
+                    VId(rng.gen_range(0..n as u32))
+                } else {
+                    let lo = pool.partition_point(|t| (t.0 as i64) < v as i64 - w as i64);
+                    let hi = pool.partition_point(|t| (t.0 as i64) <= v as i64 + w as i64);
+                    if lo < hi {
+                        pool[rng.gen_range(lo..hi)]
+                    } else {
+                        // No in-window vertex of that category: take the
+                        // nearest one by id, keeping locality approximate.
+                        pool[lo.min(pool.len() - 1)]
+                    }
+                }
+            } else if rng.gen_bool(params.noise_fraction.clamp(0.0, 1.0)) {
                 // Noise: a uniform vertex from any higher-ranked
                 // category (keeps the rank DAG but breaks neighborhood
                 // sharing, individualizing the source).
@@ -288,6 +313,7 @@ mod tests {
             hub_fraction: 0.02,
             noise_fraction: 0.05,
             schema_out: 3,
+            locality_window: None,
             seed: 42,
         }
     }
@@ -340,6 +366,28 @@ mod tests {
         // The most common label should be much more frequent than median.
         let median = sorted[sorted.len() / 2];
         assert!(sorted[0] as f64 >= 4.0 * median.max(1) as f64);
+    }
+
+    #[test]
+    fn locality_window_bounds_edge_spans() {
+        let w = 16usize;
+        let mut params = small_params();
+        params.locality_window = Some(w);
+        let ds = generate(&params);
+        let total = ds.graph.edges().count();
+        assert!(total > 0);
+        // The window draw is exact; only the empty-/dry-pool fallbacks
+        // (nearest id in category, or uniform when a category has no
+        // vertices yet) can exceed it, and those must stay rare.
+        let long = ds
+            .graph
+            .edges()
+            .filter(|&(u, v)| (u.0 as i64 - v.0 as i64).unsigned_abs() as usize > w)
+            .count();
+        assert!(
+            (long as f64) < 0.05 * total as f64,
+            "{long}/{total} edges exceed the ±{w} window"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl DatasetSpec {
                 hub_fraction: 0.004,
                 noise_fraction: 0.01,
                 schema_out: 2,
+                locality_window: None,
                 seed: 0xA601,
             },
         }
@@ -54,6 +55,7 @@ impl DatasetSpec {
                 hub_fraction: 0.003,
                 noise_fraction: 0.10,
                 schema_out: 3,
+                locality_window: None,
                 seed: 0xDB9E,
             },
         }
@@ -74,6 +76,7 @@ impl DatasetSpec {
                 hub_fraction: 0.003,
                 noise_fraction: 0.03,
                 schema_out: 3,
+                locality_window: None,
                 seed: 0x1DB0,
             },
         }
@@ -96,7 +99,34 @@ impl DatasetSpec {
                 hub_fraction: 0.006,
                 noise_fraction: 0.10,
                 schema_out: 4,
+                locality_window: None,
                 seed: 0x5717,
+            },
+        }
+    }
+
+    /// Road-network stand-in: a band graph whose edges stay within a
+    /// small id window, so it has strong spatial locality and small
+    /// separators — the opposite of the hub-centric knowledge-graph
+    /// presets, whose 2-hop balls cover most of the graph. This is the
+    /// regime where partitioned serving (`crates/shard`) pays off:
+    /// shard halos stay thin instead of swallowing the graph.
+    pub fn road_like(scale: usize) -> Self {
+        DatasetSpec {
+            params: KgParams {
+                name: "road-like".into(),
+                num_vertices: scale,
+                avg_out_degree: 2.5,
+                branching: vec![8, 5, 4],
+                ontology_jitter: 1,
+                leaf_label_fraction: 0.7,
+                label_skew: 0.8,
+                target_skew: 0.8,
+                hub_fraction: 1.0, // unused: the window disables hubs
+                noise_fraction: 0.0,
+                schema_out: 3,
+                locality_window: Some(16),
+                seed: 0x40AD,
             },
         }
     }
@@ -181,6 +211,23 @@ mod tests {
     fn names() {
         assert_eq!(DatasetSpec::yago_like(10).name(), "yago-like");
         assert_eq!(DatasetSpec::synt(1000).name(), "synt-1000");
+        assert_eq!(DatasetSpec::road_like(10).name(), "road-like");
+    }
+
+    #[test]
+    fn road_like_has_strong_locality() {
+        let ds = DatasetSpec::road_like(5000).generate();
+        let density = ds.num_edges() as f64 / ds.num_vertices() as f64;
+        assert!(density > 1.5 && density < 3.0, "density {density}");
+        // Band structure: the mean undirected edge span stays within a
+        // few windows, where the hub presets average ~n/3.
+        let (mut sum, mut cnt) = (0u64, 0u64);
+        for (u, v) in ds.graph.edges() {
+            sum += (u.0 as i64 - v.0 as i64).unsigned_abs();
+            cnt += 1;
+        }
+        let mean = sum as f64 / cnt as f64;
+        assert!(mean < 64.0, "mean edge span {mean} — locality lost");
     }
 
     #[test]

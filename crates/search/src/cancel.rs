@@ -55,6 +55,37 @@ impl std::fmt::Display for Interrupted {
 
 impl std::error::Error for Interrupted {}
 
+/// A `Sync` snapshot of a [`Budget`]'s stop conditions, for fanning a
+/// single request's budget out across worker threads.
+///
+/// `Budget` itself is `Send` but not `Sync` (its amortization counter
+/// is a `Cell`), so a scatter–gather executor cannot share one budget
+/// between legs. A seed captures the *conditions* — deadline, shared
+/// cancel flag, and remaining check limit — without the per-thread
+/// counters, and [`BudgetSeed::budget`] mints a fresh budget per leg.
+/// All legs observe the same absolute deadline and the same cancel
+/// flag; a check limit is copied per leg (each leg gets the full
+/// remaining count), which preserves determinism per leg.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetSeed {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    checks: Option<u64>,
+}
+
+impl BudgetSeed {
+    /// Mints a fresh [`Budget`] with this seed's stop conditions.
+    pub fn budget(&self) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            checks_left: self.checks.map(Cell::new),
+            countdown: Cell::new(0),
+            expired: Cell::new(false),
+        }
+    }
+}
+
 /// A cooperative execution budget: optional deadline plus optional
 /// shared cancel flag.
 #[derive(Debug, Clone, Default)]
@@ -145,6 +176,17 @@ impl Budget {
     /// The deadline, if one is set.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// Captures this budget's stop conditions as a `Sync` [`BudgetSeed`]
+    /// so they can be shared across scatter–gather worker threads. The
+    /// seed copies the *remaining* check count, not the original limit.
+    pub fn seed(&self) -> BudgetSeed {
+        BudgetSeed {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            checks: self.checks_left.as_ref().map(Cell::get),
+        }
     }
 
     /// True if no deadline, cancel flag, or check limit is attached —
@@ -315,6 +357,38 @@ mod tests {
         let g2 = b.grace(1000);
         flag.store(true, Ordering::Release);
         assert!(g2.is_exhausted());
+    }
+
+    #[test]
+    fn seed_reproduces_conditions_across_threads() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::with_check_limit(3).cancelled_by(Arc::clone(&flag));
+        let seed = b.seed();
+        // Seeds are Sync: usable from a scoped worker thread.
+        std::thread::scope(|s| {
+            let seed_ref = &seed;
+            s.spawn(move || {
+                let leg = seed_ref.budget();
+                for _ in 0..3 {
+                    assert!(!leg.is_exhausted());
+                }
+                assert!(leg.is_exhausted(), "check limit carries into the leg");
+            });
+        });
+        // The cancel flag is shared, not copied.
+        let leg = seed.budget();
+        flag.store(true, Ordering::Release);
+        assert!(leg.is_exhausted());
+
+        // Seeding after partial consumption copies the remaining count.
+        let c = Budget::with_check_limit(5);
+        assert!(!c.is_exhausted());
+        assert!(!c.is_exhausted());
+        let leg = c.seed().budget();
+        for _ in 0..3 {
+            assert!(!leg.is_exhausted());
+        }
+        assert!(leg.is_exhausted());
     }
 
     #[test]

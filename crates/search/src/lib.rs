@@ -48,7 +48,7 @@ pub use answer::AnswerGraph;
 pub use banks::Banks;
 pub use bidirectional::Bidirectional;
 pub use blinks::Blinks;
-pub use cancel::{Budget, Interrupted};
+pub use cancel::{Budget, BudgetSeed, Interrupted};
 pub use outcome::{Completeness, SearchOutcome};
 pub use patch::{diff_graphs, GraphDiff};
 pub use query::KeywordQuery;

@@ -43,6 +43,7 @@ pub mod flight;
 pub mod log;
 pub mod request;
 pub mod service;
+pub mod sharded;
 pub mod snapshot;
 pub mod stats;
 
@@ -52,7 +53,11 @@ pub use flight::{Flight, SingleFlight};
 pub use log::Logger;
 pub use request::{QueryError, QueryRequest, QueryResponse, Semantics};
 pub use service::{
-    ApplyError, ApplyReport, DegradationPolicy, ReloadError, Service, ServiceConfig, WriteHub,
+    ApplyError, ApplyReport, DegradationPolicy, ReloadError, Service, ServiceConfig,
+    ShardedApplyReport, WriteHub,
+};
+pub use sharded::{
+    boot_sharded, snapshot_from_build, ShardedBootError, ShardedSnapshot, ShardedWriteHub,
 };
 pub use snapshot::{IndexSnapshot, SnapshotConfig, SnapshotError};
-pub use stats::ServiceStats;
+pub use stats::{ServiceStats, ShardLaneStats};

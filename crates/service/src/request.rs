@@ -158,6 +158,16 @@ pub enum QueryError {
         /// The offending layer.
         layer: usize,
     },
+    /// Sharded deployments only: the request's `d_max` exceeds the
+    /// partition's ceiling, so shard halos cannot guarantee every
+    /// answer is fully visible to some shard. Lower `d_max` or rebuild
+    /// the shards with a larger ceiling.
+    DmaxExceedsPartition {
+        /// The `d_max` the request asked for.
+        requested: u32,
+        /// The largest `d_max` the partition answers exactly.
+        ceiling: u32,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -181,6 +191,11 @@ impl std::fmt::Display for QueryError {
                 f,
                 "query keywords merge at layer {layer} (Def. 4.1); \
                  use a lower layer or the cost-optimal choice"
+            ),
+            QueryError::DmaxExceedsPartition { requested, ceiling } => write!(
+                f,
+                "d_max {requested} exceeds the shard partition's ceiling {ceiling}; \
+                 lower d_max or rebuild with a larger --dmax-ceiling"
             ),
         }
     }

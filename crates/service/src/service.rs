@@ -30,14 +30,17 @@ use crate::cache::{AnswerCache, CacheKey};
 use crate::flight::{Flight, SingleFlight};
 use crate::log::Logger;
 use crate::request::{QueryError, QueryRequest, QueryResponse};
+use crate::sharded::{ShardedBootError, ShardedSnapshot, ShardedWriteHub};
 use crate::snapshot::IndexSnapshot;
 use crate::snapshot::SnapshotError;
 use crate::stats::{ServiceStats, StatsRegistry};
 use bgi_check::sync::atomic::{AtomicU64, Ordering};
 use bgi_check::sync::thread::{self, JoinHandle};
 use bgi_check::sync::{Mutex, PoisonError, RwLock};
-use bgi_ingest::{ApplyOutcome, Engine, IngestError, IngestUpdate};
+use bgi_graph::VId;
+use bgi_ingest::{ApplyOutcome, Engine, EngineConfig, IngestError, IngestUpdate};
 use bgi_search::Budget;
+use bgi_shard::{RouteError, RoutedBatch, ShardStoreError, ShardedStore};
 use bgi_store::{CommitQueue, IndexBundle, Store, StoreError};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -116,9 +119,19 @@ struct Job {
     reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
 }
 
+/// What the workers execute queries against: one monolithic snapshot,
+/// or a sharded deployment's scatter–gather snapshot.
+#[derive(Clone)]
+enum Serving {
+    /// A single whole-graph [`IndexSnapshot`].
+    Mono(Arc<IndexSnapshot>),
+    /// One snapshot per shard behind [`ShardedSnapshot`]'s merge.
+    Sharded(Arc<ShardedSnapshot>),
+}
+
 /// State shared between the service handle and its workers.
 struct Shared {
-    snapshot: RwLock<Arc<IndexSnapshot>>,
+    snapshot: RwLock<Serving>,
     queue: BoundedQueue<Job>,
     cache: AnswerCache,
     flight: SingleFlight<CacheKey>,
@@ -138,8 +151,11 @@ struct Shared {
 }
 
 impl Shared {
-    fn current_snapshot(&self) -> Arc<IndexSnapshot> {
-        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
+    fn current_serving(&self) -> Serving {
+        self.snapshot
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Updates the sustained-pressure streak from the current queue
@@ -264,8 +280,12 @@ impl Shared {
                 }
             }
         };
-        let snapshot = self.current_snapshot();
-        let result = snapshot.execute(&job.request, &budget);
+        let result = match self.current_serving() {
+            Serving::Mono(snapshot) => snapshot.execute(&job.request, &budget),
+            Serving::Sharded(snapshot) => {
+                snapshot.execute_observed(&job.request, &budget, Some(&self.stats))
+            }
+        };
         match result {
             Ok(outcome) => {
                 let outcome = Arc::new(outcome);
@@ -338,12 +358,44 @@ impl Service {
         config: ServiceConfig,
         log: Logger,
     ) -> Service {
+        Self::start_serving(Serving::Mono(snapshot), StatsRegistry::new(), config, log)
+    }
+
+    /// Starts the pool serving a sharded deployment: each query is
+    /// scatter–gathered across `snapshot`'s shards (see
+    /// [`ShardedSnapshot`]) and the stats registry carries one
+    /// per-shard lane.
+    pub fn start_sharded(snapshot: Arc<ShardedSnapshot>, config: ServiceConfig) -> Service {
+        Self::start_sharded_with_logger(snapshot, config, Logger::disabled())
+    }
+
+    /// [`Service::start_sharded`] with diagnostics routed to `log`.
+    pub fn start_sharded_with_logger(
+        snapshot: Arc<ShardedSnapshot>,
+        config: ServiceConfig,
+        log: Logger,
+    ) -> Service {
+        let lanes = snapshot.num_shards();
+        Self::start_serving(
+            Serving::Sharded(snapshot),
+            StatsRegistry::with_shards(lanes),
+            config,
+            log,
+        )
+    }
+
+    fn start_serving(
+        serving: Serving,
+        stats: StatsRegistry,
+        config: ServiceConfig,
+        log: Logger,
+    ) -> Service {
         let shared = Arc::new(Shared {
-            snapshot: RwLock::new(snapshot),
+            snapshot: RwLock::new(serving),
             queue: BoundedQueue::new(config.queue_capacity),
             cache: AnswerCache::new(config.cache_shards, config.cache_capacity),
             flight: SingleFlight::new(),
-            stats: StatsRegistry::new(),
+            stats,
             log,
             default_deadline: config.default_deadline,
             degradation: config.degradation,
@@ -411,7 +463,8 @@ impl Service {
 
     /// Installs a new snapshot for all subsequent queries and
     /// invalidates the answer cache. In-flight queries complete
-    /// against the snapshot they started with.
+    /// against the snapshot they started with. Switches a sharded
+    /// service back to monolithic serving.
     pub fn swap_snapshot(&self, snapshot: Arc<IndexSnapshot>) {
         {
             let mut guard = self
@@ -419,7 +472,7 @@ impl Service {
                 .snapshot
                 .write()
                 .unwrap_or_else(PoisonError::into_inner);
-            *guard = snapshot;
+            *guard = Serving::Mono(snapshot);
         }
         // Snapshot first, then invalidate: a worker that cached its
         // generation before this bump can no longer insert.
@@ -428,6 +481,51 @@ impl Service {
         self.shared
             .log
             .line("index snapshot swapped; cache invalidated");
+    }
+
+    /// Installs a whole sharded snapshot (all shards at once) and
+    /// invalidates the answer cache, with the same in-flight semantics
+    /// as [`Service::swap_snapshot`].
+    pub fn swap_sharded(&self, snapshot: Arc<ShardedSnapshot>) {
+        {
+            let mut guard = self
+                .shared
+                .snapshot
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *guard = Serving::Sharded(snapshot);
+        }
+        self.shared.cache.invalidate_all();
+        self.shared.stats.record_swap();
+        self.shared
+            .log
+            .line("sharded snapshot swapped; cache invalidated");
+    }
+
+    /// Replaces one shard of the currently served sharded snapshot —
+    /// the shard-local swap unit behind per-shard ingest and recovery.
+    /// The replacement snapshot is assembled *inside* the write lock,
+    /// so two concurrent single-shard swaps can never lose each other's
+    /// shard. Returns `false` (and changes nothing) when the service is
+    /// not in sharded mode.
+    pub fn swap_shard(&self, s: usize, snapshot: Arc<IndexSnapshot>, map: Arc<Vec<VId>>) -> bool {
+        {
+            let mut guard = self
+                .shared
+                .snapshot
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let Serving::Sharded(current) = &*guard else {
+                return false;
+            };
+            *guard = Serving::Sharded(Arc::new(current.with_shard(s, snapshot, map)));
+        }
+        self.shared.cache.invalidate_all();
+        self.shared.stats.record_swap();
+        self.shared
+            .log
+            .line(&format!("shard {s} snapshot swapped; cache invalidated"));
+        true
     }
 
     /// Hot-reloads the index from `store`, gated on recovery and
@@ -624,6 +722,265 @@ impl Service {
         }
     }
 
+    /// The *sharded* write path: routes `updates` by vertex ownership
+    /// (see `bgi_shard::ShardRouter`), journals global numbering and
+    /// cut changes to the meta WAL, then group-commits each shard's
+    /// share through that shard's own [`WriteHub`] — so writers hitting
+    /// different shards never serialize on one engine lock, and a
+    /// committed shard swaps only *its* slice of the serving snapshot
+    /// ([`Service::swap_shard`]).
+    ///
+    /// Atomicity: routing runs on a **staged clone** of the router and
+    /// the clone is committed back only after the meta WAL append
+    /// succeeds, so a routing or journaling failure mutates nothing
+    /// (`Err` here means no shard saw the batch). After that point
+    /// shards commit independently: every assigned shard is attempted,
+    /// and per-shard outcomes are reported side by side in the
+    /// [`ShardedApplyReport`] — one shard's WAL failure neither blocks
+    /// nor poisons its siblings, and recovery
+    /// ([`Service::recover_shard`]) reconciles the router with whatever
+    /// each engine actually made durable.
+    pub fn apply_updates_sharded(
+        &self,
+        hub: &ShardedWriteHub,
+        updates: &[IngestUpdate],
+    ) -> Result<ShardedApplyReport, ApplyError> {
+        let routed = {
+            let mut guard = hub.router.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut staged = guard.clone();
+            let routed = staged.route(updates).map_err(ApplyError::Route)?;
+            if !routed.meta.is_empty() {
+                let mut meta = hub.meta.lock().unwrap_or_else(PoisonError::into_inner);
+                meta.append(&routed.meta).map_err(ApplyError::Meta)?;
+            }
+            *guard = staged;
+            routed
+        };
+        let RoutedBatch {
+            per_shard: shares,
+            assigned,
+            ..
+        } = routed;
+        let mut per_shard: Vec<Option<Result<ApplyReport, ApplyError>>> =
+            (0..hub.hubs.len()).map(|_| None).collect();
+        for (s, share) in shares.into_iter().enumerate() {
+            if share.is_empty() {
+                continue;
+            }
+            let result = match hub.hubs[s]
+                .queue
+                .commit(share, |batches| self.commit_shard_group(hub, s, batches))
+            {
+                Some(Ok(report)) => Ok(report),
+                Some(Err(shared)) => Err(ApplyError::Group(shared)),
+                None => Err(ApplyError::LeaderDied),
+            };
+            per_shard[s] = Some(result);
+        }
+        Ok(ShardedApplyReport {
+            per_shard,
+            assigned,
+        })
+    }
+
+    /// Leader body for one shard's group commit (the sharded analogue
+    /// of [`Service::commit_group`]).
+    fn commit_shard_group(
+        &self,
+        hub: &ShardedWriteHub,
+        s: usize,
+        batches: Vec<Vec<IngestUpdate>>,
+    ) -> Vec<Result<ApplyReport, Arc<ApplyError>>> {
+        let count = batches.len();
+        let mut engine = hub.hubs[s]
+            .engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match self.commit_shard_locked(hub, s, &mut engine, &batches) {
+            Ok(reports) => reports.into_iter().map(Ok).collect(),
+            Err(err) => {
+                let shared = Arc::new(err);
+                (0..count).map(|_| Err(Arc::clone(&shared))).collect()
+            }
+        }
+    }
+
+    fn commit_shard_locked(
+        &self,
+        hub: &ShardedWriteHub,
+        s: usize,
+        engine: &mut Engine,
+        batches: &[Vec<IngestUpdate>],
+    ) -> Result<Vec<ApplyReport>, ApplyError> {
+        let outcomes = engine.apply_group(batches).map_err(ApplyError::Ingest)?;
+        if batches.iter().all(Vec::is_empty) {
+            return Ok(outcomes
+                .into_iter()
+                .map(|outcome| ApplyReport {
+                    outcome,
+                    rebuilt: false,
+                    rebuild_started: false,
+                })
+                .collect());
+        }
+        let rebuilt = self.adopt_finished_shard_rebuild(hub, s, engine)?;
+        let rebuild_started = self.maybe_start_shard_rebuild(hub, s, engine);
+        match IndexSnapshot::from_bundle(engine.bundle().clone()) {
+            Ok(snapshot) => {
+                // Engine → router is the one permitted nesting of those
+                // two locks (see `ShardedWriteHub`); this read is brief.
+                let map = {
+                    let router = hub.router.lock().unwrap_or_else(PoisonError::into_inner);
+                    Arc::new(router.map(s))
+                };
+                if !self.swap_shard(s, Arc::new(snapshot), map) {
+                    self.shared.log.line(&format!(
+                        "shard {s} committed while the service is not serving sharded; \
+                         engine state advanced, snapshot unchanged"
+                    ));
+                }
+                self.shared.stats.record_ingest_batch();
+                Ok(outcomes
+                    .into_iter()
+                    .map(|outcome| ApplyReport {
+                        outcome,
+                        rebuilt,
+                        rebuild_started,
+                    })
+                    .collect())
+            }
+            Err(err) => {
+                self.shared.stats.record_ingest_rollback();
+                self.shared.log.line(&format!(
+                    "shard {s} update group refused at snapshot admission ({err}); \
+                     previous shard snapshot keeps serving"
+                ));
+                Err(ApplyError::Snapshot(err))
+            }
+        }
+    }
+
+    /// Per-shard analogue of [`Service::adopt_finished_rebuild`], using
+    /// shard `s`'s slot in the hub's rebuild table.
+    fn adopt_finished_shard_rebuild(
+        &self,
+        hub: &ShardedWriteHub,
+        s: usize,
+        engine: &mut Engine,
+    ) -> Result<bool, ApplyError> {
+        let handle = {
+            let mut slots = hub.rebuilds.lock().unwrap_or_else(PoisonError::into_inner);
+            match slots[s].as_ref() {
+                Some(h) if h.is_finished() => slots[s].take(),
+                _ => None,
+            }
+        };
+        let Some(handle) = handle else {
+            return Ok(false);
+        };
+        let Ok(bundle) = handle.join() else {
+            engine.abort_rebuild();
+            self.shared.stats.record_ingest_rollback();
+            self.shared.log.line(&format!(
+                "shard {s} background rebuild panicked; keeping incremental state"
+            ));
+            return Ok(false);
+        };
+        if !engine.rebuild_in_flight() {
+            // Shard `s` was recovered (engine replaced) after the job
+            // was captured: the result describes a dead epoch.
+            self.shared.log.line(&format!(
+                "stale shard {s} background rebuild discarded (engine was replaced)"
+            ));
+            return Ok(false);
+        }
+        engine.finish_rebuild(bundle).map_err(ApplyError::Ingest)?;
+        self.shared.stats.record_ingest_rebuild();
+        self.shared.log.line(&format!(
+            "shard {s} background rebuild adopted; delta replayed"
+        ));
+        Ok(true)
+    }
+
+    /// Per-shard analogue of [`Service::maybe_start_rebuild`]: each
+    /// shard tracks drift and rebuilds independently, so one hot shard
+    /// re-densifying never stalls writes to the others.
+    fn maybe_start_shard_rebuild(
+        &self,
+        hub: &ShardedWriteHub,
+        s: usize,
+        engine: &mut Engine,
+    ) -> bool {
+        let mut slots = hub.rebuilds.lock().unwrap_or_else(PoisonError::into_inner);
+        if slots[s].is_some() || engine.rebuild_in_flight() || !engine.drift().rebuild_recommended {
+            return false;
+        }
+        let job = engine.start_rebuild();
+        slots[s] = Some(thread::spawn(move || job.run()));
+        self.shared.log.line(&format!(
+            "shard {s} drift-triggered background rebuild started after {} updates",
+            engine.updates_since_rebuild()
+        ));
+        true
+    }
+
+    /// Recovers **one shard** from its own store — load the newest
+    /// complete generation, replay that shard's WAL on top, replace the
+    /// shard's engine, reconcile the router against what every engine
+    /// actually holds, and swap the recovered shard into the serving
+    /// snapshot — all without ever freezing the other shards' serving
+    /// or write paths.
+    ///
+    /// Returns the number of WAL updates replayed on top of the loaded
+    /// generation. On error nothing is replaced and the old shard state
+    /// (possibly stale, still verified) keeps serving.
+    pub fn recover_shard(
+        &self,
+        hub: &ShardedWriteHub,
+        store: &ShardedStore,
+        s: usize,
+        config: EngineConfig,
+    ) -> Result<usize, ShardedBootError> {
+        let (_generation, bundle) = store
+            .store(s)
+            .load_latest()
+            .map_err(|e| ShardedBootError::Store(ShardStoreError::from(e)))?;
+        let (engine, replayed) =
+            Engine::with_wal(bundle, config, store.store(s)).map_err(ShardedBootError::Ingest)?;
+        let snapshot = IndexSnapshot::from_bundle(engine.bundle().clone())
+            .map_err(ShardedBootError::Snapshot)?;
+        {
+            // Any in-flight rebuild was captured from the dead epoch;
+            // its thread finishes detached and the adoption guard
+            // (`rebuild_in_flight`) would discard it anyway.
+            let mut slots = hub.rebuilds.lock().unwrap_or_else(PoisonError::into_inner);
+            drop(slots[s].take());
+        }
+        {
+            let mut guard = hub.hubs[s]
+                .engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *guard = engine;
+        }
+        // Reconcile global numbering with what the engines actually
+        // recovered. Engine locks are taken one at a time and never
+        // while holding the router.
+        let lens: Vec<usize> = (0..hub.hubs.len())
+            .map(|i| hub.hubs[i].with_engine(|e| e.bundle().index.graph_at(0).num_vertices()))
+            .collect();
+        let map = {
+            let mut router = hub.router.lock().unwrap_or_else(PoisonError::into_inner);
+            router.reconcile(&lens);
+            Arc::new(router.map(s))
+        };
+        self.swap_shard(s, Arc::new(snapshot), map);
+        self.shared.log.line(&format!(
+            "shard {s} recovered from its store ({replayed} WAL updates replayed)"
+        ));
+        Ok(replayed)
+    }
+
     /// Adopts a finished background rebuild, if one is waiting: replays
     /// the buffered delta onto the rebuilt hierarchy and swaps the
     /// resulting snapshot in. Returns `Ok(true)` when a rebuild was
@@ -708,9 +1065,22 @@ impl Service {
         true
     }
 
-    /// The snapshot queries currently run against.
-    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
-        self.shared.current_snapshot()
+    /// The monolithic snapshot queries currently run against, or
+    /// `None` when the service is serving a sharded deployment.
+    pub fn snapshot(&self) -> Option<Arc<IndexSnapshot>> {
+        match self.shared.current_serving() {
+            Serving::Mono(s) => Some(s),
+            Serving::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded snapshot queries currently run against, or `None`
+    /// when the service is serving a single monolithic snapshot.
+    pub fn sharded(&self) -> Option<Arc<ShardedSnapshot>> {
+        match self.shared.current_serving() {
+            Serving::Mono(_) => None,
+            Serving::Sharded(s) => Some(s),
+        }
     }
 
     /// Jobs currently executing on a worker (queued jobs not included).
@@ -830,6 +1200,26 @@ pub struct ApplyReport {
     pub rebuild_started: bool,
 }
 
+/// What one [`Service::apply_updates_sharded`] call did, shard by
+/// shard.
+#[derive(Debug)]
+pub struct ShardedApplyReport {
+    /// `per_shard[s]` is `None` when shard `s` had no share of the
+    /// batch, otherwise that shard's independent commit outcome. One
+    /// shard failing does not imply anything about the others.
+    pub per_shard: Vec<Option<Result<ApplyReport, ApplyError>>>,
+    /// `assigned[i]` = the shard that owns `updates[i]`'s primary
+    /// effect (the owner of an added vertex, or of an edge's source).
+    pub assigned: Vec<u32>,
+}
+
+impl ShardedApplyReport {
+    /// True when every shard that had a share committed it.
+    pub fn all_committed(&self) -> bool {
+        self.per_shard.iter().flatten().all(Result::is_ok)
+    }
+}
+
 /// Why a [`Service::apply_updates`] did not swap a new snapshot in.
 #[derive(Debug)]
 pub enum ApplyError {
@@ -849,6 +1239,14 @@ pub enum ApplyError {
     /// the commit outcome is unknown — the batch may or may not have
     /// reached the WAL. Callers should re-check state before retrying.
     LeaderDied,
+    /// Sharded writes only: an update referenced a vertex or label the
+    /// router does not know. Nothing was journaled or committed
+    /// anywhere.
+    Route(RouteError),
+    /// Sharded writes only: appending the batch's global-numbering and
+    /// cut records to the meta WAL failed. The routing table was not
+    /// advanced and no shard saw the batch.
+    Meta(StoreError),
 }
 
 impl std::fmt::Display for ApplyError {
@@ -860,6 +1258,8 @@ impl std::fmt::Display for ApplyError {
             ApplyError::LeaderDied => {
                 write!(f, "group leader died mid-commit; batch outcome unknown")
             }
+            ApplyError::Route(e) => write!(f, "update batch failed shard routing: {e}"),
+            ApplyError::Meta(e) => write!(f, "meta WAL append failed: {e}"),
         }
     }
 }
@@ -871,6 +1271,8 @@ impl std::error::Error for ApplyError {
             ApplyError::Snapshot(e) => Some(e),
             ApplyError::Group(e) => Some(e.as_ref()),
             ApplyError::LeaderDied => None,
+            ApplyError::Route(e) => Some(e),
+            ApplyError::Meta(e) => Some(e),
         }
     }
 }

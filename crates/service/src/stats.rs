@@ -54,6 +54,27 @@ pub struct StatsRegistry {
     /// counts reported bounds in `[2^i, 2^(i+1))` (bucket 0 includes
     /// bound 0 — provably optimal despite interruption).
     bound_gap: [AtomicU64; BUCKETS],
+    /// Per-shard scatter legs (empty on monolithic deployments).
+    shards: Vec<ShardLane>,
+}
+
+/// Per-shard scatter-leg counters: one lane per shard, so the final
+/// stats flush can report each shard's query count and tail latency
+/// instead of only aggregate totals.
+struct ShardLane {
+    queries: AtomicU64,
+    sheds: AtomicU64,
+    latency_us: [AtomicU64; BUCKETS],
+}
+
+impl ShardLane {
+    fn new() -> ShardLane {
+        ShardLane {
+            queries: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Default for StatsRegistry {
@@ -83,7 +104,32 @@ impl StatsRegistry {
             degraded_budget_requests: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
             bound_gap: std::array::from_fn(|_| AtomicU64::new(0)),
+            shards: Vec::new(),
         }
+    }
+
+    /// A zeroed registry with `shards` per-shard lanes (sharded
+    /// deployments; monolithic services use [`StatsRegistry::new`]).
+    pub fn with_shards(shards: usize) -> StatsRegistry {
+        let mut r = StatsRegistry::new();
+        r.shards = (0..shards).map(|_| ShardLane::new()).collect();
+        r
+    }
+
+    /// Records one scatter leg against shard `s`: its execution
+    /// latency, and whether the leg was shed (its partial result
+    /// dropped because the budget expired before the leg finished).
+    /// No-op when `s` has no lane.
+    pub fn record_shard_leg(&self, s: usize, latency: Duration, shed: bool) {
+        let Some(lane) = self.shards.get(s) else {
+            return;
+        };
+        bump(&lane.queries);
+        if shed {
+            bump(&lane.sheds);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        bump(&lane.latency_us[Self::bucket(us)]);
     }
 
     /// Records one successfully served query.
@@ -186,26 +232,44 @@ impl StatsRegistry {
         (1u64 << i) + (1u64 << i) / 2
     }
 
+    /// Histogram percentile: the representative latency of the bucket
+    /// holding the `p`-quantile sample.
+    fn hist_pct(hist: &[u64], p: f64) -> Duration {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        // ceil(total * p) samples must lie at or below the answer.
+        let rank = ((total as f64 * p).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Duration::from_micros(Self::bucket_mid_us(i));
+            }
+        }
+        Duration::from_micros(Self::bucket_mid_us(BUCKETS - 1))
+    }
+
     /// A point-in-time view of everything recorded so far.
     pub fn snapshot(&self) -> ServiceStats {
         let hist: Vec<u64> = self.latency_us.iter().map(read).collect();
-        let total: u64 = hist.iter().sum();
-        let pct = |p: f64| -> Duration {
-            if total == 0 {
-                return Duration::ZERO;
-            }
-            // ceil(total * p) samples must lie at or below the answer.
-            let rank = ((total as f64 * p).ceil() as u64).max(1);
-            let mut seen = 0u64;
-            for (i, &count) in hist.iter().enumerate() {
-                seen += count;
-                if seen >= rank {
-                    return Duration::from_micros(Self::bucket_mid_us(i));
+        let pct = |p: f64| Self::hist_pct(&hist, p);
+        let per_shard = self
+            .shards
+            .iter()
+            .map(|lane| {
+                let lane_hist: Vec<u64> = lane.latency_us.iter().map(read).collect();
+                ShardLaneStats {
+                    queries: read(&lane.queries),
+                    sheds: read(&lane.sheds),
+                    p95: Self::hist_pct(&lane_hist, 0.95),
+                    p99: Self::hist_pct(&lane_hist, 0.99),
                 }
-            }
-            Duration::from_micros(Self::bucket_mid_us(BUCKETS - 1))
-        };
+            })
+            .collect();
         ServiceStats {
+            per_shard,
             served: read(&self.served),
             per_semantics: [
                 read(&self.per_semantics[0]),
@@ -234,9 +298,26 @@ impl StatsRegistry {
     }
 }
 
+/// One shard's scatter-leg health at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardLaneStats {
+    /// Scatter legs executed against this shard.
+    pub queries: u64,
+    /// Legs whose partial result was dropped at merge (budget expired
+    /// before the leg finished).
+    pub sheds: u64,
+    /// 95th-percentile leg latency (histogram estimate).
+    pub p95: Duration,
+    /// 99th-percentile leg latency (histogram estimate).
+    pub p99: Duration,
+}
+
 /// A point-in-time snapshot of service health.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
+    /// Per-shard scatter-leg stats, indexed by shard id; empty on
+    /// monolithic deployments.
+    pub per_shard: Vec<ShardLaneStats>,
     /// Queries answered (cache hits included).
     pub served: u64,
     /// Served counts by [`Semantics::index`] order: bkws, rkws, dkws.
@@ -358,7 +439,15 @@ impl std::fmt::Display for ServiceStats {
             self.coalesced,
             self.cache.evictions,
             self.cache.invalidated
-        )
+        )?;
+        for (s, lane) in self.per_shard.iter().enumerate() {
+            write!(
+                f,
+                "\nshard {s}: {} queries, p95 {:?}, p99 {:?}, {} shed",
+                lane.queries, lane.p95, lane.p99, lane.sheds
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -410,6 +499,32 @@ mod tests {
         let s = StatsRegistry::new().snapshot();
         assert_eq!(s.served, 0);
         assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn shard_lanes_report_per_shard() {
+        let r = StatsRegistry::with_shards(3);
+        r.record_shard_leg(0, Duration::from_micros(80), false);
+        r.record_shard_leg(0, Duration::from_micros(90), false);
+        r.record_shard_leg(2, Duration::from_millis(5), true);
+        // Out-of-range shard ids are ignored, not panicked on.
+        r.record_shard_leg(9, Duration::from_micros(1), false);
+        let s = r.snapshot();
+        assert_eq!(s.per_shard.len(), 3);
+        assert_eq!(s.per_shard[0].queries, 2);
+        assert_eq!(s.per_shard[0].sheds, 0);
+        assert_eq!(s.per_shard[1].queries, 0);
+        assert_eq!(s.per_shard[2].queries, 1);
+        assert_eq!(s.per_shard[2].sheds, 1);
+        assert!(s.per_shard[2].p95 >= Duration::from_millis(4));
+        let text = s.to_string();
+        assert!(text.contains("shard 0:"), "{text}");
+        assert!(text.contains("shard 2:"), "{text}");
+        // Monolithic registries print no shard lines.
+        assert!(!StatsRegistry::new()
+            .snapshot()
+            .to_string()
+            .contains("shard 0:"));
     }
 
     #[test]

@@ -232,7 +232,10 @@ fn background_rebuild_adopts_without_blocking_writes() {
     assert!(engine.index().verify().is_clean());
     // The served snapshot reflects the adopted engine state, and the
     // incrementally maintained hierarchy answers like a scratch build.
-    assert_eq!(service.snapshot().index().base(), engine.index().base());
+    assert_eq!(
+        service.snapshot().expect("mono").index().base(),
+        engine.index().base()
+    );
     let bench = benchmark_queries(&ds, 3, 4, 7);
     let eq_queries: Vec<KeywordQuery> = bench
         .iter()

@@ -102,12 +102,12 @@ fn reload_swaps_to_the_new_generation() {
     let service = Service::start(Arc::new(snapshot), config());
 
     let requests = workload(&ds_a);
-    let before = expected(&service.snapshot(), &requests);
+    let before = expected(&service.snapshot().expect("mono"), &requests);
 
     // A new generation lands on disk; reload picks it up.
     store.save(&bundle_of(&ds_b)).expect("save B");
     assert_eq!(service.reload_from_disk(&store).expect("reload"), 2);
-    let after = expected(&service.snapshot(), &requests);
+    let after = expected(&service.snapshot().expect("mono"), &requests);
     assert_ne!(before, after, "generations must be distinguishable");
     for (idx, req) in requests.iter().enumerate() {
         let resp = service.query(req.clone()).expect("served");
@@ -133,7 +133,7 @@ fn corrupt_generation_rolls_back_and_keeps_serving() {
     let service = Service::start(Arc::new(snapshot), config());
 
     let requests = workload(&ds);
-    let before = expected(&service.snapshot(), &requests);
+    let before = expected(&service.snapshot().expect("mono"), &requests);
 
     // Corrupt the only generation on disk, then ask for a reload.
     let victim = dir.0.join("gen-00000001").join("index.bin");

@@ -1,0 +1,53 @@
+//! # bgi-shard
+//!
+//! Sharding for BiG-index serving: partition the base graph into `S`
+//! shards, build an **independent BiG-index hierarchy per shard**, and
+//! keep persistence and ingest shard-local so one hot shard can
+//! recover or rebuild without freezing the rest.
+//!
+//! The decomposition leans on the paper's own query shape (Algo. 2):
+//! generalize once, search the summary layer, specialize survivors.
+//! Each of those steps is local to whatever graph the hierarchy was
+//! built over, so a scatter–gather executor (`bgi-service`) can run
+//! the pipeline per shard and merge ranked answers afterwards —
+//! provided every answer is *fully visible* to at least one shard.
+//!
+//! The partition contract that makes the merge exact at layer 0:
+//!
+//! 1. **Ownership** — every base vertex is owned by exactly one shard
+//!    ([`ShardPlan::owner_of`]). Block growth uses the BLINKS BFS
+//!    partitioner (`bgi_search::blinks::bfs_partition`) folded onto
+//!    shards by deterministic longest-processing-time assignment.
+//! 2. **Halo closure** — each shard's *universe* is its owned set
+//!    plus every vertex within undirected distance `2 · d_ceil` of it
+//!    (`d_ceil` = [`ShardSpec::dmax_ceiling`]). Any answer of any of
+//!    the three semantics with `d_max ≤ d_ceil` is contained, with
+//!    exact internal distances, in the universe of the shard owning
+//!    its *anchor* (the root for rooted semantics, the minimum vertex
+//!    otherwise): every answer vertex lies within `2 · d_max` of the
+//!    anchor, and so does every vertex of every witnessing path.
+//! 3. **Cut accounting** — every ownership-crossing edge appears in
+//!    exactly one cut list: the one of the shard owning its source
+//!    ([`ShardPlan::cuts`]; checked by `bgi_verify`).
+//!
+//! [`build_shard_bundles`] fans per-shard hierarchy construction out
+//! via `bgi_graph::par::par_map`; shard `s`'s bundle is byte-identical
+//! at any thread count. [`ShardedStore`] lays the shards out as
+//! independent generation directories + WALs (`shard-000/`, …) under
+//! one root with the encoded plan, plus a root-level *meta WAL*
+//! journaling global vertex numbering and cut-only edge events.
+//! [`ShardRouter`] translates global-id update batches into per-shard
+//! local batches and maintains live cut lists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod plan;
+pub mod route;
+pub mod store;
+
+pub use build::{build_shard_bundles, shard_graphs, ShardBuildParams};
+pub use plan::{PlanError, ShardPlan, ShardSpec};
+pub use route::{RouteError, RoutedBatch, ShardRouter};
+pub use store::{is_sharded, ShardStoreError, ShardedStore, META_DIR, PLAN_FILE};

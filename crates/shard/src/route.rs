@@ -1,0 +1,491 @@
+//! Update routing: translate global-id ingest batches into per-shard
+//! local batches, assign global ids to new vertices, and keep the
+//! live cut lists current.
+//!
+//! The router is the single authority for global vertex numbering
+//! after the base build: base vertices keep their plan ownership,
+//! vertices grown at runtime are owned round-robin (`gid % shards`)
+//! and exist *only* on their owning shard. An edge is applied to
+//! every shard whose universe contains both endpoints; an edge whose
+//! endpoints have different owners is additionally recorded in the
+//! owner-of-source's cut set and journaled to the meta WAL, so it is
+//! never lost even when no shard can apply it locally.
+
+use crate::plan::ShardPlan;
+use bgi_graph::VId;
+use bgi_ingest::IngestUpdate;
+use bgi_store::{GraphUpdate, UpdateBatch};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Why a batch could not be routed. Routing validates exactly what
+/// the per-shard engines would: unknown ids and labels are rejected
+/// up front so no shard applies half a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// An edge endpoint is not a known global vertex.
+    UnknownVertex(u32),
+    /// An `AddVertex` label is outside the ontology alphabet.
+    UnknownLabel(u32),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownVertex(v) => write!(f, "unknown global vertex {v}"),
+            RouteError::UnknownLabel(l) => write!(f, "label {l} outside the alphabet"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A routed batch: per-shard local-id updates plus the meta-WAL
+/// records that keep global numbering and cross-shard edges durable.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedBatch {
+    /// `per_shard[s]` = shard `s`'s share of the batch, in local ids.
+    pub per_shard: Vec<Vec<IngestUpdate>>,
+    /// Records for the meta WAL: every `AddVertex` (global numbering)
+    /// and every ownership-crossing edge event.
+    pub meta: Vec<GraphUpdate>,
+    /// Global ids assigned to this batch's `AddVertex` ops, in order.
+    pub assigned: Vec<u32>,
+}
+
+/// Mutable routing state layered over an immutable [`ShardPlan`].
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    plan: Arc<ShardPlan>,
+    base_n: u32,
+    /// Total global vertices (base + grown).
+    total: u32,
+    alphabet: u32,
+    /// Per shard: grown global id → shard-local id.
+    grown: Vec<FxHashMap<u32, u32>>,
+    /// Per shard: grown global ids in local-id order (they follow the
+    /// base universe in each shard's local numbering).
+    grown_list: Vec<Vec<u32>>,
+    /// Per shard: current local vertex count.
+    shard_len: Vec<u32>,
+    /// Live cut sets, keyed by the owner of the edge source.
+    cuts: Vec<BTreeSet<(u32, u32)>>,
+}
+
+impl ShardRouter {
+    /// A router in the base state: no grown vertices, cuts seeded
+    /// from the plan.
+    pub fn new(plan: Arc<ShardPlan>, alphabet: usize) -> ShardRouter {
+        let shards = plan.num_shards();
+        let base_n = plan.num_vertices() as u32;
+        let cuts = (0..shards)
+            .map(|s| {
+                plan.cuts(s)
+                    .iter()
+                    .map(|&(u, v)| (u.0, v.0))
+                    .collect::<BTreeSet<_>>()
+            })
+            .collect();
+        let shard_len = (0..shards).map(|s| plan.universe(s).len() as u32).collect();
+        ShardRouter {
+            plan,
+            base_n,
+            total: base_n,
+            alphabet: alphabet as u32,
+            grown: vec![FxHashMap::default(); shards],
+            grown_list: vec![Vec::new(); shards],
+            shard_len,
+            cuts,
+        }
+    }
+
+    /// The plan this router is layered over.
+    pub fn plan(&self) -> &Arc<ShardPlan> {
+        &self.plan
+    }
+
+    /// Total global vertices (base + grown).
+    pub fn total_vertices(&self) -> u32 {
+        self.total
+    }
+
+    /// The owner of global vertex `gid`: the plan for base vertices,
+    /// round-robin for grown ones.
+    pub fn owner_of(&self, gid: u32) -> Option<u32> {
+        if gid < self.base_n {
+            self.plan.owner_of(VId(gid))
+        } else if gid < self.total {
+            Some(gid % self.plan.num_shards() as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Shard `s`'s local id for global `gid`, if present there.
+    pub fn local_of(&self, s: usize, gid: u32) -> Option<u32> {
+        if gid < self.base_n {
+            self.plan.local_of(s, VId(gid)).map(|v| v.0)
+        } else {
+            self.grown.get(s)?.get(&gid).copied()
+        }
+    }
+
+    /// Shard `s`'s full local → global map: universe then grown tail.
+    pub fn map(&self, s: usize) -> Vec<VId> {
+        let mut m: Vec<VId> = self.plan.universe(s).to_vec();
+        m.extend(self.grown_list[s].iter().map(|&g| VId(g)));
+        m
+    }
+
+    /// Live cut sets, keyed by the owner of the edge source.
+    pub fn cut_lists(&self) -> Vec<Vec<(VId, VId)>> {
+        self.cuts
+            .iter()
+            .map(|set| set.iter().map(|&(u, v)| (VId(u), VId(v))).collect())
+            .collect()
+    }
+
+    /// Routes one global-id batch. Validates everything first (so a
+    /// routing error leaves the router untouched), then assigns
+    /// global ids to new vertices, splits edges onto every shard that
+    /// holds both endpoints, and records crossing edges in the cut
+    /// sets and the meta stream.
+    pub fn route(&mut self, updates: &[IngestUpdate]) -> Result<RoutedBatch, RouteError> {
+        // Validation pass: simulate numbering without mutating.
+        let mut virtual_total = self.total;
+        for u in updates {
+            match *u {
+                IngestUpdate::AddVertex { label } => {
+                    if label >= self.alphabet {
+                        return Err(RouteError::UnknownLabel(label));
+                    }
+                    virtual_total += 1;
+                }
+                IngestUpdate::InsertEdge { src, dst } | IngestUpdate::DeleteEdge { src, dst } => {
+                    if src >= virtual_total {
+                        return Err(RouteError::UnknownVertex(src));
+                    }
+                    if dst >= virtual_total {
+                        return Err(RouteError::UnknownVertex(dst));
+                    }
+                }
+            }
+        }
+        let shards = self.plan.num_shards();
+        let mut out = RoutedBatch {
+            per_shard: vec![Vec::new(); shards],
+            meta: Vec::new(),
+            assigned: Vec::new(),
+        };
+        for u in updates {
+            match *u {
+                IngestUpdate::AddVertex { label } => {
+                    let gid = self.total;
+                    let owner = (gid % shards as u32) as usize;
+                    self.grown[owner].insert(gid, self.shard_len[owner]);
+                    self.grown_list[owner].push(gid);
+                    self.shard_len[owner] += 1;
+                    self.total += 1;
+                    out.per_shard[owner].push(IngestUpdate::AddVertex { label });
+                    out.meta.push(GraphUpdate::AddVertex {
+                        label,
+                        expected: gid,
+                    });
+                    out.assigned.push(gid);
+                }
+                IngestUpdate::InsertEdge { src, dst } => {
+                    let mut applied = false;
+                    for s in 0..shards {
+                        if let (Some(ls), Some(ld)) = (self.local_of(s, src), self.local_of(s, dst))
+                        {
+                            out.per_shard[s].push(IngestUpdate::InsertEdge { src: ls, dst: ld });
+                            applied = true;
+                        }
+                    }
+                    let osrc = self.owner_of(src);
+                    if osrc != self.owner_of(dst) {
+                        if let Some(o) = osrc {
+                            self.cuts[o as usize].insert((src, dst));
+                        }
+                        out.meta.push(GraphUpdate::InsertEdge { src, dst });
+                    } else {
+                        debug_assert!(applied, "same-owner edge must land on the owner shard");
+                    }
+                }
+                IngestUpdate::DeleteEdge { src, dst } => {
+                    for s in 0..shards {
+                        if let (Some(ls), Some(ld)) = (self.local_of(s, src), self.local_of(s, dst))
+                        {
+                            out.per_shard[s].push(IngestUpdate::DeleteEdge { src: ls, dst: ld });
+                        }
+                    }
+                    let osrc = self.owner_of(src);
+                    if osrc != self.owner_of(dst) {
+                        if let Some(o) = osrc {
+                            self.cuts[o as usize].remove(&(src, dst));
+                        }
+                        out.meta.push(GraphUpdate::DeleteEdge { src, dst });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replays the meta WAL after a restart. Tolerant by design:
+    /// `AddVertex` records whose `expected` id already exists are
+    /// skipped (duplicates from a retried batch), records from the
+    /// future are skipped defensively, and edge records only refresh
+    /// the cut sets.
+    pub fn replay_meta(&mut self, batches: &[UpdateBatch]) {
+        let shards = self.plan.num_shards() as u32;
+        for batch in batches {
+            for u in &batch.updates {
+                match *u {
+                    GraphUpdate::AddVertex { label: _, expected } => {
+                        if expected != self.total {
+                            continue; // already replayed, or from a lost future
+                        }
+                        let gid = self.total;
+                        let owner = (gid % shards) as usize;
+                        self.grown[owner].insert(gid, self.shard_len[owner]);
+                        self.grown_list[owner].push(gid);
+                        self.shard_len[owner] += 1;
+                        self.total += 1;
+                    }
+                    GraphUpdate::InsertEdge { src, dst } => {
+                        if src >= self.total || dst >= self.total {
+                            continue;
+                        }
+                        if self.owner_of(src) != self.owner_of(dst) {
+                            if let Some(o) = self.owner_of(src) {
+                                self.cuts[o as usize].insert((src, dst));
+                            }
+                        }
+                    }
+                    GraphUpdate::DeleteEdge { src, dst } => {
+                        if let Some(o) = self.owner_of(src) {
+                            self.cuts[o as usize].remove(&(src, dst));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconciles the router against the per-shard engines after a
+    /// crash or failed commit: any grown tail the engines never
+    /// durably applied is rolled back, global numbering retreats
+    /// while the top id was dropped, and cut entries referencing
+    /// dropped ids are purged.
+    pub fn reconcile(&mut self, engine_vertex_counts: &[usize]) {
+        let mut dropped: BTreeSet<u32> = BTreeSet::new();
+        for (s, &len) in engine_vertex_counts.iter().enumerate() {
+            let len = len as u32;
+            while self.shard_len[s] > len {
+                if let Some(gid) = self.grown_list[s].pop() {
+                    self.grown[s].remove(&gid);
+                    self.shard_len[s] -= 1;
+                    dropped.insert(gid);
+                } else {
+                    // Base universe larger than the engine graph: the
+                    // shard lost base state, which recovery handles at
+                    // the store layer; nothing for the router to trim.
+                    break;
+                }
+            }
+        }
+        while self.total > self.base_n && dropped.contains(&(self.total - 1)) {
+            self.total -= 1;
+        }
+        if !dropped.is_empty() {
+            for set in &mut self.cuts {
+                set.retain(|&(u, v)| !dropped.contains(&u) && !dropped.contains(&v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ShardPlan, ShardSpec};
+    use bgi_datasets::DatasetSpec;
+
+    fn router(n: usize, shards: usize) -> (ShardRouter, usize) {
+        let ds = DatasetSpec::yago_like(n).generate();
+        let plan = ShardPlan::build(
+            &ds.graph,
+            &ShardSpec {
+                shards,
+                dmax_ceiling: 2,
+                partition_block: 0,
+            },
+        )
+        .unwrap();
+        let alphabet = ds.ontology.num_labels();
+        (ShardRouter::new(Arc::new(plan), alphabet), alphabet)
+    }
+
+    #[test]
+    fn add_vertex_round_robin_and_local_numbering() {
+        let (mut r, _) = router(400, 4);
+        let base = r.total_vertices();
+        let batch: Vec<IngestUpdate> = (0..8)
+            .map(|_| IngestUpdate::AddVertex { label: 0 })
+            .collect();
+        let routed = r.route(&batch).unwrap();
+        assert_eq!(routed.assigned.len(), 8);
+        for (i, &gid) in routed.assigned.iter().enumerate() {
+            assert_eq!(gid, base + i as u32);
+            let owner = r.owner_of(gid).unwrap();
+            assert_eq!(owner, gid % 4);
+            let local = r.local_of(owner as usize, gid).unwrap();
+            assert_eq!(r.map(owner as usize)[local as usize], VId(gid));
+        }
+        assert_eq!(routed.meta.len(), 8);
+        assert_eq!(r.total_vertices(), base + 8);
+    }
+
+    #[test]
+    fn edges_fan_out_to_every_holding_shard() {
+        let (mut r, _) = router(600, 3);
+        let plan = Arc::clone(r.plan());
+        // Pick a same-owner base edge: it must land on at least the
+        // owner shard, translated to local ids.
+        let ds = DatasetSpec::yago_like(600).generate();
+        let (u, v) = ds
+            .graph
+            .edges()
+            .find(|&(u, v)| plan.owner_of(u) == plan.owner_of(v))
+            .unwrap();
+        let routed = r
+            .route(&[IngestUpdate::InsertEdge { src: u.0, dst: v.0 }])
+            .unwrap();
+        let owner = plan.owner_of(u).unwrap() as usize;
+        assert!(!routed.per_shard[owner].is_empty());
+        assert!(routed.meta.is_empty(), "same-owner edge is not meta news");
+        for (s, ops) in routed.per_shard.iter().enumerate() {
+            for op in ops {
+                let IngestUpdate::InsertEdge { src, dst } = *op else {
+                    panic!("unexpected op");
+                };
+                assert_eq!(r.map(s)[src as usize], u);
+                assert_eq!(r.map(s)[dst as usize], v);
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_edges_hit_cut_sets_and_meta() {
+        let (mut r, _) = router(600, 3);
+        let ds = DatasetSpec::yago_like(600).generate();
+        let plan = Arc::clone(r.plan());
+        let (u, v) = ds
+            .graph
+            .vertices()
+            .flat_map(|a| ds.graph.vertices().map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && plan.owner_of(a) != plan.owner_of(b))
+            .unwrap();
+        let before = r.cut_lists()[plan.owner_of(u).unwrap() as usize].len();
+        let routed = r
+            .route(&[IngestUpdate::InsertEdge { src: u.0, dst: v.0 }])
+            .unwrap();
+        assert_eq!(routed.meta.len(), 1);
+        let after = r.cut_lists()[plan.owner_of(u).unwrap() as usize].len();
+        assert!(after >= before, "cut set tracks the crossing edge");
+        assert!(
+            r.cut_lists()[plan.owner_of(u).unwrap() as usize].contains(&(u, v)),
+            "inserted crossing edge present in owner's cut set"
+        );
+        // Deleting removes it again and journals the delete.
+        let routed = r
+            .route(&[IngestUpdate::DeleteEdge { src: u.0, dst: v.0 }])
+            .unwrap();
+        assert_eq!(routed.meta.len(), 1);
+        assert!(!r.cut_lists()[plan.owner_of(u).unwrap() as usize].contains(&(u, v)));
+    }
+
+    #[test]
+    fn validation_rejects_and_leaves_state_untouched() {
+        let (mut r, alphabet) = router(300, 2);
+        let before_total = r.total_vertices();
+        let err = r
+            .route(&[
+                IngestUpdate::AddVertex { label: 0 },
+                IngestUpdate::InsertEdge {
+                    src: 0,
+                    dst: before_total + 5,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, RouteError::UnknownVertex(before_total + 5));
+        assert_eq!(
+            r.total_vertices(),
+            before_total,
+            "failed route mutates nothing"
+        );
+        let err = r
+            .route(&[IngestUpdate::AddVertex {
+                label: alphabet as u32,
+            }])
+            .unwrap_err();
+        assert_eq!(err, RouteError::UnknownLabel(alphabet as u32));
+    }
+
+    #[test]
+    fn batch_internal_references_to_new_vertices_validate() {
+        let (mut r, _) = router(300, 2);
+        let base = r.total_vertices();
+        // An edge to a vertex added earlier in the same batch is legal.
+        let routed = r
+            .route(&[
+                IngestUpdate::AddVertex { label: 0 },
+                IngestUpdate::InsertEdge { src: 0, dst: base },
+            ])
+            .unwrap();
+        assert_eq!(routed.assigned, vec![base]);
+    }
+
+    #[test]
+    fn replay_meta_is_idempotent() {
+        let (mut r, _) = router(300, 2);
+        let routed = r
+            .route(&[
+                IngestUpdate::AddVertex { label: 0 },
+                IngestUpdate::AddVertex { label: 1 },
+            ])
+            .unwrap();
+        let mut fresh = router(300, 2).0;
+        let batch = UpdateBatch {
+            seq: 1,
+            updates: routed.meta.clone(),
+        };
+        fresh.replay_meta(std::slice::from_ref(&batch));
+        assert_eq!(fresh.total_vertices(), r.total_vertices());
+        // Replaying the same records again changes nothing.
+        fresh.replay_meta(&[batch]);
+        assert_eq!(fresh.total_vertices(), r.total_vertices());
+        assert_eq!(fresh.cut_lists(), r.cut_lists());
+    }
+
+    #[test]
+    fn reconcile_rolls_back_unapplied_growth() {
+        let (mut r, _) = router(300, 2);
+        let base = r.total_vertices();
+        let engine_lens: Vec<usize> = (0..2).map(|s| r.map(s).len()).collect();
+        r.route(&[
+            IngestUpdate::AddVertex { label: 0 },
+            IngestUpdate::AddVertex { label: 0 },
+        ])
+        .unwrap();
+        assert_eq!(r.total_vertices(), base + 2);
+        // Engines never applied the growth (crash before commit).
+        r.reconcile(&engine_lens);
+        assert_eq!(r.total_vertices(), base);
+        for (s, &len) in engine_lens.iter().enumerate() {
+            assert_eq!(r.map(s).len(), len);
+        }
+    }
+}

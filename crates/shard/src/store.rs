@@ -1,0 +1,295 @@
+//! Shard-local persistence layout: one generation store + WAL per
+//! shard under a common root, the encoded plan alongside them, and a
+//! root-level meta WAL for global numbering and cut-only edges.
+//!
+//! ```text
+//! root/
+//!   SHARDPLAN        encoded ShardPlan (checksummed)
+//!   meta/wal.log     meta WAL: AddVertex numbering + crossing edges
+//!   shard-000/       independent bgi-store root (generations + WAL)
+//!   shard-001/
+//!   ...
+//! ```
+//!
+//! Each shard directory is a full, self-contained [`Store`]: its
+//! generations and WAL never reference another shard, which is what
+//! lets one shard crash, recover, or background-rebuild while the
+//! rest keep serving.
+
+use crate::plan::{PlanError, ShardPlan};
+use bgi_store::{Failpoints, IndexBundle, RetryPolicy, Store, StoreError, UpdateBatch, Wal};
+use std::path::{Path, PathBuf};
+
+/// File name of the encoded [`ShardPlan`] under a sharded root.
+pub const PLAN_FILE: &str = "SHARDPLAN";
+
+/// Name of the meta-WAL subdirectory under a sharded root.
+pub const META_DIR: &str = "meta";
+
+/// Why a sharded store could not be created or opened.
+#[derive(Debug)]
+pub enum ShardStoreError {
+    /// Filesystem work outside the per-shard stores failed.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A per-shard store (or the meta WAL) failed.
+    Store(StoreError),
+    /// The plan file failed to decode.
+    Plan(PlanError),
+    /// The root exists but holds no `SHARDPLAN`.
+    NotSharded(PathBuf),
+}
+
+impl std::fmt::Display for ShardStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardStoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            ShardStoreError::Store(e) => write!(f, "shard store: {e}"),
+            ShardStoreError::Plan(e) => write!(f, "shard plan: {e}"),
+            ShardStoreError::NotSharded(p) => {
+                write!(f, "{} is not a sharded store (no {PLAN_FILE})", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardStoreError::Io { source, .. } => Some(source),
+            ShardStoreError::Store(e) => Some(e),
+            ShardStoreError::Plan(e) => Some(e),
+            ShardStoreError::NotSharded(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for ShardStoreError {
+    fn from(e: StoreError) -> Self {
+        ShardStoreError::Store(e)
+    }
+}
+
+impl From<PlanError> for ShardStoreError {
+    fn from(e: PlanError) -> Self {
+        ShardStoreError::Plan(e)
+    }
+}
+
+/// `S` independent per-shard stores plus the plan that cut them.
+#[derive(Debug)]
+pub struct ShardedStore {
+    root: PathBuf,
+    plan: ShardPlan,
+    stores: Vec<Store>,
+}
+
+/// True iff `root` holds a sharded store (its `SHARDPLAN` exists).
+pub fn is_sharded(root: &Path) -> bool {
+    root.join(PLAN_FILE).is_file()
+}
+
+fn shard_dir(root: &Path, s: usize) -> PathBuf {
+    root.join(format!("shard-{s:03}"))
+}
+
+fn io_err(context: &str, path: &Path, source: std::io::Error) -> ShardStoreError {
+    ShardStoreError::Io {
+        context: format!("{context} {}", path.display()),
+        source,
+    }
+}
+
+impl ShardedStore {
+    /// Creates a sharded root: writes the encoded plan, the meta-WAL
+    /// directory, and one empty store per shard.
+    pub fn create(root: impl Into<PathBuf>, plan: ShardPlan) -> Result<Self, ShardStoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| io_err("create sharded root", &root, e))?;
+        let plan_path = root.join(PLAN_FILE);
+        std::fs::write(&plan_path, plan.encode())
+            .map_err(|e| io_err("write shard plan", &plan_path, e))?;
+        let meta = root.join(META_DIR);
+        std::fs::create_dir_all(&meta).map_err(|e| io_err("create meta dir", &meta, e))?;
+        let stores = (0..plan.num_shards())
+            .map(|s| Store::open(shard_dir(&root, s)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedStore { root, plan, stores })
+    }
+
+    /// Opens an existing sharded root with default (disabled)
+    /// failpoints on every shard.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ShardStoreError> {
+        Self::open_with(root, |_| (Failpoints::disabled(), RetryPolicy::default()))
+    }
+
+    /// [`ShardedStore::open`] with a per-shard fault-injection
+    /// factory — the crash-matrix entry point, letting a test arm
+    /// failpoints on one shard while the others run clean.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        per_shard: impl Fn(usize) -> (Failpoints, RetryPolicy),
+    ) -> Result<Self, ShardStoreError> {
+        let root = root.into();
+        let plan_path = root.join(PLAN_FILE);
+        let bytes = match std::fs::read(&plan_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ShardStoreError::NotSharded(root));
+            }
+            Err(e) => return Err(io_err("read shard plan", &plan_path, e)),
+        };
+        let plan = ShardPlan::decode(&bytes)?;
+        let meta = root.join(META_DIR);
+        std::fs::create_dir_all(&meta).map_err(|e| io_err("create meta dir", &meta, e))?;
+        let stores = (0..plan.num_shards())
+            .map(|s| {
+                let (fp, retry) = per_shard(s);
+                Store::open_with(shard_dir(&root, s), fp, retry)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedStore { root, plan, stores })
+    }
+
+    /// The sharded root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The plan this root was cut by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Shard `s`'s own store.
+    pub fn store(&self, s: usize) -> &Store {
+        &self.stores[s]
+    }
+
+    /// Saves one bundle per shard as each shard's next generation.
+    /// Returns the per-shard generation numbers.
+    pub fn save_all(
+        &self,
+        bundles: &[IndexBundle],
+        threads: usize,
+    ) -> Result<Vec<u64>, ShardStoreError> {
+        bundles
+            .iter()
+            .enumerate()
+            .map(|(s, b)| {
+                self.stores[s]
+                    .save_with_threads(b, threads)
+                    .map_err(ShardStoreError::Store)
+            })
+            .collect()
+    }
+
+    /// Loads every shard's latest generation. Returns per-shard
+    /// `(generation, bundle)` pairs.
+    pub fn load_all(&self) -> Result<Vec<(u64, IndexBundle)>, ShardStoreError> {
+        self.stores
+            .iter()
+            .map(|st| st.load_latest().map_err(ShardStoreError::Store))
+            .collect()
+    }
+
+    /// Opens the root-level meta WAL (replaying its committed
+    /// prefix), with explicit fault injection.
+    pub fn meta_wal(&self, fp: Failpoints) -> Result<(Wal, Vec<UpdateBatch>), ShardStoreError> {
+        Wal::open(&self.root.join(META_DIR), fp).map_err(ShardStoreError::Store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_shard_bundles, ShardBuildParams};
+    use crate::plan::ShardSpec;
+    use bgi_datasets::DatasetSpec;
+    use bgi_store::GraphUpdate;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bgi-shard-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_open_roundtrip_preserves_plan() {
+        let ds = DatasetSpec::yago_like(300).generate();
+        let plan = ShardPlan::build(&ds.graph, &ShardSpec::new(2)).unwrap();
+        let dir = tmpdir("roundtrip");
+        let created = ShardedStore::create(&dir, plan.clone()).unwrap();
+        assert_eq!(created.num_shards(), 2);
+        assert!(is_sharded(&dir));
+        let opened = ShardedStore::open(&dir).unwrap();
+        assert_eq!(opened.plan(), &plan);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_non_sharded_root_is_a_clean_error() {
+        let dir = tmpdir("notsharded");
+        std::fs::create_dir_all(&dir).unwrap();
+        match ShardedStore::open(&dir) {
+            Err(ShardStoreError::NotSharded(p)) => assert_eq!(p, dir),
+            other => panic!("expected NotSharded, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_all_load_all_roundtrip() {
+        let ds = DatasetSpec::yago_like(300).generate();
+        let plan = ShardPlan::build(&ds.graph, &ShardSpec::new(2)).unwrap();
+        let bundles =
+            build_shard_bundles(&ds.graph, &ds.ontology, &plan, &ShardBuildParams::default());
+        let dir = tmpdir("saveload");
+        let store = ShardedStore::create(&dir, plan).unwrap();
+        let gens = store.save_all(&bundles, 1).unwrap();
+        assert_eq!(gens.len(), 2);
+        let loaded = store.load_all().unwrap();
+        for (s, (gen, bundle)) in loaded.iter().enumerate() {
+            assert_eq!(*gen, gens[s]);
+            assert_eq!(bundle, &bundles[s]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_wal_survives_reopen() {
+        let ds = DatasetSpec::yago_like(300).generate();
+        let plan = ShardPlan::build(&ds.graph, &ShardSpec::new(2)).unwrap();
+        let dir = tmpdir("metawal");
+        let store = ShardedStore::create(&dir, plan).unwrap();
+        {
+            let (mut wal, replayed) = store.meta_wal(Failpoints::disabled()).unwrap();
+            assert!(replayed.is_empty());
+            wal.append(&[GraphUpdate::AddVertex {
+                label: 0,
+                expected: 7,
+            }])
+            .unwrap();
+        }
+        let reopened = ShardedStore::open(&dir).unwrap();
+        let (_, replayed) = reopened.meta_wal(Failpoints::disabled()).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(
+            replayed[0].updates,
+            vec![GraphUpdate::AddVertex {
+                label: 0,
+                expected: 7,
+            }]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,100 @@
+//! The plan's cut lists satisfy bgi-verify's boundary-edge accounting
+//! invariant, and the check actually catches every corruption mode.
+
+use bgi_datasets::DatasetSpec;
+use bgi_graph::VId;
+use bgi_shard::{ShardPlan, ShardSpec};
+use bgi_verify::{check_shard_cuts, Invariant, Status};
+
+fn plan(n: usize, shards: usize) -> (bgi_graph::DiGraph, ShardPlan) {
+    let ds = DatasetSpec::yago_like(n).generate();
+    let plan = ShardPlan::build(
+        &ds.graph,
+        &ShardSpec {
+            shards,
+            dmax_ceiling: 2,
+            partition_block: 0,
+        },
+    )
+    .unwrap();
+    (ds.graph, plan)
+}
+
+#[test]
+fn built_plans_pass_cut_accounting() {
+    for shards in [1, 2, 4, 7] {
+        let (g, p) = plan(900, shards);
+        let cuts: Vec<Vec<(VId, VId)>> = p.cut_lists().to_vec();
+        let check = check_shard_cuts(&g, p.owners(), &cuts);
+        assert_eq!(check.invariant, Invariant::ShardCutAccounting);
+        assert_eq!(
+            check.status,
+            Status::Pass,
+            "{shards} shards: {:?}",
+            check.witnesses
+        );
+    }
+}
+
+#[test]
+fn missing_crossing_edge_is_caught_with_witness() {
+    let (g, p) = plan(700, 3);
+    let mut cuts: Vec<Vec<(VId, VId)>> = p.cut_lists().to_vec();
+    let victim_shard = (0..3).find(|&s| !cuts[s].is_empty()).unwrap();
+    let dropped = cuts[victim_shard].pop().unwrap();
+    let check = check_shard_cuts(&g, p.owners(), &cuts);
+    assert_eq!(check.status, Status::Fail);
+    assert!(check
+        .witnesses
+        .iter()
+        .any(|w| matches!(w, bgi_verify::Witness::Edge { u, v, .. } if (*u, *v) == dropped)));
+}
+
+#[test]
+fn misfiled_edge_is_caught() {
+    let (g, p) = plan(700, 3);
+    let mut cuts: Vec<Vec<(VId, VId)>> = p.cut_lists().to_vec();
+    let from = (0..3).find(|&s| !cuts[s].is_empty()).unwrap();
+    let edge = cuts[from].pop().unwrap();
+    let to = (from + 1) % 3;
+    cuts[to].push(edge);
+    let check = check_shard_cuts(&g, p.owners(), &cuts);
+    assert_eq!(check.status, Status::Fail, "edge filed under wrong shard");
+}
+
+#[test]
+fn phantom_cut_entry_is_caught() {
+    let (g, p) = plan(700, 2);
+    let mut cuts: Vec<Vec<(VId, VId)>> = p.cut_lists().to_vec();
+    // Fabricate a crossing "edge" the graph does not have.
+    let u = (0..g.num_vertices() as u32)
+        .map(VId)
+        .find(|&v| p.owner_of(v) == Some(0))
+        .unwrap();
+    let v = (0..g.num_vertices() as u32)
+        .map(VId)
+        .find(|&w| p.owner_of(w) == Some(1) && !g.out_neighbors(u).contains(&w))
+        .unwrap();
+    cuts[0].push((u, v));
+    let check = check_shard_cuts(&g, p.owners(), &cuts);
+    assert_eq!(check.status, Status::Fail, "phantom entry accepted");
+}
+
+#[test]
+fn duplicate_cut_entry_is_caught() {
+    let (g, p) = plan(700, 3);
+    let mut cuts: Vec<Vec<(VId, VId)>> = p.cut_lists().to_vec();
+    let s = (0..3).find(|&s| !cuts[s].is_empty()).unwrap();
+    let dup = cuts[s][0];
+    cuts[s].push(dup);
+    let check = check_shard_cuts(&g, p.owners(), &cuts);
+    assert_eq!(check.status, Status::Fail, "duplicate entry accepted");
+}
+
+#[test]
+fn shard_cut_accounting_not_in_default_suite() {
+    // Monolithic indexes have no shards; the invariant must not be
+    // demanded of every report.
+    assert!(!Invariant::ALL.contains(&Invariant::ShardCutAccounting));
+    assert_eq!(Invariant::ShardCutAccounting.name(), "shard-cut-accounting");
+}

@@ -4,7 +4,7 @@
 //! with a witness, never a panic, so all cross-layer lookups are
 //! bounds-guarded before use.
 
-use crate::report::{Check, Invariant, Report};
+use crate::report::{Check, Invariant, Report, Status};
 use crate::view::IndexView;
 use crate::Witness;
 use bgi_bisim::BisimDirection;
@@ -393,5 +393,85 @@ fn check_support_counts<I: IndexView + ?Sized>(idx: &I, h: usize) -> Check {
         }
     }
     c.detail = format!("{labels} (layer, label) support(s) recounted");
+    c
+}
+
+/// Sharded-deployment boundary accounting: every ownership-crossing
+/// edge of `g` must appear in exactly one cut list — the list of the
+/// shard owning its source — and cut lists must contain nothing else
+/// (no internal edges, no edges `g` does not have, no misfiled
+/// entries). `owner[v]` is the owning shard of vertex `v`; `cuts[s]`
+/// is shard `s`'s claimed cut list.
+///
+/// Not part of [`Invariant::ALL`]: monolithic indexes have no shards,
+/// so the check only runs when the caller has a partition in hand.
+pub fn check_shard_cuts(g: &DiGraph, owner: &[u32], cuts: &[Vec<(VId, VId)>]) -> Check {
+    let mut c = Check::pass(
+        Invariant::ShardCutAccounting,
+        String::new(), // detail filled below
+    );
+    let shards = cuts.len() as u32;
+    if owner.len() != g.num_vertices() {
+        c.record(Witness::Vertex {
+            layer: 0,
+            v: VId(owner.len().min(g.num_vertices()) as u32),
+        });
+        c.detail = format!(
+            "owner table covers {} vertices, graph has {}",
+            owner.len(),
+            g.num_vertices()
+        );
+        return c;
+    }
+    for (v, &o) in owner.iter().enumerate() {
+        if o >= shards {
+            c.record(Witness::Vertex {
+                layer: 0,
+                v: VId(v as u32),
+            });
+        }
+    }
+    if c.status == Status::Fail {
+        c.detail = format!("owner id(s) out of range for {shards} shard(s)");
+        return c;
+    }
+    // Claimed cut entries, with the shard that filed each.
+    let mut claimed: FxHashSet<(VId, VId)> = FxHashSet::default();
+    for (s, list) in cuts.iter().enumerate() {
+        for &(u, v) in list {
+            let valid = u.index() < owner.len()
+                && v.index() < owner.len()
+                && owner[u.index()] == s as u32
+                && owner[v.index()] != s as u32;
+            let fresh = claimed.insert((u, v));
+            if !valid || !fresh {
+                // Out of range, misfiled (wrong shard's list, or an
+                // internal edge), or listed twice.
+                c.record(Witness::Edge { layer: 0, u, v });
+            }
+        }
+    }
+    // Every claimed entry must be a real edge, and every real crossing
+    // edge must be claimed.
+    let mut crossing = 0usize;
+    let mut edges: FxHashSet<(VId, VId)> = FxHashSet::default();
+    for (u, v) in g.edges() {
+        edges.insert((u, v));
+        if owner[u.index()] != owner[v.index()] {
+            crossing += 1;
+            if !claimed.contains(&(u, v)) {
+                c.record(Witness::Edge { layer: 0, u, v });
+            }
+        }
+    }
+    for &(u, v) in &claimed {
+        if !edges.contains(&(u, v)) {
+            c.record(Witness::Edge { layer: 0, u, v });
+        }
+    }
+    c.detail = format!(
+        "{crossing} crossing edge(s) accounted across {} cut list(s)",
+        cuts.len()
+    );
     c
 }

@@ -35,6 +35,6 @@ mod checks;
 mod report;
 mod view;
 
-pub use checks::check_index;
+pub use checks::{check_index, check_shard_cuts};
 pub use report::{Check, Invariant, Report, Status, Witness};
 pub use view::IndexView;

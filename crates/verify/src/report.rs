@@ -39,6 +39,13 @@ pub enum Invariant {
     /// The index's precomputed per-layer label supports match a fresh
     /// recount of each layer graph.
     SupportCounts,
+    /// Sharded deployments only: every ownership-crossing edge of the
+    /// base graph appears in exactly one cut list (the list of the
+    /// shard owning its source), and no cut list carries an edge that
+    /// is absent or internal. Checked by
+    /// [`crate::check_shard_cuts`], not part of [`Invariant::ALL`]
+    /// (monolithic indexes have no shards).
+    ShardCutAccounting,
 }
 
 impl Invariant {
@@ -69,6 +76,7 @@ impl Invariant {
             Invariant::ChiRoundTrip => "chi-round-trip",
             Invariant::MembersPartition => "members-partition",
             Invariant::SupportCounts => "support-counts",
+            Invariant::ShardCutAccounting => "shard-cut-accounting",
         }
     }
 }

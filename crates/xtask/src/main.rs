@@ -83,6 +83,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/datasets",
     "crates/verify",
     "crates/store",
+    "crates/shard",
     "crates/service",
     "crates/ingest",
 ];
